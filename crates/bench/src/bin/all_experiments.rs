@@ -1,0 +1,5 @@
+//! Regenerates every EXPERIMENTS.md table in one run.
+//! Set `PLANARTEST_QUICK=1` for CI-sized sweeps.
+fn main() {
+    planartest_bench::run_all();
+}

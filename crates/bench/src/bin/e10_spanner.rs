@@ -1,0 +1,4 @@
+//! Regenerates the e10 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e10_spanner();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e11 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e11_stage1_alt();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e12 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e12_bandwidth();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e1 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e1_correctness();
+}

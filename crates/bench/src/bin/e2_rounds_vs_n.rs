@@ -1,0 +1,4 @@
+//! Regenerates the e2 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e2_rounds_vs_n();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e3 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e3_rounds_vs_eps();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e4 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e4_weight_decay();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e5 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e5_diameter();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e6 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e6_violations();
+}

@@ -1,0 +1,4 @@
+//! Regenerates the e7 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e7_lowerbound();
+}

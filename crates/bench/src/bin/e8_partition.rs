@@ -1,0 +1,4 @@
+//! Regenerates the e8 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e8_partition();
+}

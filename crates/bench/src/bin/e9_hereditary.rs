@@ -1,0 +1,4 @@
+//! Regenerates the e9 table of `EXPERIMENTS.md`.
+fn main() {
+    planartest_bench::e9_hereditary();
+}

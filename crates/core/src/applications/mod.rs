@@ -1,0 +1,15 @@
+//! Applications of the minor-free partition (§4.2): property testers for
+//! cycle-freeness and bipartiteness (Corollary 16) and `poly(1/ε)`-spanner
+//! construction (Corollary 17).
+//!
+//! All three run the partition first (deterministic Stage I by default)
+//! and then a per-part BFS; the per-part checks are exactly the paper's:
+//! any non-tree edge witnesses a cycle; a non-tree edge with equal level
+//! parity witnesses an odd cycle; tree edges plus all cut edges form the
+//! spanner.
+
+mod hereditary;
+mod spanner;
+
+pub use hereditary::{test_bipartiteness, test_cycle_freeness, HereditaryOutcome};
+pub use spanner::{build_spanner, Spanner};

@@ -1,0 +1,8 @@
+//! Baselines the paper compares against (§1.1–§1.2): the random-shift
+//! clustering alternative to Stage I (giving the `O(log² n · poly(1/ε))`
+//! tester noted after Stage II's description, via [12–14]), and the
+//! Elkin–Neiman-style spanner built from it.
+
+mod random_shift;
+
+pub use random_shift::{random_shift_partition, shift_spanner, RandomShiftConfig};

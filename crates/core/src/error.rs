@@ -1,0 +1,66 @@
+//! Error type for the tester and its companions.
+
+use std::fmt;
+
+use planartest_sim::SimError;
+
+/// Errors surfaced by the distributed algorithms.
+///
+/// These are *infrastructure* failures (model violations, budget
+/// exhaustion), never test verdicts — rejecting a graph is reported via
+/// [`TestOutcome`](crate::TestOutcome), not as an error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// The underlying simulation violated the CONGEST model or failed to
+    /// quiesce — always a protocol bug, never a property of the input.
+    Sim(SimError),
+    /// Stage II's sample collection exceeded its budget (probability
+    /// `1/poly(n)`; the algorithm reports failure rather than looping).
+    SampleOverflow {
+        /// Samples drawn.
+        drawn: usize,
+        /// Budget that was exceeded.
+        budget: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulation error: {e}"),
+            CoreError::SampleOverflow { drawn, budget } => {
+                write!(f, "sampled {drawn} edges, budget {budget} (1/poly(n) event)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Sim(e) => Some(e),
+            CoreError::SampleOverflow { .. } => None,
+        }
+    }
+}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CoreError::from(SimError::RoundLimitExceeded { limit: 9 });
+        assert!(e.to_string().contains("simulation error"));
+        assert!(std::error::Error::source(&e).is_some());
+        let o = CoreError::SampleOverflow { drawn: 10, budget: 5 };
+        assert!(o.to_string().contains("budget 5"));
+        assert!(std::error::Error::source(&o).is_none());
+    }
+}

@@ -1,0 +1,123 @@
+//! The `Ω(log n)` lower-bound construction (Theorem 2, Claims 11–12):
+//! a `G(n, p)` graph with `p = c·k²/n` whose short cycles are broken, so
+//! it is simultaneously far from planar (Euler certificate) and locally
+//! tree-like up to radius `Θ(log n)` — any one-sided tester with fewer
+//! rounds sees only planar-consistent views and must accept.
+
+use planartest_graph::algo::girth::{break_short_cycles, girth};
+use planartest_graph::generators::{euler_excess, nonplanar, Certified, PlanarityStatus};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A constructed lower-bound instance.
+#[derive(Debug, Clone)]
+pub struct LowerBoundInstance {
+    /// The graph with its far-ness certificate.
+    pub certified: Certified,
+    /// The short-cycle threshold `ℓ = ln(n)/ln(c·k²)` used (Claim 12).
+    pub girth_threshold: u32,
+    /// Edges removed while breaking short cycles.
+    pub removed_edges: usize,
+    /// Measured girth after removal (`None` for forests).
+    pub girth: Option<u32>,
+}
+
+impl LowerBoundInstance {
+    /// The largest number of rounds `r` such that every radius-`r` view is
+    /// a tree (girth > 2r + 1): any `r`-round one-sided tester must
+    /// accept, since tree views are consistent with a planar graph.
+    pub fn max_blind_rounds(&self) -> u32 {
+        match self.girth {
+            None => u32::MAX,
+            Some(g) => (g.saturating_sub(2)) / 2,
+        }
+    }
+}
+
+/// Builds a Theorem 2 instance on `n` nodes with density parameter
+/// `ck2 = c·k²` (the paper uses `1000k²`; smaller values keep experiment
+/// sizes manageable while preserving the construction's two properties).
+/// The short-cycle threshold is floored at 4 so the instance is always
+/// locally tree-like for at least one round.
+///
+/// # Panics
+///
+/// Panics if `ck2 < 2` or `n < 8`.
+pub fn construct(n: usize, ck2: u32, seed: u64) -> LowerBoundInstance {
+    assert!(ck2 >= 2, "density parameter must be >= 2");
+    assert!(n >= 8, "need at least 8 nodes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let p = ck2 as f64 / n as f64;
+    let base = nonplanar::gnp(n, p, &mut rng);
+    let threshold = ((n as f64).ln() / (ck2 as f64).ln()).floor().max(4.0) as u32;
+    let (g, removed) = break_short_cycles(&base.graph, threshold);
+    let measured_girth = girth(&g);
+    let excess = euler_excess(g.n(), g.m());
+    let status = if excess > 0 {
+        PlanarityStatus::FarFromPlanar { min_removals: excess }
+    } else {
+        PlanarityStatus::Unknown
+    };
+    LowerBoundInstance {
+        certified: Certified {
+            graph: g,
+            status,
+            name: format!("lowerbound(n={n},ck2={ck2})"),
+        },
+        girth_threshold: threshold,
+        removed_edges: removed,
+        girth: measured_girth,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_has_high_girth_and_certified_farness() {
+        let inst = construct(400, 10, 7);
+        let g = &inst.certified.graph;
+        // Girth at least the threshold.
+        if let Some(girth) = inst.girth {
+            assert!(girth >= inst.girth_threshold, "girth {girth} < {}", inst.girth_threshold);
+        }
+        // Density stayed well above planar (few removals, Claim 12).
+        assert!(
+            matches!(inst.certified.status, PlanarityStatus::FarFromPlanar { .. }),
+            "instance lost its far-ness: m={} n={} removed={}",
+            g.m(),
+            g.n(),
+            inst.removed_edges
+        );
+        assert!(inst.certified.far_fraction() > 0.1, "{}", inst.certified.far_fraction());
+        // Blind-round budget is positive: a 1-round tester cannot reject.
+        assert!(inst.max_blind_rounds() >= 1);
+    }
+
+    #[test]
+    fn removals_are_a_small_fraction() {
+        let inst = construct(600, 12, 3);
+        let m_after = inst.certified.graph.m();
+        assert!(
+            inst.removed_edges * 4 < m_after,
+            "removed {} of {} edges",
+            inst.removed_edges,
+            m_after
+        );
+    }
+
+    #[test]
+    fn blind_rounds_scale_with_girth() {
+        let inst = construct(300, 9, 1);
+        if let Some(g) = inst.girth {
+            assert_eq!(inst.max_blind_rounds(), (g - 2) / 2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "density parameter")]
+    fn tiny_density_panics() {
+        let _ = construct(100, 1, 0);
+    }
+}

@@ -1,0 +1,149 @@
+//! Tree labels and the violating-edge condition (Definition 7).
+//!
+//! A node's label is the sequence of child indices along its BFS-tree path
+//! from the part root, where children are numbered by the circular order
+//! of the part's combinatorial embedding starting after the parent edge.
+//! Labels compare lexicographically; a non-tree edge *violates* if its
+//! label interval strictly interleaves another non-tree edge's interval.
+
+use std::cmp::Ordering;
+
+/// A node label: digits along the tree path from the root (root = empty).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Label(pub Vec<u32>);
+
+impl Label {
+    /// The root's (empty) label.
+    pub fn root() -> Self {
+        Label(Vec::new())
+    }
+
+    /// This label extended by one child digit.
+    pub fn child(&self, digit: u32) -> Self {
+        let mut v = self.0.clone();
+        v.push(digit);
+        Label(v)
+    }
+
+    /// Number of digits (= tree depth of the node).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether this is the root label.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Lexicographic comparison per the paper's footnote 5: a prefix
+    /// precedes its extensions.
+    pub fn lex_cmp(&self, other: &Label) -> Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+/// An undirected non-tree edge as an ordered label interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabeledEdge {
+    /// The smaller endpoint label.
+    pub lo: Label,
+    /// The larger endpoint label.
+    pub hi: Label,
+}
+
+impl LabeledEdge {
+    /// Builds the ordered interval from two endpoint labels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the labels are equal (two distinct nodes always have
+    /// distinct labels).
+    pub fn new(a: Label, b: Label) -> Self {
+        match a.lex_cmp(&b) {
+            Ordering::Less => LabeledEdge { lo: a, hi: b },
+            Ordering::Greater => LabeledEdge { lo: b, hi: a },
+            Ordering::Equal => panic!("a non-tree edge cannot connect equal labels"),
+        }
+    }
+
+    /// Definition 7: `(u,v)` and `(u',v')` *intersect* iff
+    /// `ℓ(u) < ℓ(u') < ℓ(v) < ℓ(v')` (in either role order).
+    pub fn intersects(&self, other: &LabeledEdge) -> bool {
+        let lt = |a: &Label, b: &Label| a.lex_cmp(b) == Ordering::Less;
+        (lt(&self.lo, &other.lo) && lt(&other.lo, &self.hi) && lt(&self.hi, &other.hi))
+            || (lt(&other.lo, &self.lo) && lt(&self.lo, &other.hi) && lt(&other.hi, &self.hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(digits: &[u32]) -> Label {
+        Label(digits.to_vec())
+    }
+
+    #[test]
+    fn lex_order() {
+        assert_eq!(l(&[]).lex_cmp(&l(&[1])), Ordering::Less); // prefix first
+        assert_eq!(l(&[1]).lex_cmp(&l(&[2])), Ordering::Less);
+        assert_eq!(l(&[1, 2]).lex_cmp(&l(&[1, 2])), Ordering::Equal);
+        assert_eq!(l(&[2]).lex_cmp(&l(&[1, 9])), Ordering::Greater);
+        assert_eq!(l(&[1, 1]).lex_cmp(&l(&[1, 2])), Ordering::Less);
+    }
+
+    #[test]
+    fn label_building() {
+        let r = Label::root();
+        assert!(r.is_empty());
+        let c = r.child(3).child(1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c, l(&[3, 1]));
+    }
+
+    #[test]
+    fn interval_normalisation() {
+        let e = LabeledEdge::new(l(&[2]), l(&[1]));
+        assert_eq!(e.lo, l(&[1]));
+        assert_eq!(e.hi, l(&[2]));
+    }
+
+    #[test]
+    #[should_panic(expected = "equal labels")]
+    fn equal_labels_panic() {
+        let _ = LabeledEdge::new(l(&[1]), l(&[1]));
+    }
+
+    #[test]
+    fn intersection_cases() {
+        // Intervals over digits: (1,3) vs (2,4) interleave.
+        let a = LabeledEdge::new(l(&[1]), l(&[3]));
+        let b = LabeledEdge::new(l(&[2]), l(&[4]));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        // Nested: (1,4) vs (2,3) do not.
+        let c = LabeledEdge::new(l(&[1]), l(&[4]));
+        let d = LabeledEdge::new(l(&[2]), l(&[3]));
+        assert!(!c.intersects(&d));
+        assert!(!d.intersects(&c));
+        // Disjoint: (1,2) vs (3,4) do not.
+        let e = LabeledEdge::new(l(&[1]), l(&[2]));
+        let f = LabeledEdge::new(l(&[3]), l(&[4]));
+        assert!(!e.intersects(&f));
+        // Sharing an endpoint does not intersect (strict inequalities).
+        let g = LabeledEdge::new(l(&[1]), l(&[3]));
+        let h = LabeledEdge::new(l(&[3]), l(&[5]));
+        assert!(!g.intersects(&h));
+        // Self-comparison is not a violation.
+        assert!(!a.intersects(&a));
+    }
+
+    #[test]
+    fn prefix_labels_interleave_correctly() {
+        // ℓ(u)=[1] is an ancestor-side label; [1,1] sits inside the
+        // subtree: (u=[1], v=[2]) vs (u'=[1,1], v'=[3]).
+        let a = LabeledEdge::new(l(&[1]), l(&[2]));
+        let b = LabeledEdge::new(l(&[1, 1]), l(&[3]));
+        assert!(a.intersects(&b));
+    }
+}

@@ -1,0 +1,238 @@
+//! The full planarity tester (Theorem 1): Stage I then Stage II.
+
+use planartest_graph::{Graph, NodeId};
+use planartest_sim::{Engine, SimConfig, SimStats};
+
+use crate::config::TesterConfig;
+use crate::error::CoreError;
+use crate::partition::{self, PhaseMetrics};
+use crate::stage2::{self, PartReport};
+
+/// Why a node output `reject`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectReason {
+    /// Stage I: the forest-decomposition peeling left the node's part
+    /// active — evidence of arboricity > 3 in a minor of the graph.
+    ArboricityEvidence,
+    /// Stage II: the part has more than `3n − 6` edges.
+    EulerBound,
+    /// Stage II (strict mode): the embedding step certified the part
+    /// non-planar.
+    EmbeddingFailed,
+    /// Stage II: an assigned non-tree edge interleaves a sampled one
+    /// (Definition 7).
+    ViolatingEdge,
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RejectReason::ArboricityEvidence => "arboricity evidence (stage I)",
+            RejectReason::EulerBound => "m > 3n-6 in a part",
+            RejectReason::EmbeddingFailed => "embedding failure",
+            RejectReason::ViolatingEdge => "violating non-tree edge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The verdict and full telemetry of one tester execution.
+#[derive(Debug, Clone)]
+pub struct TestOutcome {
+    /// Nodes that output `reject`, with reasons (empty = all accept).
+    pub rejections: Vec<(NodeId, RejectReason)>,
+    /// Simulation statistics (rounds include charged substitutions).
+    pub stats: SimStats,
+    /// Stage-I per-phase metrics.
+    pub phases: Vec<PhaseMetrics>,
+    /// Stage-II per-part reports (empty if Stage I already rejected).
+    pub parts: Vec<PartReport>,
+    /// Nodes that witnessed a Definition 7 violation (telemetry in the
+    /// sound modes; rejection evidence only in the paper-faithful mode —
+    /// see the Claim 10 refutation in `EXPERIMENTS.md`).
+    pub violation_witnesses: Vec<NodeId>,
+}
+
+impl TestOutcome {
+    /// Whether every node output `accept`.
+    pub fn accepted(&self) -> bool {
+        self.rejections.is_empty()
+    }
+
+    /// Total rounds (simulated + charged).
+    pub fn rounds(&self) -> u64 {
+        self.stats.total_rounds()
+    }
+}
+
+/// The distributed one-sided-error planarity tester of Theorem 1.
+///
+/// # Example
+///
+/// ```
+/// use planartest_core::{PlanarityTester, TesterConfig};
+/// use planartest_graph::generators::nonplanar;
+///
+/// // A chain of K5s is certified far from planar: some node rejects.
+/// let far = nonplanar::k5_chain(8);
+/// let out = PlanarityTester::new(TesterConfig::new(0.05)).run(&far.graph)?;
+/// assert!(!out.accepted());
+/// # Ok::<(), planartest_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PlanarityTester {
+    cfg: TesterConfig,
+    sim: SimConfig,
+}
+
+impl PlanarityTester {
+    /// Creates a tester with the given configuration.
+    pub fn new(cfg: TesterConfig) -> Self {
+        PlanarityTester { cfg, sim: SimConfig::default() }
+    }
+
+    /// Overrides the simulated network's bandwidth configuration.
+    pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TesterConfig {
+        &self.cfg
+    }
+
+    /// Runs the two-stage tester on `g`.
+    ///
+    /// Completeness: if `g` is planar, the outcome always accepts.
+    /// Soundness: if `g` is `ε`-far from planar, some node rejects with
+    /// probability `1 − 1/poly(n)` over the Stage-II sampling.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only (model violations, sample overflow).
+    pub fn run(&self, g: &Graph) -> Result<TestOutcome, CoreError> {
+        let mut engine = Engine::new(g, self.sim);
+        let partition = partition::run_partition(&mut engine, &self.cfg)?;
+        let mut rejections: Vec<(NodeId, RejectReason)> = partition
+            .rejected
+            .iter()
+            .map(|&v| (v, RejectReason::ArboricityEvidence))
+            .collect();
+        let mut parts = Vec::new();
+        let mut violation_witnesses = Vec::new();
+        if rejections.is_empty() {
+            let s2 = stage2::run_stage2(&mut engine, &self.cfg, &partition.state)?;
+            rejections.extend(s2.rejections);
+            parts = s2.parts;
+            violation_witnesses = s2.violation_witnesses;
+        }
+        Ok(TestOutcome {
+            rejections,
+            stats: *engine.stats(),
+            phases: partition.phases,
+            parts,
+            violation_witnesses,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::EmbeddingMode;
+    use planartest_graph::generators::{nonplanar, planar};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quick_cfg(eps: f64) -> TesterConfig {
+        // Modest phase count keeps unit tests fast; integration tests
+        // exercise the derived default.
+        TesterConfig::new(eps).with_phases(6)
+    }
+
+    #[test]
+    fn completeness_on_planar_families() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let graphs = vec![
+            planar::grid(6, 6).graph,
+            planar::triangulated_grid(5, 6).graph,
+            planar::apollonian(50, &mut rng).graph,
+            planar::random_planar(60, 0.6, &mut rng).graph,
+            planar::random_tree(64, &mut rng).graph,
+            planar::cycle(30).graph,
+        ];
+        for g in graphs {
+            let out = PlanarityTester::new(quick_cfg(0.15)).run(&g).unwrap();
+            assert!(out.accepted(), "planar graph rejected: {:?}", out.rejections);
+            assert!(out.rounds() > 0);
+        }
+    }
+
+    #[test]
+    fn soundness_on_k5_chain() {
+        let far = nonplanar::k5_chain(10);
+        let out = PlanarityTester::new(quick_cfg(0.05)).run(&far.graph).unwrap();
+        assert!(!out.accepted());
+    }
+
+    #[test]
+    fn paper_mode_rejects_far_graphs_via_violations() {
+        let far = nonplanar::complete_bipartite(3, 3);
+        let cfg = quick_cfg(0.1).with_embedding(EmbeddingMode::Demoucron);
+        let out = PlanarityTester::new(cfg).run(&far.graph).unwrap();
+        assert!(!out.accepted());
+        assert!(!out.violation_witnesses.is_empty());
+    }
+
+    #[test]
+    fn soundness_on_planar_plus_chords() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let far = nonplanar::planar_plus_chords(80, 60, &mut rng);
+        let out = PlanarityTester::new(quick_cfg(0.1)).run(&far.graph).unwrap();
+        assert!(!out.accepted(), "{:?}", far.name);
+    }
+
+    #[test]
+    fn dense_graph_rejected_in_stage1_or_2() {
+        let far = nonplanar::complete(16);
+        let out = PlanarityTester::new(quick_cfg(0.1)).run(&far.graph).unwrap();
+        assert!(!out.accepted());
+        assert!(out
+            .rejections
+            .iter()
+            .any(|&(_, r)| r == RejectReason::ArboricityEvidence));
+    }
+
+    #[test]
+    fn hint_mode_accepts_planar() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let (c, faces) = planar::apollonian_with_faces(80, &mut rng);
+        let faces: Vec<Vec<usize>> = faces.iter().map(|f| f.to_vec()).collect();
+        let rot = planartest_embed::hints::rotation_from_faces(&c.graph, &faces).unwrap();
+        let cfg = quick_cfg(0.15).with_embedding(EmbeddingMode::Hint(rot));
+        let out = PlanarityTester::new(cfg).run(&c.graph).unwrap();
+        assert!(out.accepted(), "{:?}", out.rejections);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = planar::grid(5, 5).graph;
+        let a = PlanarityTester::new(quick_cfg(0.2)).run(&g).unwrap();
+        let b = PlanarityTester::new(quick_cfg(0.2)).run(&g).unwrap();
+        assert_eq!(a.rounds(), b.rounds());
+        assert_eq!(a.stats.messages, b.stats.messages);
+    }
+
+    #[test]
+    fn outcome_accessors() {
+        let g = planar::path(8).graph;
+        let out = PlanarityTester::new(quick_cfg(0.3)).run(&g).unwrap();
+        assert!(out.accepted());
+        assert!(!out.phases.is_empty() || g.m() == 0);
+        assert_eq!(
+            RejectReason::ViolatingEdge.to_string(),
+            "violating non-tree edge"
+        );
+    }
+}

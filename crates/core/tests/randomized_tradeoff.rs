@@ -1,0 +1,44 @@
+//! Theorem 4's trade-off, end to end: the randomized partition must use
+//! substantially fewer rounds than the deterministic Stage I on the same
+//! input while reaching a comparable cut, and more trials (smaller delta)
+//! must never *hurt* the selected edge weights.
+
+use planartest_core::partition::randomized::{run_randomized_partition, RandomPartitionConfig};
+use planartest_core::partition::run_partition;
+use planartest_core::TesterConfig;
+use planartest_graph::generators::planar;
+use planartest_sim::{Engine, SimConfig};
+
+#[test]
+fn randomized_uses_fewer_rounds_at_comparable_cut() {
+    let g = planar::triangulated_grid(14, 14).graph;
+    let det_cfg = TesterConfig::new(0.1).with_phases(8);
+    let mut det_engine = Engine::new(&g, SimConfig::default());
+    let det = run_partition(&mut det_engine, &det_cfg).expect("det");
+    let det_rounds = det_engine.stats().total_rounds();
+    let det_cut = det.state.cut_weight(&g);
+
+    let rcfg = RandomPartitionConfig::new(0.1, 0.2).with_phases(8).with_seed(1);
+    let mut r_engine = Engine::new(&g, SimConfig::default());
+    let rnd = run_randomized_partition(&mut r_engine, &rcfg).expect("rand");
+    let rnd_rounds = r_engine.stats().total_rounds();
+    let rnd_cut = rnd.state.cut_weight(&g);
+
+    assert!(
+        rnd_rounds * 2 < det_rounds,
+        "randomized should be much cheaper: {rnd_rounds} vs {det_rounds}"
+    );
+    // Comparable quality: within a generous constant factor (both usually
+    // reach very small cuts; avoid div-by-zero).
+    assert!(
+        rnd_cut <= 4 * det_cut + g.m() as u64 / 10,
+        "randomized cut {rnd_cut} far worse than deterministic {det_cut}"
+    );
+}
+
+#[test]
+fn delta_monotonicity_in_trials() {
+    let loose = RandomPartitionConfig::new(0.1, 0.5);
+    let tight = RandomPartitionConfig::new(0.1, 0.01);
+    assert!(tight.trials() > loose.trials());
+}

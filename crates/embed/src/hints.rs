@@ -1,0 +1,175 @@
+//! Fast embedding constructors for graphs whose planar structure is known
+//! at generation time.
+//!
+//! The Demoucron embedder is quadratic; for large planar inputs the
+//! experiments instead attach an embedding *hint* produced here — either
+//! from straight-line coordinates (grids, road networks) or from the face
+//! list tracked during generation (Apollonian networks). Hints are always
+//! verified via the Euler formula before use, so a wrong hint cannot
+//! corrupt an experiment.
+
+use std::collections::HashMap;
+
+use planartest_graph::{EdgeId, Graph, NodeId};
+
+use crate::rotation::{RotationError, RotationSystem};
+
+/// Builds a rotation system by sorting each vertex's incident edges by the
+/// angle to the neighbour, given straight-line coordinates.
+///
+/// If the coordinates are a planar straight-line drawing (no two edges
+/// cross), the result is a planar embedding.
+///
+/// # Errors
+///
+/// Returns an error if `coords.len() != g.n()` (reported as
+/// [`RotationError::WrongLength`]).
+pub fn rotation_from_coordinates(
+    g: &Graph,
+    coords: &[(f64, f64)],
+) -> Result<RotationSystem, RotationError> {
+    if coords.len() != g.n() {
+        return Err(RotationError::WrongLength { got: coords.len(), expected: g.n() });
+    }
+    let mut orders = Vec::with_capacity(g.n());
+    for v in g.nodes() {
+        let (vx, vy) = coords[v.index()];
+        let mut incident: Vec<(f64, EdgeId)> = g
+            .neighbors(v)
+            .iter()
+            .map(|&(w, e)| {
+                let (wx, wy) = coords[w.index()];
+                ((wy - vy).atan2(wx - vx), e)
+            })
+            .collect();
+        incident.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("angles are finite"));
+        orders.push(incident.into_iter().map(|(_, e)| e).collect());
+    }
+    RotationSystem::new(g, orders)
+}
+
+/// Builds a rotation system from an oriented face list covering each
+/// directed edge exactly once (e.g. the triangle list maintained while
+/// generating an Apollonian network).
+///
+/// Returns `None` if the faces are inconsistent (some dart missing,
+/// duplicated, or a vertex's corners do not close into a single cycle).
+pub fn rotation_from_faces(g: &Graph, faces: &[Vec<usize>]) -> Option<RotationSystem> {
+    // next[(v, incoming edge)] = outgoing edge.
+    let mut next: HashMap<(u32, u32), u32> = HashMap::new();
+    for f in faces {
+        let k = f.len();
+        if k < 3 {
+            return None;
+        }
+        for i in 0..k {
+            let p = NodeId::new(f[i]);
+            let v = NodeId::new(f[(i + 1) % k]);
+            let s = NodeId::new(f[(i + 2) % k]);
+            let e_in = g.edge_between(p, v)?;
+            let e_out = g.edge_between(v, s)?;
+            if next.insert((v.raw(), e_in.raw()), e_out.raw()).is_some() {
+                return None;
+            }
+        }
+    }
+    let mut orders = Vec::with_capacity(g.n());
+    for v in g.nodes() {
+        let deg = g.degree(v);
+        let mut order = Vec::with_capacity(deg);
+        if deg > 0 {
+            let first = g.neighbors(v)[0].1;
+            let mut e = first;
+            loop {
+                order.push(e);
+                e = EdgeId::from(*next.get(&(v.raw(), e.raw()))?);
+                if e == first {
+                    break;
+                }
+                if order.len() > deg {
+                    return None;
+                }
+            }
+            if order.len() != deg {
+                return None;
+            }
+        }
+        orders.push(order);
+    }
+    RotationSystem::new(g, orders).ok()
+}
+
+/// Grid coordinates for a `rows × cols` grid numbered row-major — the
+/// companion of [`rotation_from_coordinates`] for the grid generators.
+pub fn grid_coordinates(rows: usize, cols: usize) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(rows * cols);
+    for r in 0..rows {
+        for c in 0..cols {
+            out.push((c as f64, r as f64));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planartest_graph::generators::planar;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn grid_coordinates_give_planar_embedding() {
+        let g = planar::grid(7, 9).graph;
+        let rot = rotation_from_coordinates(&g, &grid_coordinates(7, 9)).unwrap();
+        assert!(rot.is_planar_embedding(&g));
+    }
+
+    #[test]
+    fn triangulated_grid_coordinates_planar() {
+        let g = planar::triangulated_grid(6, 6).graph;
+        let rot = rotation_from_coordinates(&g, &grid_coordinates(6, 6)).unwrap();
+        assert!(rot.is_planar_embedding(&g));
+    }
+
+    #[test]
+    fn wrong_coordinate_count_rejected() {
+        let g = planar::grid(2, 2).graph;
+        assert!(rotation_from_coordinates(&g, &[(0.0, 0.0)]).is_err());
+    }
+
+    #[test]
+    fn apollonian_faces_give_planar_embedding() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let (c, faces) = planar::apollonian_with_faces(120, &mut rng);
+        let faces: Vec<Vec<usize>> = faces.iter().map(|f| f.to_vec()).collect();
+        let rot = rotation_from_faces(&c.graph, &faces).expect("faces are consistent");
+        assert!(rot.is_planar_embedding(&c.graph));
+    }
+
+    #[test]
+    fn bogus_faces_rejected() {
+        let g = planar::grid(2, 2).graph;
+        // A "face" using a non-edge.
+        assert!(rotation_from_faces(&g, &[vec![0, 3, 1]]).is_none());
+        // Too-short face.
+        assert!(rotation_from_faces(&g, &[vec![0, 1]]).is_none());
+        // Incomplete cover (misses darts).
+        assert!(rotation_from_faces(&g, &[vec![0, 1, 3, 2]]).is_none());
+    }
+
+    #[test]
+    fn nonplanar_coordinates_detected_by_genus() {
+        // K5 with any coordinates: the angular rotation exists but can
+        // never verify as planar.
+        let g = planartest_graph::generators::nonplanar::complete(5).graph;
+        let coords: Vec<(f64, f64)> = (0..5)
+            .map(|i| {
+                let a = i as f64 * std::f64::consts::TAU / 5.0;
+                (a.cos(), a.sin())
+            })
+            .collect();
+        let rot = rotation_from_coordinates(&g, &coords).unwrap();
+        assert!(!rot.is_planar_embedding(&g));
+    }
+}

@@ -1,0 +1,224 @@
+//! Arboricity and degeneracy bounds.
+//!
+//! Planar graphs have arboricity at most 3 (the constant `α` in Stage I of
+//! the tester). We provide the degeneracy ordering (core decomposition) —
+//! which sandwiches arboricity as `⌈degeneracy/2⌉ ≤ arboricity ≤
+//! degeneracy` — plus the Nash–Williams density lower bound, and the
+//! Barenboim–Elkin style peeling certificate used by the distributed
+//! algorithm.
+
+use crate::{Graph, NodeId};
+
+/// The degeneracy of `g`: the maximum over subgraphs of the minimum degree,
+/// computed with the classic bucket peeling in `O(n + m)`.
+///
+/// Also returns a peeling order witnessing it (each node has at most
+/// `degeneracy` neighbours later in the order).
+pub fn degeneracy(g: &Graph) -> (usize, Vec<NodeId>) {
+    let n = g.n();
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(NodeId::new(v))).collect();
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); maxd + 1];
+    for (v, &d) in deg.iter().enumerate() {
+        buckets[d].push(v);
+    }
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degen = 0usize;
+    let mut cur = 0usize;
+    for _ in 0..n {
+        // Pop the next live entry from the lowest non-empty bucket. Stale
+        // entries (degree changed or node already removed) are skipped;
+        // `cur` only moves down when a neighbour's degree drops below it.
+        let v = loop {
+            if cur > maxd {
+                unreachable!("n nodes must be peelable");
+            }
+            match buckets[cur].pop() {
+                Some(v) if !removed[v] && deg[v] == cur => break v,
+                Some(_) => continue,
+                None => cur += 1,
+            }
+        };
+        removed[v] = true;
+        degen = degen.max(deg[v]);
+        order.push(NodeId::new(v));
+        for &(w, _) in g.neighbors(NodeId::new(v)) {
+            let wi = w.index();
+            if !removed[wi] {
+                deg[wi] -= 1;
+                buckets[deg[wi]].push(wi);
+                if deg[wi] < cur {
+                    cur = deg[wi];
+                }
+            }
+        }
+    }
+    (degen, order)
+}
+
+/// Nash–Williams lower bound on arboricity from the global density:
+/// `⌈m / (n − 1)⌉` for `n ≥ 2` (any subgraph would only increase it).
+pub fn density_lower_bound(g: &Graph) -> usize {
+    if g.n() < 2 {
+        0
+    } else {
+        g.m().div_ceil(g.n() - 1)
+    }
+}
+
+/// Outcome of the Barenboim–Elkin peeling process with threshold `3α`:
+/// repeatedly deactivate nodes with at most `3α` active neighbours, for at
+/// most `rounds` rounds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeelingOutcome {
+    /// Round in which each node became inactive (`None` = still active).
+    pub inactive_round: Vec<Option<u32>>,
+    /// Number of nodes still active after the allotted rounds.
+    pub survivors: usize,
+}
+
+/// Centralized reference implementation of the \[2\]-style peeling used by
+/// the distributed forest-decomposition step (a test oracle for it).
+///
+/// If `g` has arboricity ≤ `alpha`, every node becomes inactive within
+/// `O(log n)` rounds; a survivor certifies arboricity > `alpha`.
+pub fn peel(g: &Graph, alpha: usize, rounds: u32) -> PeelingOutcome {
+    let n = g.n();
+    let mut inactive_round = vec![None; n];
+    let mut active_deg: Vec<usize> = (0..n).map(|v| g.degree(NodeId::new(v))).collect();
+    let mut active: Vec<bool> = vec![true; n];
+    let mut survivors = n;
+    for r in 0..rounds {
+        let peeled: Vec<usize> = (0..n)
+            .filter(|&v| active[v] && active_deg[v] <= 3 * alpha)
+            .collect();
+        if peeled.is_empty() {
+            break;
+        }
+        for &v in &peeled {
+            active[v] = false;
+            inactive_round[v] = Some(r);
+            survivors -= 1;
+        }
+        for &v in &peeled {
+            for &(w, _) in g.neighbors(NodeId::new(v)) {
+                if active[w.index()] {
+                    active_deg[w.index()] -= 1;
+                }
+            }
+        }
+        if survivors == 0 {
+            break;
+        }
+    }
+    PeelingOutcome { inactive_round, survivors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degeneracy_of_tree_is_one() {
+        let g = Graph::from_edges(6, [(0, 1), (0, 2), (1, 3), (1, 4), (2, 5)]).unwrap();
+        let (d, order) = degeneracy(&g);
+        assert_eq!(d, 1);
+        assert_eq!(order.len(), 6);
+    }
+
+    #[test]
+    fn degeneracy_of_complete_graph() {
+        let n = 6;
+        let g = Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))))
+            .unwrap();
+        let (d, _) = degeneracy(&g);
+        assert_eq!(d, n - 1);
+    }
+
+    #[test]
+    fn degeneracy_order_witnesses() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 2), (3, 4)]).unwrap();
+        let (d, order) = degeneracy(&g);
+        let mut pos = vec![0usize; g.n()];
+        for (i, &v) in order.iter().enumerate() {
+            pos[v.index()] = i;
+        }
+        for v in g.nodes() {
+            let later = g
+                .neighbors(v)
+                .iter()
+                .filter(|&&(w, _)| pos[w.index()] > pos[v.index()])
+                .count();
+            assert!(later <= d, "node {v:?} has {later} later neighbours, degeneracy {d}");
+        }
+    }
+
+    #[test]
+    fn density_bounds() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(density_lower_bound(&g), 2); // K4: 6 / 3
+        assert_eq!(density_lower_bound(&Graph::empty(1)), 0);
+        assert_eq!(density_lower_bound(&Graph::empty(0)), 0);
+    }
+
+    #[test]
+    fn peel_planar_terminates() {
+        // A 10x10 grid (planar, arboricity <= 3) peels out completely.
+        let mut edges = Vec::new();
+        let idx = |r: usize, c: usize| r * 10 + c;
+        for r in 0..10 {
+            for c in 0..10 {
+                if c + 1 < 10 {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < 10 {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+            }
+        }
+        let g = Graph::from_edges(100, edges).unwrap();
+        let out = peel(&g, 3, 30);
+        assert_eq!(out.survivors, 0);
+        assert!(out.inactive_round.iter().all(Option::is_some));
+    }
+
+    #[test]
+    fn peel_dense_graph_survives() {
+        // K12 has min degree 11 > 9 = 3*3: nobody ever peels.
+        let n = 12;
+        let g = Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))))
+            .unwrap();
+        let out = peel(&g, 3, 50);
+        assert_eq!(out.survivors, n);
+    }
+
+    #[test]
+    fn peel_constant_fraction_per_round() {
+        // On a planar graph, each round must peel >= a constant fraction
+        // (here we just check it finishes within c*log n rounds).
+        let mut edges = Vec::new();
+        let k = 40usize;
+        let idx = |r: usize, c: usize| r * k + c;
+        for r in 0..k {
+            for c in 0..k {
+                if c + 1 < k {
+                    edges.push((idx(r, c), idx(r, c + 1)));
+                }
+                if r + 1 < k {
+                    edges.push((idx(r, c), idx(r + 1, c)));
+                }
+                if c + 1 < k && r + 1 < k {
+                    edges.push((idx(r, c), idx(r + 1, c + 1)));
+                }
+            }
+        }
+        let g = Graph::from_edges(k * k, edges).unwrap();
+        let rounds = 4 * (k * k).ilog2();
+        let out = peel(&g, 3, rounds);
+        assert_eq!(out.survivors, 0);
+    }
+}

@@ -1,0 +1,253 @@
+//! Breadth-first search trees and distance computations.
+
+use std::collections::VecDeque;
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// A BFS tree rooted at a node, restricted to the root's connected
+/// component.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::{Graph, NodeId};
+/// use planartest_graph::algo::bfs::BfsTree;
+///
+/// let g = Graph::from_edges(4, [(0, 1), (1, 2), (0, 3)])?;
+/// let t = BfsTree::build(&g, NodeId::new(0));
+/// assert_eq!(t.level(NodeId::new(2)), Some(2));
+/// assert_eq!(t.parent(NodeId::new(2)), Some(NodeId::new(1)));
+/// assert_eq!(t.parent(NodeId::new(0)), None);
+/// # Ok::<(), planartest_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    level: Vec<Option<u32>>,
+    /// Nodes of the component in BFS visit order (root first).
+    order: Vec<NodeId>,
+}
+
+impl BfsTree {
+    /// Runs BFS over the whole graph from `root`.
+    pub fn build(g: &Graph, root: NodeId) -> Self {
+        Self::build_filtered(g, root, |_| true)
+    }
+
+    /// Runs BFS from `root`, traversing only nodes for which
+    /// `allow(node)` is true. The root is always allowed.
+    pub fn build_filtered<F>(g: &Graph, root: NodeId, mut allow: F) -> Self
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        let n = g.n();
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut level = vec![None; n];
+        let mut order = Vec::new();
+        let mut q = VecDeque::new();
+        level[root.index()] = Some(0);
+        order.push(root);
+        q.push_back(root);
+        while let Some(u) = q.pop_front() {
+            let lu = level[u.index()].expect("queued nodes have levels");
+            for &(w, e) in g.neighbors(u) {
+                if level[w.index()].is_none() && allow(w) {
+                    level[w.index()] = Some(lu + 1);
+                    parent[w.index()] = Some(u);
+                    parent_edge[w.index()] = Some(e);
+                    order.push(w);
+                    q.push_back(w);
+                }
+            }
+        }
+        BfsTree { root, parent, parent_edge, level, order }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// BFS level (distance from root), or `None` if unreachable.
+    pub fn level(&self, v: NodeId) -> Option<u32> {
+        self.level[v.index()]
+    }
+
+    /// BFS parent, or `None` for the root and unreachable nodes.
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// The edge to the BFS parent, or `None` for root/unreachable nodes.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Whether `v` was reached from the root.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.level[v.index()].is_some()
+    }
+
+    /// Nodes of the root's component in BFS order (root first).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of reached nodes (including the root).
+    pub fn component_size(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Maximum level over reached nodes (the *eccentricity* of the root
+    /// within its component).
+    pub fn height(&self) -> u32 {
+        self.order
+            .iter()
+            .map(|&v| self.level[v.index()].expect("ordered nodes have levels"))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Whether edge `e = (u, v)` is a tree edge of this BFS tree.
+    pub fn is_tree_edge(&self, g: &Graph, e: EdgeId) -> bool {
+        let (u, v) = g.endpoints(e);
+        self.parent_edge(u) == Some(e) || self.parent_edge(v) == Some(e)
+    }
+
+    /// The path from `v` up to the root (inclusive), or `None` if `v` is
+    /// unreachable.
+    pub fn path_to_root(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        if !self.reached(v) {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        Some(path)
+    }
+}
+
+/// Single-source distances via BFS; `None` for unreachable nodes.
+pub fn distances(g: &Graph, src: NodeId) -> Vec<Option<u32>> {
+    let t = BfsTree::build(g, src);
+    g.nodes().map(|v| t.level(v)).collect()
+}
+
+/// Exact diameter of the component containing `src` (two-phase BFS gives a
+/// lower bound; this does all-pairs from every node of the component, so it
+/// is exact but `O(n·m)` — intended for oracles and tests).
+pub fn component_diameter(g: &Graph, src: NodeId) -> u32 {
+    let t = BfsTree::build(g, src);
+    let mut diam = 0;
+    for &v in t.order() {
+        diam = diam.max(BfsTree::build_filtered(g, v, |w| t.reached(w)).height());
+    }
+    diam
+}
+
+/// Fast 2-approximation of the diameter of `src`'s component: the height of
+/// a BFS tree from the farthest node found by a first BFS.
+pub fn approx_diameter(g: &Graph, src: NodeId) -> u32 {
+    let t = BfsTree::build(g, src);
+    let far = t
+        .order()
+        .iter()
+        .copied()
+        .max_by_key(|&v| t.level(v).unwrap_or(0))
+        .unwrap_or(src);
+    BfsTree::build_filtered(g, far, |w| t.reached(w)).height()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap()
+    }
+
+    #[test]
+    fn bfs_levels_on_path() {
+        let g = path_graph(5);
+        let t = BfsTree::build(&g, NodeId::new(0));
+        for v in 0..5 {
+            assert_eq!(t.level(NodeId::new(v)), Some(v as u32));
+        }
+        assert_eq!(t.height(), 4);
+        assert_eq!(t.component_size(), 5);
+    }
+
+    #[test]
+    fn bfs_parent_edges_consistent() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)]).unwrap();
+        let t = BfsTree::build(&g, NodeId::new(0));
+        for v in g.nodes() {
+            if let Some(p) = t.parent(v) {
+                let e = t.parent_edge(v).unwrap();
+                let (a, b) = g.endpoints(e);
+                assert!((a, b) == (p.min(v), p.max(v)));
+                assert_eq!(t.level(v).unwrap(), t.level(p).unwrap() + 1);
+                assert!(t.is_tree_edge(&g, e));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_disconnected() {
+        let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
+        let t = BfsTree::build(&g, NodeId::new(0));
+        assert!(t.reached(NodeId::new(1)));
+        assert!(!t.reached(NodeId::new(2)));
+        assert_eq!(t.level(NodeId::new(3)), None);
+        assert_eq!(t.component_size(), 2);
+        assert_eq!(t.path_to_root(NodeId::new(3)), None);
+    }
+
+    #[test]
+    fn bfs_filtered_respects_mask() {
+        let g = path_graph(5);
+        let t = BfsTree::build_filtered(&g, NodeId::new(0), |v| v.index() != 2);
+        assert!(t.reached(NodeId::new(1)));
+        assert!(!t.reached(NodeId::new(2)));
+        assert!(!t.reached(NodeId::new(3)));
+    }
+
+    #[test]
+    fn path_to_root_is_descending() {
+        let g = path_graph(4);
+        let t = BfsTree::build(&g, NodeId::new(0));
+        let p = t.path_to_root(NodeId::new(3)).unwrap();
+        assert_eq!(p.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn diameters() {
+        let g = path_graph(6);
+        assert_eq!(component_diameter(&g, NodeId::new(2)), 5);
+        assert_eq!(approx_diameter(&g, NodeId::new(2)), 5);
+        let c = Graph::from_edges(6, (0..6).map(|i| (i, (i + 1) % 6))).unwrap();
+        assert_eq!(component_diameter(&c, NodeId::new(0)), 3);
+    }
+
+    #[test]
+    fn distances_match_levels() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        let d = distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn single_node() {
+        let g = Graph::empty(1);
+        let t = BfsTree::build(&g, NodeId::new(0));
+        assert_eq!(t.height(), 0);
+        assert_eq!(t.component_size(), 1);
+        assert_eq!(t.root(), NodeId::new(0));
+    }
+}

@@ -1,0 +1,127 @@
+//! Connected components.
+
+use crate::algo::union_find::UnionFind;
+use crate::{Graph, NodeId};
+
+/// Connected-component labelling of a graph.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::Graph;
+/// use planartest_graph::algo::components::Components;
+///
+/// let g = Graph::from_edges(5, [(0, 1), (2, 3)])?;
+/// let cc = Components::build(&g);
+/// assert_eq!(cc.count(), 3);
+/// assert_eq!(cc.component_of(0.into()), cc.component_of(1.into()));
+/// assert_ne!(cc.component_of(0.into()), cc.component_of(4.into()));
+/// # Ok::<(), planartest_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Components {
+    label: Vec<u32>,
+    count: usize,
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Labels every node with a dense component index in `0..count`.
+    pub fn build(g: &Graph) -> Self {
+        let mut uf = UnionFind::new(g.n());
+        for (u, v) in g.edges() {
+            uf.union(u.index(), v.index());
+        }
+        let mut label = vec![u32::MAX; g.n()];
+        let mut sizes = Vec::new();
+        for v in 0..g.n() {
+            let r = uf.find(v);
+            if label[r] == u32::MAX {
+                label[r] = sizes.len() as u32;
+                sizes.push(0);
+            }
+            label[v] = label[r];
+            sizes[label[v] as usize] += 1;
+        }
+        let count = sizes.len();
+        Components { label, count, sizes }
+    }
+
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Dense component index of `v`.
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.label[v.index()] as usize
+    }
+
+    /// Size of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= count()`.
+    pub fn size(&self, c: usize) -> usize {
+        self.sizes[c]
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Whether the whole graph is one connected component.
+    pub fn is_connected(&self) -> bool {
+        self.count <= 1
+    }
+}
+
+/// Convenience: whether `g` is connected (vacuously true for `n <= 1`).
+pub fn is_connected(g: &Graph) -> bool {
+    Components::build(g).is_connected()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_isolated() {
+        let g = Graph::empty(4);
+        let cc = Components::build(&g);
+        assert_eq!(cc.count(), 4);
+        assert_eq!(cc.largest(), 1);
+        assert!(!cc.is_connected());
+    }
+
+    #[test]
+    fn one_component() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        assert!(is_connected(&g));
+        let cc = Components::build(&g);
+        assert_eq!(cc.count(), 1);
+        assert_eq!(cc.size(0), 4);
+    }
+
+    #[test]
+    fn two_components_with_sizes() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let cc = Components::build(&g);
+        assert_eq!(cc.count(), 2);
+        let a = cc.component_of(NodeId::new(0));
+        let b = cc.component_of(NodeId::new(3));
+        assert_ne!(a, b);
+        assert_eq!(cc.size(a), 3);
+        assert_eq!(cc.size(b), 2);
+        assert_eq!(cc.largest(), 3);
+    }
+
+    #[test]
+    fn empty_graph_connected() {
+        let g = Graph::empty(0);
+        assert!(is_connected(&g));
+        let g1 = Graph::empty(1);
+        assert!(is_connected(&g1));
+    }
+}

@@ -1,0 +1,119 @@
+//! Iterative depth-first search.
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// Result of a DFS traversal from a single root.
+#[derive(Debug, Clone)]
+pub struct DfsTree {
+    root: NodeId,
+    parent: Vec<Option<NodeId>>,
+    parent_edge: Vec<Option<EdgeId>>,
+    /// Preorder discovery index, `None` if unreachable.
+    pre: Vec<Option<u32>>,
+    order: Vec<NodeId>,
+}
+
+impl DfsTree {
+    /// Runs an iterative DFS from `root` over the root's component.
+    pub fn build(g: &Graph, root: NodeId) -> Self {
+        let n = g.n();
+        let mut parent = vec![None; n];
+        let mut parent_edge = vec![None; n];
+        let mut pre = vec![None; n];
+        let mut order = Vec::new();
+        // Stack of (node, index into neighbour list).
+        let mut stack: Vec<(NodeId, usize)> = Vec::new();
+        pre[root.index()] = Some(0);
+        order.push(root);
+        stack.push((root, 0));
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            let nbrs = g.neighbors(u);
+            if *i >= nbrs.len() {
+                stack.pop();
+                continue;
+            }
+            let (w, e) = nbrs[*i];
+            *i += 1;
+            if pre[w.index()].is_none() {
+                pre[w.index()] = Some(order.len() as u32);
+                parent[w.index()] = Some(u);
+                parent_edge[w.index()] = Some(e);
+                order.push(w);
+                stack.push((w, 0));
+            }
+        }
+        DfsTree { root, parent, parent_edge, pre, order }
+    }
+
+    /// The DFS root.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// DFS parent of `v` (`None` for root/unreachable).
+    pub fn parent(&self, v: NodeId) -> Option<NodeId> {
+        self.parent[v.index()]
+    }
+
+    /// Edge to the DFS parent.
+    pub fn parent_edge(&self, v: NodeId) -> Option<EdgeId> {
+        self.parent_edge[v.index()]
+    }
+
+    /// Preorder (discovery) index of `v`.
+    pub fn preorder(&self, v: NodeId) -> Option<u32> {
+        self.pre[v.index()]
+    }
+
+    /// Whether `v` was reached.
+    pub fn reached(&self, v: NodeId) -> bool {
+        self.pre[v.index()].is_some()
+    }
+
+    /// Nodes in discovery order (root first).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dfs_reaches_component() {
+        let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (3, 4)]).unwrap();
+        let t = DfsTree::build(&g, NodeId::new(0));
+        assert!(t.reached(NodeId::new(2)));
+        assert!(!t.reached(NodeId::new(3)));
+        assert_eq!(t.order().len(), 3);
+        assert_eq!(t.root(), NodeId::new(0));
+    }
+
+    #[test]
+    fn dfs_parents_form_tree() {
+        let g = Graph::from_edges(5, [(0, 1), (0, 2), (1, 3), (2, 4), (3, 4)]).unwrap();
+        let t = DfsTree::build(&g, NodeId::new(0));
+        let mut tree_edges = 0;
+        for v in g.nodes() {
+            if let Some(p) = t.parent(v) {
+                tree_edges += 1;
+                assert!(t.preorder(p).unwrap() < t.preorder(v).unwrap());
+                let e = t.parent_edge(v).unwrap();
+                let (a, b) = g.endpoints(e);
+                assert!((a == p && b == v) || (a == v && b == p));
+            }
+        }
+        assert_eq!(tree_edges, 4);
+    }
+
+    #[test]
+    fn dfs_deep_path_no_overflow() {
+        // Iterative DFS must handle long paths without stack overflow.
+        let n = 100_000;
+        let g = Graph::from_edges(n, (0..n - 1).map(|i| (i, i + 1))).unwrap();
+        let t = DfsTree::build(&g, NodeId::new(0));
+        assert_eq!(t.order().len(), n);
+        assert_eq!(t.preorder(NodeId::new(n - 1)), Some((n - 1) as u32));
+    }
+}

@@ -1,0 +1,251 @@
+//! Girth (shortest cycle) computation and short-cycle elimination.
+//!
+//! Used by the lower-bound construction of Theorem 2: the `G(n, p)` graph
+//! must have every cycle shorter than `log(n)/c` broken by removing one
+//! edge per cycle (Claim 12).
+
+use std::collections::VecDeque;
+
+use crate::{EdgeId, Graph, NodeId};
+
+/// Returns the girth of `g` (length of its shortest cycle), or `None` if
+/// `g` is a forest.
+///
+/// Runs a truncated BFS from every node: `O(n·m)` worst case, fine for the
+/// experiment sizes here.
+pub fn girth(g: &Graph) -> Option<u32> {
+    let mut best: Option<u32> = None;
+    let mut dist = vec![u32::MAX; g.n()];
+    let mut par = vec![u32::MAX; g.n()];
+    let mut touched: Vec<usize> = Vec::new();
+    for s in g.nodes() {
+        let cap = best.map(|b| b / 2).unwrap_or(u32::MAX);
+        let mut q = VecDeque::new();
+        dist[s.index()] = 0;
+        par[s.index()] = u32::MAX;
+        touched.push(s.index());
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            let du = dist[u.index()];
+            if du >= cap {
+                break;
+            }
+            for &(w, _) in g.neighbors(u) {
+                if dist[w.index()] == u32::MAX {
+                    dist[w.index()] = du + 1;
+                    par[w.index()] = u.raw();
+                    touched.push(w.index());
+                    q.push_back(w);
+                } else if par[u.index()] != w.raw() {
+                    // Cycle through s of length dist(u) + dist(w) + 1.
+                    let len = du + dist[w.index()] + 1;
+                    best = Some(best.map_or(len, |b| b.min(len)));
+                }
+            }
+        }
+        for &t in &touched {
+            dist[t] = u32::MAX;
+            par[t] = u32::MAX;
+        }
+        touched.clear();
+    }
+    best
+}
+
+/// Finds a cycle of length `< bound` if one exists, returned as a list of
+/// edge ids, or `None` otherwise.
+pub fn find_short_cycle(g: &Graph, bound: u32) -> Option<Vec<EdgeId>> {
+    if bound <= 3 {
+        // A simple graph has no cycle of length < 3.
+        return None;
+    }
+    for s in g.nodes() {
+        if let Some(cycle) = short_cycle_from(g, s, bound) {
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+/// Truncated BFS from `s`; on finding a non-tree edge closing a cycle of
+/// length `< bound` *through levels seen so far*, reconstructs it.
+fn short_cycle_from(g: &Graph, s: NodeId, bound: u32) -> Option<Vec<EdgeId>> {
+    let n = g.n();
+    let mut dist = vec![u32::MAX; n];
+    let mut parent = vec![None::<(NodeId, EdgeId)>; n];
+    let mut q = VecDeque::new();
+    dist[s.index()] = 0;
+    q.push_back(s);
+    while let Some(u) = q.pop_front() {
+        let du = dist[u.index()];
+        if 2 * du + 1 >= bound {
+            break;
+        }
+        for &(w, e) in g.neighbors(u) {
+            if dist[w.index()] == u32::MAX {
+                dist[w.index()] = du + 1;
+                parent[w.index()] = Some((u, e));
+                q.push_back(w);
+            } else if parent[u.index()].map(|(p, _)| p) != Some(w)
+                && dist[w.index()] + du + 1 < bound
+            {
+                // Reconstruct the closed walk u -> s -> w plus edge (w, u);
+                // trim at the lowest common prefix to get a simple cycle.
+                return Some(reconstruct_cycle(g, &parent, u, w, e));
+            }
+        }
+    }
+    None
+}
+
+fn reconstruct_cycle(
+    g: &Graph,
+    parent: &[Option<(NodeId, EdgeId)>],
+    u: NodeId,
+    w: NodeId,
+    closing: EdgeId,
+) -> Vec<EdgeId> {
+    let path = |mut v: NodeId| {
+        let mut nodes = vec![v];
+        let mut edges = Vec::new();
+        while let Some((p, e)) = parent[v.index()] {
+            nodes.push(p);
+            edges.push(e);
+            v = p;
+        }
+        (nodes, edges)
+    };
+    let (nu, eu) = path(u);
+    let (nw, ew) = path(w);
+    // Find the lowest common ancestor: deepest node present in both paths.
+    let mut on_u = vec![false; g.n()];
+    for &x in &nu {
+        on_u[x.index()] = true;
+    }
+    let mut lca_pos_w = nw.len() - 1;
+    for (i, &x) in nw.iter().enumerate() {
+        if on_u[x.index()] {
+            lca_pos_w = i;
+            break;
+        }
+    }
+    let lca = nw[lca_pos_w];
+    let lca_pos_u = nu.iter().position(|&x| x == lca).expect("lca on both paths");
+    let mut cycle = Vec::with_capacity(lca_pos_u + lca_pos_w + 1);
+    cycle.extend_from_slice(&eu[..lca_pos_u]);
+    cycle.extend_from_slice(&ew[..lca_pos_w]);
+    cycle.push(closing);
+    cycle
+}
+
+/// Removes one edge from each cycle of length `< bound` (Claim 12's
+/// operation), returning the new graph and the number of removed edges.
+///
+/// Iterates "find a short cycle, delete one of its edges" until no cycle
+/// shorter than `bound` remains.
+pub fn break_short_cycles(g: &Graph, bound: u32) -> (Graph, usize) {
+    let mut removed = vec![false; g.m()];
+    let mut removed_count = 0;
+    let mut cur = g.clone();
+    // Map from current edge ids back to original ids.
+    let mut back: Vec<EdgeId> = g.edge_ids().collect();
+    loop {
+        match find_short_cycle(&cur, bound) {
+            None => break,
+            Some(cycle) => {
+                let victim = cycle[0];
+                removed[back[victim.index()].index()] = true;
+                removed_count += 1;
+                let (next, map) = cur.edge_subgraph(|e| e != victim);
+                back = map.iter().map(|&e| back[e.index()]).collect();
+                cur = next;
+            }
+        }
+    }
+    (cur, removed_count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle_graph(n: usize) -> Graph {
+        Graph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).unwrap()
+    }
+
+    #[test]
+    fn girth_of_cycles() {
+        for n in [3usize, 4, 5, 8, 13] {
+            assert_eq!(girth(&cycle_graph(n)), Some(n as u32), "C{n}");
+        }
+    }
+
+    #[test]
+    fn girth_of_forest_none() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (1, 3), (3, 4)]).unwrap();
+        assert_eq!(girth(&g), None);
+        assert!(find_short_cycle(&g, 100).is_none());
+    }
+
+    #[test]
+    fn girth_of_k4() {
+        let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn girth_two_cycles_takes_min() {
+        // C3 and C5 sharing nothing.
+        let mut edges: Vec<(usize, usize)> = vec![(0, 1), (1, 2), (2, 0)];
+        edges.extend((3..8).map(|i| (i, if i == 7 { 3 } else { i + 1 })));
+        let g = Graph::from_edges(8, edges).unwrap();
+        assert_eq!(girth(&g), Some(3));
+    }
+
+    #[test]
+    fn find_short_cycle_returns_valid_cycle() {
+        let g = cycle_graph(6);
+        let c = find_short_cycle(&g, 7).expect("C6 has a cycle shorter than 7");
+        assert_eq!(c.len(), 6);
+        // Cycle validity: every node incident to exactly 0 or 2 cycle edges.
+        let mut deg = vec![0; g.n()];
+        for &e in &c {
+            let (u, v) = g.endpoints(e);
+            deg[u.index()] += 1;
+            deg[v.index()] += 1;
+        }
+        assert!(deg.iter().all(|&d| d == 0 || d == 2));
+    }
+
+    #[test]
+    fn find_short_cycle_respects_bound() {
+        let g = cycle_graph(6);
+        assert!(find_short_cycle(&g, 6).is_none());
+        assert!(find_short_cycle(&g, 7).is_some());
+    }
+
+    #[test]
+    fn break_short_cycles_raises_girth() {
+        // Two triangles sharing a vertex plus a C7.
+        let mut edges = vec![(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)];
+        edges.extend((5..12).map(|i| (i, if i == 11 { 5 } else { i + 1 })));
+        let g = Graph::from_edges(12, edges).unwrap();
+        let (h, removed) = break_short_cycles(&g, 6);
+        assert_eq!(removed, 2);
+        match girth(&h) {
+            None => {}
+            Some(girth) => assert!(girth >= 6, "girth {girth}"),
+        }
+    }
+
+    #[test]
+    fn break_short_cycles_noop_on_high_girth() {
+        let g = cycle_graph(10);
+        let (h, removed) = break_short_cycles(&g, 10);
+        assert_eq!(removed, 0);
+        assert_eq!(h.m(), 10);
+        let (h2, removed2) = break_short_cycles(&g, 11);
+        assert_eq!(removed2, 1);
+        assert_eq!(h2.m(), 9);
+    }
+}

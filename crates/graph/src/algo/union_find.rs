@@ -1,0 +1,125 @@
+//! Disjoint-set union (union-find) with path compression and union by rank.
+
+/// Disjoint-set forest over `0..n`.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::algo::union_find::UnionFind;
+///
+/// let mut uf = UnionFind::new(4);
+/// assert!(uf.union(0, 1));
+/// assert!(!uf.union(1, 0)); // already joined
+/// assert!(uf.same(0, 1));
+/// assert!(!uf.same(0, 2));
+/// assert_eq!(uf.set_count(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+    sets: usize,
+}
+
+impl UnionFind {
+    /// Creates `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+            sets: n,
+        }
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: usize) -> usize {
+        let mut r = x;
+        while self.parent[r] as usize != r {
+            r = self.parent[r] as usize;
+        }
+        // Path compression.
+        let mut cur = x;
+        while self.parent[cur] as usize != cur {
+            let next = self.parent[cur] as usize;
+            self.parent[cur] = r as u32;
+            cur = next;
+        }
+        r
+    }
+
+    /// Merges the sets of `x` and `y`; returns `true` if they were distinct.
+    pub fn union(&mut self, x: usize, y: usize) -> bool {
+        let (rx, ry) = (self.find(x), self.find(y));
+        if rx == ry {
+            return false;
+        }
+        let (hi, lo) = if self.rank[rx] >= self.rank[ry] { (rx, ry) } else { (ry, rx) };
+        self.parent[lo] = hi as u32;
+        if self.rank[hi] == self.rank[lo] {
+            self.rank[hi] += 1;
+        }
+        self.sets -= 1;
+        true
+    }
+
+    /// Whether `x` and `y` are in the same set.
+    pub fn same(&mut self, x: usize, y: usize) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// Number of disjoint sets.
+    pub fn set_count(&self) -> usize {
+        self.sets
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(3);
+        assert_eq!(uf.set_count(), 3);
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+        }
+        assert_eq!(uf.len(), 3);
+        assert!(!uf.is_empty());
+    }
+
+    #[test]
+    fn chain_unions() {
+        let mut uf = UnionFind::new(10);
+        for i in 0..9 {
+            assert!(uf.union(i, i + 1));
+        }
+        assert_eq!(uf.set_count(), 1);
+        assert!(uf.same(0, 9));
+    }
+
+    #[test]
+    fn union_idempotent() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(2, 1));
+        assert_eq!(uf.set_count(), 3);
+    }
+
+    #[test]
+    fn empty() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.set_count(), 0);
+    }
+}

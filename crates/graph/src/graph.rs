@@ -1,0 +1,517 @@
+//! Core graph representation: an immutable, undirected simple graph.
+
+use std::fmt;
+
+/// Identifier of a node in a [`Graph`].
+///
+/// Node ids are dense indices in `0..g.n()`. In the CONGEST model each node
+/// knows its own id and learns neighbours' ids over edges; ids fit in a
+/// single `O(log n)`-bit message word.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index exceeds u32"))
+    }
+
+    /// Returns the dense index of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value (useful for packing into messages).
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of an undirected edge in a [`Graph`].
+///
+/// Edge ids are dense indices in `0..g.m()`, in the order edges were added.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(u32);
+
+impl EdgeId {
+    /// Creates an edge id from a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        EdgeId(u32::try_from(index).expect("edge index exceeds u32"))
+    }
+
+    /// Returns the dense index of this edge.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl From<u32> for EdgeId {
+    fn from(v: u32) -> Self {
+        EdgeId(v)
+    }
+}
+
+/// Error produced when constructing an invalid [`Graph`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange {
+        /// The offending endpoint.
+        node: usize,
+        /// The number of nodes in the graph under construction.
+        n: usize,
+    },
+    /// An edge had both endpoints equal.
+    SelfLoop {
+        /// The node with the self-loop.
+        node: usize,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+/// An immutable, undirected simple graph.
+///
+/// Nodes are `0..n`, edges are stored once with canonical orientation
+/// `u < v` and identified by [`EdgeId`]. Adjacency lists store
+/// `(neighbour, edge id)` pairs sorted by neighbour, so membership tests
+/// are `O(log deg)`.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::Graph;
+///
+/// let g = Graph::from_edges(3, [(0, 1), (1, 2)])?;
+/// assert_eq!(g.degree(1.into()), 2);
+/// assert!(g.has_edge(0.into(), 1.into()));
+/// assert!(!g.has_edge(0.into(), 2.into()));
+/// # Ok::<(), planartest_graph::GraphError>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    n: usize,
+    /// Canonical endpoints, `edges[e] = (u, v)` with `u < v`.
+    edges: Vec<(NodeId, NodeId)>,
+    /// `adj[v]` sorted by neighbour id.
+    adj: Vec<Vec<(NodeId, EdgeId)>>,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n)
+            .field("m", &self.edges.len())
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph with `n` nodes from an edge iterator.
+    ///
+    /// Parallel edges are collapsed; endpoint order is irrelevant.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::NodeOutOfRange`] or [`GraphError::SelfLoop`] on
+    /// invalid input.
+    pub fn from_edges<I>(n: usize, edges: I) -> Result<Self, GraphError>
+    where
+        I: IntoIterator<Item = (usize, usize)>,
+    {
+        let mut b = GraphBuilder::new(n);
+        for (u, v) in edges {
+            b.add_edge(u, v)?;
+        }
+        Ok(b.build())
+    }
+
+    /// Creates a graph with `n` nodes and no edges.
+    pub fn empty(n: usize) -> Self {
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Iterator over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.n).map(NodeId::new)
+    }
+
+    /// Iterator over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId::new)
+    }
+
+    /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `e` is out of range.
+    #[inline]
+    pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
+        self.edges[e.index()]
+    }
+
+    /// Iterator over canonical edge endpoint pairs in edge-id order.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The endpoint of `e` that is not `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn other_endpoint(&self, e: EdgeId, v: NodeId) -> NodeId {
+        let (a, b) = self.endpoints(e);
+        if a == v {
+            b
+        } else {
+            assert_eq!(b, v, "node {v:?} is not an endpoint of {e:?}");
+            a
+        }
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.adj[v.index()].len()
+    }
+
+    /// Neighbours of `v` with the connecting edge id, sorted by neighbour.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
+        &self.adj[v.index()]
+    }
+
+    /// Whether `{u, v}` is an edge.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.edge_between(u, v).is_some()
+    }
+
+    /// The edge id connecting `u` and `v`, if any.
+    pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
+        let a = &self.adj[u.index()];
+        a.binary_search_by_key(&v, |&(w, _)| w).ok().map(|i| a[i].1)
+    }
+
+    /// Maximum degree over all nodes (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Sum of degrees divided by `n` (0.0 for the empty graph).
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            2.0 * self.m() as f64 / self.n as f64
+        }
+    }
+
+    /// Returns the subgraph induced by `keep_edge`, on the same node set.
+    ///
+    /// Edge ids are re-assigned densely; the mapping is returned alongside
+    /// as `old_edge_ids[new] = old`.
+    pub fn edge_subgraph<F>(&self, mut keep_edge: F) -> (Graph, Vec<EdgeId>)
+    where
+        F: FnMut(EdgeId) -> bool,
+    {
+        let mut b = GraphBuilder::new(self.n);
+        let mut map = Vec::new();
+        for e in self.edge_ids() {
+            if keep_edge(e) {
+                let (u, v) = self.endpoints(e);
+                b.add_edge(u.index(), v.index()).expect("edges already valid");
+                map.push(e);
+            }
+        }
+        (b.build(), map)
+    }
+
+    /// Returns the subgraph induced by the node set `keep` (given as a
+    /// membership predicate over the *original* ids), with nodes renumbered
+    /// densely.
+    ///
+    /// Returns the graph together with `orig_of[new] = original id`.
+    pub fn induced_subgraph<F>(&self, mut keep: F) -> (Graph, Vec<NodeId>)
+    where
+        F: FnMut(NodeId) -> bool,
+    {
+        let mut new_of = vec![usize::MAX; self.n];
+        let mut orig_of = Vec::new();
+        for v in self.nodes() {
+            if keep(v) {
+                new_of[v.index()] = orig_of.len();
+                orig_of.push(v);
+            }
+        }
+        let mut b = GraphBuilder::new(orig_of.len());
+        for (u, v) in self.edges() {
+            let (nu, nv) = (new_of[u.index()], new_of[v.index()]);
+            if nu != usize::MAX && nv != usize::MAX {
+                b.add_edge(nu, nv).expect("validated");
+            }
+        }
+        (b.build(), orig_of)
+    }
+}
+
+/// Incremental, validated construction of a [`Graph`].
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::GraphBuilder;
+///
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1)?;
+/// b.add_edge(1, 0)?; // duplicate, collapsed
+/// let g = b.build();
+/// assert_eq!(g.m(), 1);
+/// # Ok::<(), planartest_graph::GraphError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Starts building a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Adds an undirected edge; duplicates are collapsed at [`build`] time.
+    ///
+    /// # Errors
+    ///
+    /// Rejects self-loops and out-of-range endpoints.
+    ///
+    /// [`build`]: GraphBuilder::build
+    pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
+        if u >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        self.edges.push((u.min(v), u.max(v)));
+        Ok(())
+    }
+
+    /// Finishes construction, collapsing duplicate edges.
+    pub fn build(mut self) -> Graph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let mut edges = Vec::with_capacity(self.edges.len());
+        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.n];
+        for &(u, v) in &self.edges {
+            let e = EdgeId::new(edges.len());
+            let (u, v) = (NodeId::new(u), NodeId::new(v));
+            edges.push((u, v));
+            adj[u.index()].push((v, e));
+            adj[v.index()].push((u, e));
+        }
+        for a in &mut adj {
+            a.sort_unstable_by_key(|&(w, _)| w);
+        }
+        Graph { n: self.n, edges, adj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_node_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.n(), 0);
+        assert_eq!(g.nodes().count(), 0);
+        assert_eq!(g.average_degree(), 0.0);
+    }
+
+    #[test]
+    fn basic_construction() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]).unwrap();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 5);
+        assert_eq!(g.degree(NodeId::new(0)), 3);
+        assert_eq!(g.degree(NodeId::new(3)), 2);
+        assert!(g.has_edge(NodeId::new(0), NodeId::new(2)));
+        assert!(!g.has_edge(NodeId::new(1), NodeId::new(3)));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let g = Graph::from_edges(3, [(0, 1), (1, 0), (0, 1)]).unwrap();
+        assert_eq!(g.m(), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        let err = Graph::from_edges(3, [(1, 1)]).unwrap_err();
+        assert_eq!(err, GraphError::SelfLoop { node: 1 });
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let err = Graph::from_edges(3, [(0, 3)]).unwrap_err();
+        assert_eq!(err, GraphError::NodeOutOfRange { node: 3, n: 3 });
+        let msg = err.to_string();
+        assert!(msg.contains("out of range"));
+    }
+
+    #[test]
+    fn endpoints_are_canonical() {
+        let g = Graph::from_edges(3, [(2, 0)]).unwrap();
+        let e = EdgeId::new(0);
+        assert_eq!(g.endpoints(e), (NodeId::new(0), NodeId::new(2)));
+        assert_eq!(g.other_endpoint(e, NodeId::new(0)), NodeId::new(2));
+        assert_eq!(g.other_endpoint(e, NodeId::new(2)), NodeId::new(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "is not an endpoint")]
+    fn other_endpoint_panics_for_non_endpoint() {
+        let g = Graph::from_edges(3, [(0, 2)]).unwrap();
+        let _ = g.other_endpoint(EdgeId::new(0), NodeId::new(1));
+    }
+
+    #[test]
+    fn neighbors_sorted_and_edge_between() {
+        let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
+        let ns: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|&(w, _)| w.index()).collect();
+        assert_eq!(ns, vec![0, 1, 3, 4]);
+        for &(w, e) in g.neighbors(NodeId::new(2)) {
+            assert_eq!(g.edge_between(NodeId::new(2), w), Some(e));
+        }
+        assert_eq!(g.edge_between(NodeId::new(0), NodeId::new(1)), None);
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_node_set() {
+        let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap();
+        let (h, map) = g.edge_subgraph(|e| e.index() != 1);
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 2);
+        assert_eq!(map.len(), 2);
+        assert!(h.has_edge(NodeId::new(0), NodeId::new(1)));
+        assert!(!h.has_edge(NodeId::new(1), NodeId::new(2)));
+    }
+
+    #[test]
+    fn induced_subgraph_renumbers() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
+        let (h, orig) = g.induced_subgraph(|v| v.index() % 2 == 0);
+        assert_eq!(h.n(), 3);
+        assert_eq!(orig.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 2, 4]);
+        // Only edge among {0,2,4} is (4,0).
+        assert_eq!(h.m(), 1);
+    }
+
+    #[test]
+    fn id_display_and_debug() {
+        assert_eq!(format!("{}", NodeId::new(7)), "7");
+        assert_eq!(format!("{:?}", NodeId::new(7)), "n7");
+        assert_eq!(format!("{:?}", EdgeId::new(3)), "e3");
+        assert_eq!(NodeId::from(9u32).raw(), 9);
+        assert_eq!(EdgeId::from(9u32).raw(), 9);
+    }
+
+    #[test]
+    fn debug_graph_nonempty() {
+        let g = Graph::empty(2);
+        let s = format!("{g:?}");
+        assert!(s.contains("Graph"));
+    }
+}

@@ -1,0 +1,155 @@
+//! Plain-text edge-list serialization.
+//!
+//! Format: first line `n m`, then one `u v` pair per line. Lines starting
+//! with `#` are comments.
+
+use std::fmt::Write as _;
+use std::str::FromStr;
+
+use crate::{Graph, GraphError};
+
+/// Error parsing an edge-list document.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseGraphError {
+    /// The header line was missing or malformed.
+    BadHeader,
+    /// An edge line did not contain two integers.
+    BadEdgeLine {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The edges were structurally invalid.
+    Graph(GraphError),
+    /// Fewer edge lines than the header promised.
+    MissingEdges {
+        /// Number promised by the header.
+        expected: usize,
+        /// Number actually present.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseGraphError::BadHeader => write!(f, "missing or malformed `n m` header"),
+            ParseGraphError::BadEdgeLine { line } => write!(f, "malformed edge on line {line}"),
+            ParseGraphError::Graph(e) => write!(f, "invalid edge: {e}"),
+            ParseGraphError::MissingEdges { expected, found } => {
+                write!(f, "expected {expected} edges, found {found}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseGraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseGraphError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for ParseGraphError {
+    fn from(e: GraphError) -> Self {
+        ParseGraphError::Graph(e)
+    }
+}
+
+/// Serializes `g` as an edge-list document.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{} {}", g.n(), g.m());
+    for (u, v) in g.edges() {
+        let _ = writeln!(s, "{} {}", u.index(), v.index());
+    }
+    s
+}
+
+/// Parses an edge-list document produced by [`to_edge_list`] (or by hand).
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed input.
+pub fn from_edge_list(text: &str) -> Result<Graph, ParseGraphError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+    let (_, header) = lines.next().ok_or(ParseGraphError::BadHeader)?;
+    let mut it = header.split_whitespace().map(usize::from_str);
+    let n = it
+        .next()
+        .and_then(Result::ok)
+        .ok_or(ParseGraphError::BadHeader)?;
+    let m = it
+        .next()
+        .and_then(Result::ok)
+        .ok_or(ParseGraphError::BadHeader)?;
+    let mut b = crate::GraphBuilder::new(n);
+    let mut found = 0usize;
+    for (lineno, l) in lines {
+        let mut it = l.split_whitespace().map(usize::from_str);
+        let u = it
+            .next()
+            .and_then(Result::ok)
+            .ok_or(ParseGraphError::BadEdgeLine { line: lineno })?;
+        let v = it
+            .next()
+            .and_then(Result::ok)
+            .ok_or(ParseGraphError::BadEdgeLine { line: lineno })?;
+        b.add_edge(u, v)?;
+        found += 1;
+    }
+    if found < m {
+        return Err(ParseGraphError::MissingEdges { expected: m, found });
+    }
+    Ok(b.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (3, 4)]).unwrap();
+        let text = to_edge_list(&g);
+        let h = from_edge_list(&text).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let g = from_edge_list("# a comment\n\n3 2\n0 1\n# another\n1 2\n").unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn bad_header() {
+        assert_eq!(from_edge_list(""), Err(ParseGraphError::BadHeader));
+        assert_eq!(from_edge_list("x y\n"), Err(ParseGraphError::BadHeader));
+    }
+
+    #[test]
+    fn bad_edge_line() {
+        let e = from_edge_list("2 1\n0 x\n").unwrap_err();
+        assert_eq!(e, ParseGraphError::BadEdgeLine { line: 2 });
+    }
+
+    #[test]
+    fn missing_edges() {
+        let e = from_edge_list("3 2\n0 1\n").unwrap_err();
+        assert_eq!(e, ParseGraphError::MissingEdges { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn invalid_edge_propagates() {
+        let e = from_edge_list("2 1\n0 5\n").unwrap_err();
+        assert!(matches!(e, ParseGraphError::Graph(_)));
+        assert!(e.to_string().contains("invalid edge"));
+    }
+}

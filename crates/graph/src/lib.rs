@@ -1,0 +1,36 @@
+//! Graph substrate for the `planartest` workspace.
+//!
+//! This crate provides everything the distributed planarity tester needs
+//! from "classic" graph land:
+//!
+//! * [`Graph`] — a compact, immutable, undirected simple graph with stable
+//!   node and edge identifiers ([`NodeId`], [`EdgeId`]).
+//! * [`GraphBuilder`] — validated construction (rejects self-loops,
+//!   de-duplicates parallel edges).
+//! * [`generators`] — graph families used by the paper's experiments, most
+//!   of them *certified*: planar families carry a proof-by-construction of
+//!   planarity, non-planar families carry a lower bound on their distance
+//!   to planarity (see [`generators::Certified`]).
+//! * [`algo`] — BFS/DFS, connected & biconnected components, union-find,
+//!   bipartiteness, girth, degeneracy/arboricity bounds.
+//!
+//! # Example
+//!
+//! ```
+//! use planartest_graph::{Graph, NodeId};
+//! use planartest_graph::algo::bfs::BfsTree;
+//!
+//! let g = Graph::from_edges(4, [(0, 1), (1, 2), (2, 3), (3, 0)])?;
+//! assert_eq!(g.n(), 4);
+//! assert_eq!(g.m(), 4);
+//! let bfs = BfsTree::build(&g, NodeId::new(0));
+//! assert_eq!(bfs.level(NodeId::new(2)), Some(2));
+//! # Ok::<(), planartest_graph::GraphError>(())
+//! ```
+
+pub mod algo;
+pub mod generators;
+mod graph;
+pub mod io;
+
+pub use crate::graph::{EdgeId, Graph, GraphBuilder, GraphError, NodeId};

@@ -1,0 +1,569 @@
+//! The synchronous round-driving engine.
+
+use std::fmt;
+
+use planartest_graph::{Graph, NodeId};
+
+use crate::stats::SimStats;
+
+/// A CONGEST message: a short sequence of machine words (`u64`). Each word
+/// models `O(log n)` bits; [`SimConfig::max_words_per_message`] bounds how
+/// many words fit in one round's message on one edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Msg {
+    words: Vec<u64>,
+}
+
+impl Msg {
+    /// Creates a message from payload words.
+    pub fn words(words: &[u64]) -> Self {
+        Msg { words: words.to_vec() }
+    }
+
+    /// Creates an empty (0-word) "ping" message.
+    pub fn ping() -> Self {
+        Msg { words: Vec::new() }
+    }
+
+    /// The payload words.
+    pub fn as_words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Number of payload words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether the payload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Word `i`, panicking with a protocol-bug message if absent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+}
+
+impl From<Vec<u64>> for Msg {
+    fn from(words: Vec<u64>) -> Self {
+        Msg { words }
+    }
+}
+
+/// Configuration of the simulated CONGEST network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Bandwidth: maximum payload words per message (per edge per round).
+    /// The default of 4 models a constant number of `O(log n)`-bit fields.
+    pub max_words_per_message: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { max_words_per_message: 4 }
+    }
+}
+
+/// Errors raised by the engine when a protocol violates the model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A message exceeded the per-edge bandwidth.
+    MessageTooLarge {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Words in the offending message.
+        words: usize,
+        /// Configured limit.
+        limit: usize,
+    },
+    /// A node addressed a non-neighbour.
+    NotANeighbor {
+        /// Sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// Two messages were sent on the same edge direction in one round.
+    DuplicateMessage {
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// The run exceeded its round budget without quiescing.
+    RoundLimitExceeded {
+        /// The budget that was exceeded.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MessageTooLarge { from, to, words, limit } => write!(
+                f,
+                "message {from:?} -> {to:?} has {words} words, bandwidth limit is {limit}"
+            ),
+            SimError::NotANeighbor { from, to } => {
+                write!(f, "node {from:?} attempted to message non-neighbour {to:?}")
+            }
+            SimError::DuplicateMessage { from, to } => {
+                write!(f, "two messages on edge {from:?} -> {to:?} in one round")
+            }
+            SimError::RoundLimitExceeded { limit } => {
+                write!(f, "protocol did not quiesce within {limit} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Report of a single [`Engine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunReport {
+    /// Rounds executed (the last round in which any message was delivered
+    /// or any node was woken).
+    pub rounds: u64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// Total payload words delivered.
+    pub words: u64,
+}
+
+/// Per-node protocol logic, driven synchronously by the [`Engine`].
+///
+/// The engine calls [`init`](NodeLogic::init) for every node before round
+/// 1, then, in each round, [`round`](NodeLogic::round) for every node that
+/// received a message or requested a wake-up. Local computation is free
+/// (CONGEST); only messages cost rounds.
+pub trait NodeLogic {
+    /// Round-0 hook: seed initial messages/wake-ups.
+    fn init(&mut self, node: NodeId, out: &mut Outbox<'_>);
+
+    /// Called once per round per *active* node with the messages that
+    /// arrived this round (possibly empty if the node was merely woken).
+    fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>);
+}
+
+/// Per-call send interface handed to [`NodeLogic`] methods.
+///
+/// Sends are validated against the CONGEST constraints; the first
+/// violation aborts the run with the corresponding [`SimError`].
+pub struct Outbox<'a> {
+    src: NodeId,
+    g: &'a Graph,
+    limit: usize,
+    round: u64,
+    staged: &'a mut Vec<(NodeId, NodeId, Msg)>,
+    /// `edge_stamp[2e + dir] = round` of the last send on that direction.
+    edge_stamp: &'a mut [u64],
+    wake: &'a mut Vec<NodeId>,
+    woken: &'a mut [bool],
+    error: &'a mut Option<SimError>,
+}
+
+impl<'a> Outbox<'a> {
+    /// Sends `msg` to neighbour `to`, to be delivered next round.
+    pub fn send(&mut self, to: NodeId, msg: Msg) {
+        if self.error.is_some() {
+            return;
+        }
+        if msg.len() > self.limit {
+            *self.error = Some(SimError::MessageTooLarge {
+                from: self.src,
+                to,
+                words: msg.len(),
+                limit: self.limit,
+            });
+            return;
+        }
+        let Some(e) = self.g.edge_between(self.src, to) else {
+            *self.error = Some(SimError::NotANeighbor { from: self.src, to });
+            return;
+        };
+        let (u, _) = self.g.endpoints(e);
+        let dir = usize::from(self.src != u);
+        let slot = 2 * e.index() + dir;
+        if self.edge_stamp[slot] == self.round + 1 {
+            *self.error = Some(SimError::DuplicateMessage { from: self.src, to });
+            return;
+        }
+        self.edge_stamp[slot] = self.round + 1;
+        self.staged.push((self.src, to, msg));
+    }
+
+    /// Sends a copy of `msg` to every neighbour.
+    pub fn send_all(&mut self, msg: Msg) {
+        let neighbors: Vec<NodeId> =
+            self.g.neighbors(self.src).iter().map(|&(w, _)| w).collect();
+        for w in neighbors {
+            self.send(w, msg.clone());
+        }
+    }
+
+    /// Requests that this node's `round` hook runs next round even without
+    /// incoming messages (models an internal timer; costs a round only if
+    /// nothing else is happening — it never creates messages).
+    pub fn wake(&mut self) {
+        if !self.woken[self.src.index()] {
+            self.woken[self.src.index()] = true;
+            self.wake.push(self.src);
+        }
+    }
+
+    /// The node this outbox belongs to.
+    pub fn node(&self) -> NodeId {
+        self.src
+    }
+
+    /// The network graph (for neighbour discovery inside logic hooks).
+    pub fn graph(&self) -> &'a Graph {
+        self.g
+    }
+
+    /// The current round number (0 during `init`).
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+/// The simulator: owns the cumulative [`SimStats`] across many runs, so a
+/// multi-phase algorithm (like the paper's tester) can account its total
+/// round complexity by sequencing `run` calls on one engine.
+#[derive(Debug)]
+pub struct Engine<'g> {
+    g: &'g Graph,
+    cfg: SimConfig,
+    stats: SimStats,
+}
+
+impl<'g> Engine<'g> {
+    /// Creates an engine over `g`.
+    pub fn new(g: &'g Graph, cfg: SimConfig) -> Self {
+        Engine { g, cfg, stats: SimStats::default() }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Cumulative statistics over all runs (plus charged rounds).
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Adds `rounds` explicitly charged rounds (for substituted
+    /// subroutines whose cost is taken from their paper's bound).
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.stats.charged_rounds += rounds;
+    }
+
+    /// Runs `logic` to quiescence (no staged messages and no wake-ups).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the protocol violates the CONGEST
+    /// constraints or fails to quiesce within `max_rounds`.
+    pub fn run<L: NodeLogic>(&mut self, logic: &mut L, max_rounds: u64) -> Result<RunReport, SimError> {
+        let n = self.g.n();
+        let mut staged: Vec<(NodeId, NodeId, Msg)> = Vec::new();
+        let mut edge_stamp = vec![u64::MAX; 2 * self.g.m()];
+        // MAX means "never"; we store round+1 at send time, so initialize
+        // with 0 meaning "not this round".
+        edge_stamp.iter_mut().for_each(|s| *s = 0);
+        let mut wake: Vec<NodeId> = Vec::new();
+        let mut woken = vec![false; n];
+        let mut error: Option<SimError> = None;
+        let mut report = RunReport::default();
+
+        // Round 0: init.
+        for v in self.g.nodes() {
+            let mut out = Outbox {
+                src: v,
+                g: self.g,
+                limit: self.cfg.max_words_per_message,
+                round: 0,
+                staged: &mut staged,
+                edge_stamp: &mut edge_stamp,
+                wake: &mut wake,
+                woken: &mut woken,
+                error: &mut error,
+            };
+            logic.init(v, &mut out);
+            if let Some(e) = error {
+                return Err(e);
+            }
+        }
+
+        let mut inboxes: Vec<Vec<(NodeId, Msg)>> = vec![Vec::new(); n];
+        let mut round: u64 = 0;
+        while !staged.is_empty() || !wake.is_empty() {
+            round += 1;
+            if round > max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+            }
+            // Deliver.
+            let mut active: Vec<NodeId> = Vec::new();
+            for (src, dst, msg) in staged.drain(..) {
+                report.messages += 1;
+                report.words += msg.len() as u64;
+                if inboxes[dst.index()].is_empty() && !woken[dst.index()] {
+                    active.push(dst);
+                }
+                inboxes[dst.index()].push((src, msg));
+            }
+            active.extend(wake.drain(..));
+            active.sort_unstable();
+            active.dedup();
+            for &v in &active {
+                woken[v.index()] = false;
+            }
+            // Act.
+            for &v in &active {
+                let inbox = std::mem::take(&mut inboxes[v.index()]);
+                let mut out = Outbox {
+                    src: v,
+                    g: self.g,
+                    limit: self.cfg.max_words_per_message,
+                    round,
+                    staged: &mut staged,
+                    edge_stamp: &mut edge_stamp,
+                    wake: &mut wake,
+                    woken: &mut woken,
+                    error: &mut error,
+                };
+                logic.round(v, &inbox, &mut out);
+                if let Some(e) = error {
+                    return Err(e);
+                }
+            }
+        }
+        report.rounds = round;
+        self.stats.absorb(report);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path4() -> Graph {
+        Graph::from_edges(4, [(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    /// Node 0 sends its id to node 1; everyone else is silent.
+    struct OneShot {
+        got: Vec<Option<u64>>,
+    }
+    impl NodeLogic for OneShot {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() == 0 {
+                out.send(NodeId::new(1), Msg::words(&[42]));
+            }
+        }
+        fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], _out: &mut Outbox<'_>) {
+            for (from, m) in inbox {
+                assert_eq!(from.index(), 0);
+                self.got[node.index()] = Some(m.word(0));
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_delivery() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let mut logic = OneShot { got: vec![None; 4] };
+        let rep = engine.run(&mut logic, 10).unwrap();
+        assert_eq!(rep.rounds, 1);
+        assert_eq!(rep.messages, 1);
+        assert_eq!(rep.words, 1);
+        assert_eq!(logic.got[1], Some(42));
+        assert_eq!(engine.stats().rounds, 1);
+    }
+
+    struct SendTooBig;
+    impl NodeLogic for SendTooBig {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() == 0 {
+                out.send(NodeId::new(1), Msg::words(&[0; 9]));
+            }
+        }
+        fn round(&mut self, _: NodeId, _: &[(NodeId, Msg)], _: &mut Outbox<'_>) {}
+    }
+
+    #[test]
+    fn bandwidth_enforced() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig { max_words_per_message: 4 });
+        let err = engine.run(&mut SendTooBig, 10).unwrap_err();
+        assert!(matches!(err, SimError::MessageTooLarge { words: 9, limit: 4, .. }));
+        assert!(err.to_string().contains("bandwidth"));
+    }
+
+    struct SendToStranger;
+    impl NodeLogic for SendToStranger {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() == 0 {
+                out.send(NodeId::new(3), Msg::ping());
+            }
+        }
+        fn round(&mut self, _: NodeId, _: &[(NodeId, Msg)], _: &mut Outbox<'_>) {}
+    }
+
+    #[test]
+    fn topology_enforced() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let err = engine.run(&mut SendToStranger, 10).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::NotANeighbor { from: NodeId::new(0), to: NodeId::new(3) }
+        );
+    }
+
+    struct DoubleSend;
+    impl NodeLogic for DoubleSend {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() == 0 {
+                out.send(NodeId::new(1), Msg::ping());
+                out.send(NodeId::new(1), Msg::ping());
+            }
+        }
+        fn round(&mut self, _: NodeId, _: &[(NodeId, Msg)], _: &mut Outbox<'_>) {}
+    }
+
+    #[test]
+    fn one_message_per_edge_direction_per_round() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let err = engine.run(&mut DoubleSend, 10).unwrap_err();
+        assert!(matches!(err, SimError::DuplicateMessage { .. }));
+    }
+
+    /// Both directions of one edge in the same round are allowed.
+    struct CrossTalk {
+        ok: [bool; 2],
+    }
+    impl NodeLogic for CrossTalk {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() <= 1 {
+                out.send(NodeId::new(1 - node.index()), Msg::words(&[node.index() as u64]));
+            }
+        }
+        fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], _: &mut Outbox<'_>) {
+            if node.index() <= 1 && inbox.len() == 1 {
+                self.ok[node.index()] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn both_directions_allowed() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let mut logic = CrossTalk { ok: [false; 2] };
+        engine.run(&mut logic, 10).unwrap();
+        assert_eq!(logic.ok, [true, true]);
+    }
+
+    struct Chatter;
+    impl NodeLogic for Chatter {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() == 0 {
+                out.send(NodeId::new(1), Msg::ping());
+            }
+        }
+        fn round(&mut self, _: NodeId, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
+            // Bounce forever.
+            for (from, _) in inbox {
+                out.send(*from, Msg::ping());
+            }
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let err = engine.run(&mut Chatter, 25).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 25 });
+    }
+
+    struct Sleeper {
+        fired: bool,
+    }
+    impl NodeLogic for Sleeper {
+        fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+            if node.index() == 2 {
+                out.wake();
+            }
+        }
+        fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], _: &mut Outbox<'_>) {
+            assert_eq!(node.index(), 2);
+            assert!(inbox.is_empty());
+            self.fired = true;
+        }
+    }
+
+    #[test]
+    fn wake_without_messages() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let mut logic = Sleeper { fired: false };
+        let rep = engine.run(&mut logic, 10).unwrap();
+        assert!(logic.fired);
+        assert_eq!(rep.rounds, 1);
+        assert_eq!(rep.messages, 0);
+    }
+
+    #[test]
+    fn quiescent_immediately() {
+        struct Silent;
+        impl NodeLogic for Silent {
+            fn init(&mut self, _: NodeId, _: &mut Outbox<'_>) {}
+            fn round(&mut self, _: NodeId, _: &[(NodeId, Msg)], _: &mut Outbox<'_>) {}
+        }
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let rep = engine.run(&mut Silent, 10).unwrap();
+        assert_eq!(rep.rounds, 0);
+    }
+
+    #[test]
+    fn charged_rounds_accumulate() {
+        let g = path4();
+        let mut engine = Engine::new(&g, SimConfig::default());
+        engine.charge_rounds(17);
+        assert_eq!(engine.stats().charged_rounds, 17);
+        assert_eq!(engine.stats().total_rounds(), 17);
+    }
+
+    #[test]
+    fn msg_accessors() {
+        let m = Msg::words(&[1, 2, 3]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert_eq!(m.word(2), 3);
+        assert_eq!(m.as_words(), &[1, 2, 3]);
+        assert!(Msg::ping().is_empty());
+        let m2: Msg = vec![5u64].into();
+        assert_eq!(m2.word(0), 5);
+    }
+}

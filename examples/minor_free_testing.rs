@@ -1,0 +1,67 @@
+//! Corollary 16: testing cycle-freeness and bipartiteness on minor-free
+//! graphs using the Stage I partition, plus the randomized Theorem 4
+//! partition trade-off.
+//!
+//! ```sh
+//! cargo run --release --example minor_free_testing
+//! ```
+
+use planartest::core::applications::{test_bipartiteness, test_cycle_freeness};
+use planartest::core::partition::randomized::{
+    run_randomized_partition, RandomPartitionConfig,
+};
+use planartest::core::TesterConfig;
+use planartest::graph::generators::planar;
+use planartest::sim::{Engine, SimConfig};
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    let cfg = TesterConfig::new(0.2).with_phases(6);
+
+    // Cycle-freeness.
+    let tree = planar::random_tree(256, &mut rng).graph;
+    let grid = planar::grid(12, 12).graph;
+    let mut engine = Engine::new(&tree, SimConfig::default());
+    let out = test_cycle_freeness(&mut engine, &cfg)?;
+    println!("cycle-freeness  tree  -> {} ({} rounds)", verdict(out.accepted()), engine.stats().total_rounds());
+    let mut engine = Engine::new(&grid, SimConfig::default());
+    let out = test_cycle_freeness(&mut engine, &cfg)?;
+    println!("cycle-freeness  grid  -> {} ({} rejecting)", verdict(out.accepted()), out.rejecting.len());
+
+    // Bipartiteness.
+    let tri = planar::triangulated_grid(10, 10).graph;
+    let mut engine = Engine::new(&grid, SimConfig::default());
+    let out = test_bipartiteness(&mut engine, &cfg)?;
+    println!("bipartiteness   grid  -> {}", verdict(out.accepted()));
+    let mut engine = Engine::new(&tri, SimConfig::default());
+    let out = test_bipartiteness(&mut engine, &cfg)?;
+    println!("bipartiteness   tri   -> {} ({} rejecting)", verdict(out.accepted()), out.rejecting.len());
+
+    // Theorem 4: randomized partition at different confidence levels.
+    println!("\nrandomized minor-free partition (Theorem 4) on the triangulated grid:");
+    for delta in [0.5, 0.1, 0.01] {
+        let pcfg = RandomPartitionConfig::new(0.2, delta).with_phases(8).with_seed(3);
+        let mut engine = Engine::new(&tri, SimConfig::default());
+        let p = run_randomized_partition(&mut engine, &pcfg)?;
+        let cut = p.state.cut_weight(&tri);
+        println!(
+            "  delta={:<5} trials/phase={} parts={:>3} cut={:>4} ({:.1}% of m) rounds={}",
+            delta,
+            pcfg.trials(),
+            p.state.part_count(),
+            cut,
+            100.0 * cut as f64 / tri.m() as f64,
+            engine.stats().total_rounds()
+        );
+    }
+    Ok(())
+}
+
+fn verdict(accepted: bool) -> &'static str {
+    if accepted {
+        "ACCEPT"
+    } else {
+        "REJECT"
+    }
+}

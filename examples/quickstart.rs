@@ -1,0 +1,49 @@
+//! Quickstart: test a planar and a far-from-planar network and print the
+//! verdicts with round statistics.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use planartest::core::{PlanarityTester, TesterConfig};
+use planartest::graph::generators::{nonplanar, planar};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tester = PlanarityTester::new(TesterConfig::new(0.1).with_phases(8));
+
+    let planar_net = planar::triangulated_grid(12, 12);
+    let out = tester.run(&planar_net.graph)?;
+    println!(
+        "{:<28} n={:>5} m={:>6} -> {} ({} rounds, {} messages)",
+        planar_net.name,
+        planar_net.graph.n(),
+        planar_net.graph.m(),
+        if out.accepted() { "ACCEPT" } else { "REJECT" },
+        out.rounds(),
+        out.stats.messages,
+    );
+    assert!(out.accepted(), "planar inputs are always accepted");
+
+    let far_net = nonplanar::k5_chain(20);
+    let out = tester.run(&far_net.graph)?;
+    println!(
+        "{:<28} n={:>5} m={:>6} -> {} ({} rounds, {} rejecting node(s), first reason: {})",
+        far_net.name,
+        far_net.graph.n(),
+        far_net.graph.m(),
+        if out.accepted() { "ACCEPT" } else { "REJECT" },
+        out.rounds(),
+        out.rejections.len(),
+        out.rejections.first().map(|&(_, r)| r.to_string()).unwrap_or_default(),
+    );
+    assert!(!out.accepted(), "certified-far inputs are rejected");
+
+    println!("\nStage I phase trace for the far input:");
+    for p in &out.phases {
+        println!(
+            "  phase {:>2}: cut={:>6} parts={:>5} max_depth={:>3} peel_super_rounds={}",
+            p.phase, p.cut_weight, p.parts, p.max_depth, p.peel_super_rounds
+        );
+    }
+    Ok(())
+}

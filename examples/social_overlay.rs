@@ -1,0 +1,51 @@
+//! A social-overlay scenario: a geographically planar backbone with
+//! long-range "friendship" links. Sweeps the density of long-range links
+//! and reports the tester verdict, the certified far-ness, and where in
+//! the pipeline rejection evidence appeared — a miniature of experiment
+//! E1's soundness table.
+//!
+//! ```sh
+//! cargo run --release --example social_overlay
+//! ```
+
+use planartest::core::{PlanarityTester, RejectReason, TesterConfig};
+use planartest::graph::generators::nonplanar;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let tester = PlanarityTester::new(TesterConfig::new(0.1).with_phases(8));
+    println!(
+        "{:<36} {:>6} {:>8} {:>8} {:>8} {:>10}",
+        "graph", "m", "far>=", "verdict", "rounds", "evidence"
+    );
+    for extra in [0.0f64, 0.2, 0.5, 1.0, 2.0, 4.0] {
+        let mut rng = StdRng::seed_from_u64(7);
+        let c = nonplanar::social_overlay(400, extra, &mut rng);
+        let out = tester.run(&c.graph)?;
+        let evidence = out
+            .rejections
+            .first()
+            .map(|&(_, r)| match r {
+                RejectReason::ArboricityEvidence => "stage-I",
+                RejectReason::EulerBound => "euler",
+                RejectReason::EmbeddingFailed => "embed",
+                RejectReason::ViolatingEdge => "violation",
+            })
+            .unwrap_or("-");
+        println!(
+            "{:<36} {:>6} {:>8.3} {:>8} {:>8} {:>10}",
+            c.name,
+            c.graph.m(),
+            c.far_fraction(),
+            if out.accepted() { "ACCEPT" } else { "REJECT" },
+            out.rounds(),
+            evidence
+        );
+        // One-sided guarantee: anything certified >= 0.1-far must reject.
+        if c.far_fraction() >= 0.1 {
+            assert!(!out.accepted(), "certified-far overlay accepted");
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Corollary 17: ultra-sparse spanners for minor-free graphs, compared
+//! against the random-shift clustering baseline (the Elkin–Neiman-style
+//! comparator from the paper's §1.2).
+//!
+//! ```sh
+//! cargo run --release --example spanner_demo
+//! ```
+
+use planartest::core::applications::build_spanner;
+use planartest::core::baselines::{shift_spanner, RandomShiftConfig};
+use planartest::core::TesterConfig;
+use planartest::graph::generators::planar;
+use planartest::sim::{Engine, SimConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let g = planar::triangulated_grid(16, 16).graph;
+    println!("input: triangulated grid, n={} m={}", g.n(), g.m());
+
+    for eps in [0.4, 0.2, 0.1] {
+        let cfg = TesterConfig::new(eps).with_phases(8);
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let sp = build_spanner(&mut engine, &cfg)?;
+        println!(
+            "ours  eps={:<4} edges={:>4} (tree {:>4} + cut {:>4})  size/n={:.3}  max_stretch={}  rounds={}",
+            eps,
+            sp.edges.len(),
+            sp.tree_edges,
+            sp.cut_edges,
+            sp.size_ratio(&g),
+            sp.max_stretch(&g),
+            engine.stats().total_rounds()
+        );
+    }
+
+    for beta in [0.4, 0.2, 0.1] {
+        let cfg = RandomShiftConfig::new(beta);
+        let mut engine = Engine::new(&g, SimConfig::default());
+        let edges = shift_spanner(&mut engine, &cfg)?;
+        println!(
+            "shift beta={:<4} edges={:>4}  size/n={:.3}  rounds={}",
+            beta,
+            edges.len(),
+            edges.len() as f64 / g.n() as f64,
+            engine.stats().total_rounds()
+        );
+    }
+    Ok(())
+}
