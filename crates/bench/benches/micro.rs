@@ -35,7 +35,9 @@ fn bench_embedding(c: &mut Criterion) {
     g.bench_function("demoucron_reject_k33", |b| b.iter(|| check_planarity(&k33)));
     let grid = planar::triangulated_grid(20, 20).graph;
     let rot = check_planarity(&grid).into_rotation().expect("planar");
-    g.bench_function("face_trace_trigrid_400", |b| b.iter(|| rot.trace_faces(&grid)));
+    g.bench_function("face_trace_trigrid_400", |b| {
+        b.iter(|| rot.trace_faces(&grid))
+    });
     g.finish();
 }
 
@@ -75,7 +77,9 @@ fn bench_simulator(c: &mut Criterion) {
     let grid = planar::grid(40, 40).graph;
     g.bench_function("flood_grid_1600", |b| {
         b.iter_batched(
-            || Flood { seen: vec![false; grid.n()] },
+            || Flood {
+                seen: vec![false; grid.n()],
+            },
             |mut logic| {
                 let mut engine = Engine::new(&grid, SimConfig::default());
                 engine.run(&mut logic, 10_000).expect("flood")

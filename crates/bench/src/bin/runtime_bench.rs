@@ -1,0 +1,6 @@
+//! Serial-vs-parallel runtime benchmark; writes `BENCH_runtime.json`.
+//! Set `PLANARTEST_QUICK=1` for CI-sized runs, `PLANARTEST_THREADS=k`
+//! to cap the worker pools.
+fn main() {
+    planartest_bench::runtime_bench();
+}

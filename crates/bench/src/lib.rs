@@ -16,9 +16,14 @@ use planartest_embed::demoucron::check_planarity;
 use planartest_embed::hints;
 use planartest_graph::generators::{nonplanar, planar, Certified};
 use planartest_graph::{Graph, NodeId};
-use planartest_sim::{Engine, SimConfig};
+use planartest_sim::{Engine, SimConfig, TrialRunner};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+pub mod json;
+mod runtime_bench;
+
+pub use runtime_bench::{runtime_bench, runtime_bench_document};
 
 /// Whether quick (CI-sized) sweeps were requested.
 pub fn quick() -> bool {
@@ -63,13 +68,16 @@ pub fn e1_correctness() {
         planar::random_tree(n, &mut rng),
         planar::maximal_outerplanar(n.min(400), &mut rng),
     ];
+    let runner = TrialRunner::auto();
     for fam in &planar_families {
-        let mut accepts = 0;
-        for seed in 0..seeds {
-            let cfg = practical_cfg(0.1).with_seed(seed);
-            let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
-            accepts += out.accepted() as usize;
-        }
+        let accepts = runner
+            .run(seeds as usize, |seed| {
+                let cfg = practical_cfg(0.1).with_seed(seed as u64);
+                let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
+                usize::from(out.accepted())
+            })
+            .into_iter()
+            .sum();
         print_family_row(fam, accepts, seeds as usize, "1.00");
     }
     let far_families: Vec<Certified> = vec![
@@ -79,12 +87,14 @@ pub fn e1_correctness() {
         nonplanar::gnp(n.min(512), 8.0 / n.min(512) as f64, &mut rng),
     ];
     for fam in &far_families {
-        let mut rejects = 0;
-        for seed in 0..seeds {
-            let cfg = practical_cfg(0.05).with_seed(seed);
-            let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
-            rejects += (!out.accepted()) as usize;
-        }
+        let rejects = runner
+            .run(seeds as usize, |seed| {
+                let cfg = practical_cfg(0.05).with_seed(seed as u64);
+                let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
+                usize::from(!out.accepted())
+            })
+            .into_iter()
+            .sum();
         print_family_row(fam, rejects, seeds as usize, "1.00 (reject)");
     }
 }
@@ -108,48 +118,60 @@ pub fn e2_rounds_vs_n() {
         "E2 rounds vs n (fixed eps=0.1)",
         "family          n       m     rounds   rounds/log2(n)",
     );
-    let sizes: Vec<usize> = if quick() { vec![64, 144, 256] } else { vec![64, 256, 1024, 2304, 4096] };
-    for &n in &sizes {
+    let sizes: Vec<usize> = if quick() {
+        vec![64, 144, 256]
+    } else {
+        vec![64, 256, 1024, 2304, 4096]
+    };
+    // Independent sizes: fan across cores, print in deterministic order.
+    let rows = TrialRunner::auto().map(sizes, |n| {
         let side = isqrt(n);
         let fam = planar::triangulated_grid(side, side);
-        let rot = hints::rotation_from_coordinates(&fam.graph, &hints::grid_coordinates(side, side))
-            .expect("grid coordinates");
+        let rot =
+            hints::rotation_from_coordinates(&fam.graph, &hints::grid_coordinates(side, side))
+                .expect("grid coordinates");
         let cfg = practical_cfg(0.1).with_embedding(EmbeddingMode::Hint(rot));
         let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
-        let lg = (fam.graph.n() as f64).log2();
+        (fam.graph.n(), fam.graph.m(), out.rounds())
+    });
+    for (n, m, rounds) in rows {
+        let lg = (n as f64).log2();
         println!(
             "{:<14} {:>5} {:>7} {:>10} {:>12.1}",
             "tri_grid",
-            fam.graph.n(),
-            fam.graph.m(),
-            out.rounds(),
-            out.rounds() as f64 / lg
+            n,
+            m,
+            rounds,
+            rounds as f64 / lg
         );
     }
 }
 
 /// E3 — rounds vs `1/ε` at fixed `n`.
 pub fn e3_rounds_vs_eps() {
-    header("E3 rounds vs eps (tri_grid)", "eps     phases   rounds    cut-fraction");
+    header(
+        "E3 rounds vs eps (tri_grid)",
+        "eps     phases   rounds    cut-fraction",
+    );
     let side = if quick() { 12 } else { 24 };
     let fam = planar::triangulated_grid(side, side);
-    for &eps in &[0.4, 0.3, 0.2, 0.1, 0.05] {
+    let rows = TrialRunner::auto().map(vec![0.4, 0.3, 0.2, 0.1, 0.05], |eps| {
         let cfg = TesterConfig::new(eps); // derived (paper) phase count
         let phases = cfg.phases(fam.graph.n());
-        let rot = hints::rotation_from_coordinates(&fam.graph, &hints::grid_coordinates(side, side))
-            .expect("grid");
-        let cfg = cfg.with_phases(phases.min(24)).with_embedding(EmbeddingMode::Hint(rot));
+        let rot =
+            hints::rotation_from_coordinates(&fam.graph, &hints::grid_coordinates(side, side))
+                .expect("grid");
+        let cfg = cfg
+            .with_phases(phases.min(24))
+            .with_embedding(EmbeddingMode::Hint(rot));
         let mut engine = Engine::new(&fam.graph, SimConfig::default());
         let p = run_partition(&mut engine, &cfg).expect("partition");
         let cut = p.state.cut_weight(&fam.graph) as f64 / fam.graph.m() as f64;
         let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
-        println!(
-            "{:<7} {:>6} {:>9} {:>10.4}",
-            eps,
-            phases,
-            out.rounds(),
-            cut
-        );
+        (eps, phases, out.rounds(), cut)
+    });
+    for (eps, phases, rounds, cut) in rows {
+        println!("{:<7} {:>6} {:>9} {:>10.4}", eps, phases, rounds, cut);
     }
 }
 
@@ -165,7 +187,9 @@ pub fn e4_weight_decay() {
     let cfg = practical_cfg(0.05).with_phases(8);
     let mut engine = Engine::new(&fam.graph, SimConfig::default());
     let det = run_partition(&mut engine, &cfg).expect("partition");
-    let rcfg = RandomPartitionConfig::new(0.05, 0.1).with_phases(8).with_seed(5);
+    let rcfg = RandomPartitionConfig::new(0.05, 0.1)
+        .with_phases(8)
+        .with_seed(5);
     let mut engine = Engine::new(&fam.graph, SimConfig::default());
     let rand = run_randomized_partition(&mut engine, &rcfg).expect("partition");
     let m = fam.graph.m() as f64;
@@ -213,7 +237,10 @@ pub fn e5_diameter() {
             audit.max_diameter,
             4u64.pow(t as u32 + 1)
         );
-        assert!((audit.max_diameter as u64) < 4u64.pow(t as u32 + 1), "Claim 4 violated");
+        assert!(
+            (audit.max_diameter as u64) < 4u64.pow(t as u32 + 1),
+            "Claim 4 violated"
+        );
     }
 }
 
@@ -226,15 +253,23 @@ pub fn e6_violations() {
     );
     let mut rng = StdRng::seed_from_u64(42);
     let nsz = scale(200, 80);
+    // Generation consumes the shared RNG sequentially (reproducible
+    // streams); the embedding + interval analysis fans across cores.
+    let planar_fams: Vec<Certified> = (0..5).map(|_| planar::apollonian(nsz, &mut rng)).collect();
+    let far_fams: Vec<Certified> = [nsz / 4, nsz / 2, nsz]
+        .into_iter()
+        .map(|k| nonplanar::planar_plus_chords(nsz, k, &mut rng))
+        .collect();
     // Planar inputs: Claim 10 predicts 0; we measure > 0 on most
     // Apollonian networks (the refutation).
-    let mut refuted = 0;
-    for _ in 0..5 {
-        let fam = planar::apollonian(nsz, &mut rng);
+    let planar_rows = TrialRunner::auto().map(planar_fams, |fam| {
         let rot = check_planarity(&fam.graph).into_rotation().expect("planar");
         let ivs = oracle::non_tree_intervals(&fam.graph, &rot, NodeId::new(0));
-        let v = oracle::count_violating_edges(&ivs);
-        refuted += (v > 0) as usize;
+        (fam, oracle::count_violating_edges(&ivs))
+    });
+    let mut refuted = 0;
+    for (fam, v) in planar_rows {
+        refuted += usize::from(v > 0);
         println!(
             "{:<28} {:>5} {:>7.3} {:>12} {:>12} {:>14}",
             fam.name,
@@ -247,11 +282,12 @@ pub fn e6_violations() {
     }
     println!("planar graphs with violations under valid embeddings: {refuted}/5");
     // Far inputs: Corollary 9's lower bound (which is sound) must hold.
-    for k in [nsz / 4, nsz / 2, nsz] {
-        let fam = nonplanar::planar_plus_chords(nsz, k, &mut rng);
+    let far_rows = TrialRunner::auto().map(far_fams, |fam| {
         let rot = planartest_embed::RotationSystem::from_adjacency(&fam.graph);
         let ivs = oracle::non_tree_intervals(&fam.graph, &rot, NodeId::new(0));
-        let v = oracle::count_violating_edges(&ivs);
+        (fam, oracle::count_violating_edges(&ivs))
+    });
+    for (fam, v) in far_rows {
         let bound = (fam.far_fraction() * fam.graph.m() as f64).floor() as usize;
         println!(
             "{:<28} {:>5} {:>7.3} {:>12} {:>12} {:>14}",
@@ -273,7 +309,11 @@ pub fn e7_lowerbound() {
         "E7 lower-bound construction (Theorem 2)",
         "n        m     removed   girth   ln(n)   far>=    blind-rounds",
     );
-    let sizes: Vec<usize> = if quick() { vec![200, 400] } else { vec![200, 400, 800, 1600, 3200] };
+    let sizes: Vec<usize> = if quick() {
+        vec![200, 400]
+    } else {
+        vec![200, 400, 800, 1600, 3200]
+    };
     for &n in &sizes {
         let inst = planartest_core::lowerbound::construct(n, 10, 99);
         let g = &inst.certified.graph;
@@ -287,7 +327,10 @@ pub fn e7_lowerbound() {
             inst.certified.far_fraction(),
             inst.max_blind_rounds(),
         );
-        assert!(inst.certified.far_fraction() > 0.2, "construction must stay far");
+        assert!(
+            inst.certified.far_fraction() > 0.2,
+            "construction must stay far"
+        );
     }
 }
 
@@ -315,7 +358,9 @@ pub fn e8_partition() {
         engine.stats().total_rounds()
     );
     for delta in [0.5, 0.1, 0.01] {
-        let rcfg = RandomPartitionConfig::new(0.1, delta).with_phases(8).with_seed(4);
+        let rcfg = RandomPartitionConfig::new(0.1, delta)
+            .with_phases(8)
+            .with_seed(4);
         let mut engine = Engine::new(&fam.graph, SimConfig::default());
         let p = run_randomized_partition(&mut engine, &rcfg).expect("partition");
         let audit = oracle::audit_partition(&fam.graph, &p);
@@ -343,9 +388,21 @@ pub fn e9_hereditary() {
     let cfg = practical_cfg(0.2).with_phases(6);
     let cases: Vec<(&str, Graph, bool)> = vec![
         ("cycle-free", planar::random_tree(nsz, &mut rng).graph, true),
-        ("cycle-free", planar::triangulated_grid(isqrt(nsz), isqrt(nsz)).graph, false),
-        ("bipartite", planar::grid(isqrt(nsz), isqrt(nsz)).graph, true),
-        ("bipartite", planar::triangulated_grid(isqrt(nsz), isqrt(nsz)).graph, false),
+        (
+            "cycle-free",
+            planar::triangulated_grid(isqrt(nsz), isqrt(nsz)).graph,
+            false,
+        ),
+        (
+            "bipartite",
+            planar::grid(isqrt(nsz), isqrt(nsz)).graph,
+            true,
+        ),
+        (
+            "bipartite",
+            planar::triangulated_grid(isqrt(nsz), isqrt(nsz)).graph,
+            false,
+        ),
     ];
     for (prop, g, expect_accept) in cases {
         let mut engine = Engine::new(&g, SimConfig::default());
@@ -419,7 +476,11 @@ pub fn e11_stage1_alt() {
         "E11 Stage I vs random-shift clustering",
         "algorithm        n      parts   cut/m    max_diam   rounds",
     );
-    let sizes: Vec<usize> = if quick() { vec![100, 256] } else { vec![256, 1024, 2304] };
+    let sizes: Vec<usize> = if quick() {
+        vec![100, 256]
+    } else {
+        vec![256, 1024, 2304]
+    };
     for &n in &sizes {
         let side = isqrt(n);
         let g = planar::triangulated_grid(side, side).graph;
@@ -465,9 +526,14 @@ pub fn e12_bandwidth() {
     ];
     for fam in graphs {
         for w in [2usize, 4, 8] {
-            let sim = SimConfig { max_words_per_message: w };
+            let sim = SimConfig {
+                max_words_per_message: w,
+                ..SimConfig::default()
+            };
             let cfg = practical_cfg(0.1).with_phases(6);
-            let out = PlanarityTester::new(cfg).with_sim_config(sim).run(&fam.graph);
+            let out = PlanarityTester::new(cfg)
+                .with_sim_config(sim)
+                .run(&fam.graph);
             match out {
                 Ok(out) => println!(
                     "{:<24} {:>3} {:>8} {:>10} {:>7} {:>8.2}",
@@ -502,6 +568,7 @@ pub fn run_all() {
     e10_spanner();
     e11_stage1_alt();
     e12_bandwidth();
+    runtime_bench();
 }
 
 #[cfg(test)]

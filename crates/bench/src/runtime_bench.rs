@@ -1,0 +1,291 @@
+//! Runtime benchmark: serial vs parallel engine throughput, tester
+//! n-sweeps, and trial-parallel sweep scaling — written both as a
+//! human-readable table and as machine-readable `BENCH_runtime.json`
+//! so the performance trajectory is tracked from PR to PR.
+
+use std::time::Instant;
+
+use planartest_core::PlanarityTester;
+use planartest_graph::generators::planar;
+use planartest_graph::{Graph, NodeId};
+use planartest_sim::runtime::{auto_threads, Backend, TrialRunner};
+use planartest_sim::{
+    Engine, Msg, NodeLogic, Outbox, ParallelEngine, ParallelNodeLogic, SimConfig,
+};
+
+use crate::json::Json;
+use crate::quick;
+
+/// The flood workload used for raw engine throughput, expressed both
+/// ways so each engine runs its native logic form.
+struct FloodLogic {
+    seen: Vec<bool>,
+}
+
+impl NodeLogic for FloodLogic {
+    fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+        if node.index() == 0 {
+            self.seen[0] = true;
+            out.send_all(Msg::words(&[1]));
+        }
+    }
+    fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
+        if !self.seen[node.index()] && !inbox.is_empty() {
+            self.seen[node.index()] = true;
+            out.send_all(Msg::words(&[1]));
+        }
+    }
+}
+
+struct FloodProgram;
+
+impl ParallelNodeLogic for FloodProgram {
+    type State = bool;
+    fn init(&self, node: NodeId, seen: &mut bool, out: &mut Outbox<'_>) {
+        if node.index() == 0 {
+            *seen = true;
+            out.send_all(Msg::words(&[1]));
+        }
+    }
+    fn round(&self, _: NodeId, seen: &mut bool, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
+        if !*seen && !inbox.is_empty() {
+            *seen = true;
+            out.send_all(Msg::words(&[1]));
+        }
+    }
+}
+
+/// Median-of-`reps` wall-clock seconds for `f` (quick mode: 1 rep).
+fn time_median<F: FnMut()>(mut f: F) -> f64 {
+    let reps = if quick() { 1 } else { 3 };
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// Thread counts to sweep: 1, 2, 4, … up to the hardware (always
+/// includes the hardware count itself).
+fn thread_sweep() -> Vec<usize> {
+    let max = auto_threads();
+    let mut counts = vec![1];
+    let mut t = 2;
+    while t < max {
+        counts.push(t);
+        t *= 2;
+    }
+    if max > 1 {
+        counts.push(max);
+    }
+    counts.dedup();
+    counts
+}
+
+/// Raw engine throughput on a flood over a triangulated grid
+/// (`n = side²`): serial engine vs worker pool at each thread count.
+fn engine_throughput(side: usize) -> Json {
+    let fam = planar::triangulated_grid(side, side);
+    let g = &fam.graph;
+
+    let mut serial_rounds = 0u64;
+    let serial_secs = time_median(|| {
+        let mut engine = Engine::new(g, SimConfig::default());
+        let mut logic = FloodLogic {
+            seen: vec![false; g.n()],
+        };
+        serial_rounds = engine.run(&mut logic, 1_000_000).expect("flood").rounds;
+    });
+    println!(
+        "engine flood   n={:<6} serial                 {:>10.1} rounds/s ({serial_rounds} rounds)",
+        g.n(),
+        serial_rounds as f64 / serial_secs
+    );
+
+    let mut parallel = Vec::new();
+    for threads in thread_sweep() {
+        let mut rounds = 0u64;
+        let secs = time_median(|| {
+            let mut engine = ParallelEngine::new(g, SimConfig::default()).with_threads(threads);
+            let mut states = vec![false; g.n()];
+            rounds = engine
+                .run(&FloodProgram, &mut states, 1_000_000)
+                .expect("flood")
+                .rounds;
+        });
+        assert_eq!(rounds, serial_rounds, "backends must agree on round count");
+        let speedup = serial_secs / secs;
+        println!(
+            "engine flood   n={:<6} parallel(threads={:<2}) {:>10.1} rounds/s (speedup {speedup:.2}x)",
+            g.n(),
+            threads,
+            rounds as f64 / secs
+        );
+        parallel.push(
+            Json::obj()
+                .field("threads", threads)
+                .field("seconds", secs)
+                .field("rounds_per_sec", rounds as f64 / secs)
+                .field("speedup_vs_serial", speedup),
+        );
+    }
+
+    Json::obj()
+        .field("workload", "flood_triangulated_grid")
+        .field("n", g.n())
+        .field("m", g.m())
+        .field("rounds", serial_rounds)
+        .field(
+            "serial",
+            Json::obj()
+                .field("seconds", serial_secs)
+                .field("rounds_per_sec", serial_rounds as f64 / serial_secs),
+        )
+        .field("parallel", parallel)
+}
+
+/// Tester wall-clock vs `n`, serial backend vs parallel backend.
+fn tester_n_sweep() -> Json {
+    let sides: Vec<usize> = if quick() {
+        vec![8, 16]
+    } else {
+        vec![16, 32, 64]
+    };
+    let mut rows = Vec::new();
+    for side in sides {
+        let fam = planar::triangulated_grid(side, side);
+        let g = &fam.graph;
+        let cfg = crate::practical_cfg(0.1);
+        let mut rounds = 0u64;
+        let serial_secs = time_median(|| {
+            let out = PlanarityTester::new(cfg.clone()).run(g).expect("run");
+            assert!(out.accepted());
+            rounds = out.rounds();
+        });
+        let parallel_secs = time_median(|| {
+            let out = PlanarityTester::new(cfg.clone())
+                .with_backend(Backend::Parallel { threads: 0 })
+                .run(g)
+                .expect("run");
+            assert!(out.accepted());
+            assert_eq!(out.rounds(), rounds, "backends must agree");
+        });
+        println!(
+            "tester sweep   n={:<6} serial {serial_secs:>8.3}s  parallel {parallel_secs:>8.3}s  ({rounds} rounds)",
+            g.n()
+        );
+        rows.push(
+            Json::obj()
+                .field("n", g.n())
+                .field("m", g.m())
+                .field("rounds", rounds)
+                .field("serial_seconds", serial_secs)
+                .field("parallel_seconds", parallel_secs),
+        );
+    }
+    Json::Arr(rows)
+}
+
+/// Trial-parallel Monte-Carlo sweep (the e1 workload shape): the same
+/// seeded tester runs fanned across cores by [`TrialRunner`].
+fn trial_sweep() -> Json {
+    let side = if quick() { 10 } else { 20 };
+    let trials = if quick() { 4 } else { 16 };
+    let fam = planar::triangulated_grid(side, side);
+    let g: &Graph = &fam.graph;
+
+    let run_trial = |seed: usize| {
+        let cfg = crate::practical_cfg(0.1).with_seed(seed as u64);
+        PlanarityTester::new(cfg).run(g).expect("run").accepted()
+    };
+
+    let mut verdicts_serial = Vec::new();
+    let serial_secs = time_median(|| {
+        verdicts_serial = TrialRunner::new(1).run(trials, run_trial);
+    });
+    let mut verdicts_parallel = Vec::new();
+    let parallel_secs = time_median(|| {
+        verdicts_parallel = TrialRunner::auto().run(trials, run_trial);
+    });
+    assert_eq!(
+        verdicts_parallel, verdicts_serial,
+        "trial order must be deterministic"
+    );
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "trial sweep    {trials} trials n={:<5} serial {serial_secs:>8.3}s  parallel({}) {parallel_secs:>8.3}s  speedup {speedup:.2}x",
+        g.n(),
+        TrialRunner::auto().threads(),
+    );
+
+    Json::obj()
+        .field("workload", "tester_acceptance_sweep")
+        .field("n", g.n())
+        .field("trials", trials)
+        .field("accepted", verdicts_serial.iter().filter(|&&a| a).count())
+        .field("serial_seconds", serial_secs)
+        .field("parallel_threads", TrialRunner::auto().threads())
+        .field("parallel_seconds", parallel_secs)
+        .field("speedup_vs_serial", speedup)
+}
+
+/// Builds the full benchmark document (also printed as tables).
+#[must_use]
+pub fn runtime_bench_document() -> Json {
+    println!("\n## runtime benchmark (serial vs parallel)");
+    let side = if quick() { 24 } else { 64 };
+    Json::obj()
+        .field("schema", "planartest-bench/runtime/v1")
+        .field("quick_mode", quick())
+        .field("hardware_threads", auto_threads())
+        .field("engine_throughput", engine_throughput(side))
+        .field("tester_n_sweep", tester_n_sweep())
+        .field("trial_sweep", trial_sweep())
+}
+
+/// Runs the benchmark and writes `BENCH_runtime.json` into the current
+/// directory (the repo root under `cargo run`).
+pub fn runtime_bench() {
+    let doc = runtime_bench_document();
+    let path = "BENCH_runtime.json";
+    std::fs::write(path, doc.pretty()).expect("write BENCH_runtime.json");
+    println!("wrote {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_sweep_starts_at_one() {
+        let sweep = thread_sweep();
+        assert_eq!(sweep[0], 1);
+        assert!(sweep.iter().all(|&t| t >= 1));
+        assert!(sweep.contains(&auto_threads()) || auto_threads() == 1);
+    }
+
+    #[test]
+    fn document_has_required_sections() {
+        // Force quick sizes regardless of the environment: the document
+        // builder itself reads `quick()`, so just verify on whatever
+        // size is configured but keep CI fast via PLANARTEST_QUICK.
+        if !quick() {
+            return; // full-size benches belong to `cargo run`, not tests
+        }
+        let doc = runtime_bench_document();
+        let text = doc.pretty();
+        for key in [
+            "engine_throughput",
+            "tester_n_sweep",
+            "trial_sweep",
+            "speedup_vs_serial",
+            "rounds_per_sec",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
+    }
+}

@@ -3,7 +3,8 @@
 
 use planartest_graph::NodeId;
 use planartest_sim::bfs::distributed_bfs;
-use planartest_sim::{Engine, Msg};
+use planartest_sim::EngineCore;
+use planartest_sim::Msg;
 
 use crate::comm;
 use crate::config::TesterConfig;
@@ -32,8 +33,8 @@ enum Witness {
     OddCycle,
 }
 
-fn run_hereditary(
-    engine: &mut Engine<'_>,
+fn run_hereditary<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
     witness: Witness,
 ) -> Result<HereditaryOutcome, CoreError> {
@@ -45,11 +46,14 @@ fn run_hereditary(
     rejecting.extend(detect_in_parts(engine, cfg, state, witness)?);
     rejecting.sort_unstable();
     rejecting.dedup();
-    Ok(HereditaryOutcome { rejecting, parts: state.part_count() })
+    Ok(HereditaryOutcome {
+        rejecting,
+        parts: state.part_count(),
+    })
 }
 
-fn detect_in_parts(
-    engine: &mut Engine<'_>,
+fn detect_in_parts<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
     state: &PartitionState,
     witness: Witness,
@@ -64,10 +68,15 @@ fn detect_in_parts(
         cfg.max_rounds,
     )?;
     // One exchange round: each node learns neighbour BFS levels.
-    let levels: Vec<u64> =
-        (0..g.n()).map(|v| bfs.level[v].expect("parts connected") as u64).collect();
+    let levels: Vec<u64> = (0..g.n())
+        .map(|v| bfs.level[v].expect("parts connected") as u64)
+        .collect();
     let lv = levels.clone();
-    let got = comm::exchange(engine, move |v, _| Some(Msg::words(&[lv[v.index()]])), cfg.max_rounds)?;
+    let got = comm::exchange(
+        engine,
+        move |v, _| Some(Msg::words(&[lv[v.index()]])),
+        cfg.max_rounds,
+    )?;
     let mut rejecting = Vec::new();
     for v in g.nodes() {
         for &(w, _) in g.neighbors(v) {
@@ -103,8 +112,8 @@ fn detect_in_parts(
 /// # Errors
 ///
 /// Infrastructure errors only.
-pub fn test_cycle_freeness(
-    engine: &mut Engine<'_>,
+pub fn test_cycle_freeness<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
 ) -> Result<HereditaryOutcome, CoreError> {
     run_hereditary(engine, cfg, Witness::AnyNonTreeEdge)
@@ -117,8 +126,8 @@ pub fn test_cycle_freeness(
 /// # Errors
 ///
 /// Infrastructure errors only.
-pub fn test_bipartiteness(
-    engine: &mut Engine<'_>,
+pub fn test_bipartiteness<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
 ) -> Result<HereditaryOutcome, CoreError> {
     run_hereditary(engine, cfg, Witness::OddCycle)
@@ -128,6 +137,7 @@ pub fn test_bipartiteness(
 mod tests {
     use super::*;
     use planartest_graph::generators::planar;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     fn cfg() -> TesterConfig {

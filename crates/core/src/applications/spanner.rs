@@ -7,7 +7,7 @@
 //! bounded by twice the part diameter = `poly(1/ε)`.
 
 use planartest_graph::{EdgeId, Graph};
-use planartest_sim::Engine;
+use planartest_sim::EngineCore;
 
 use crate::config::TesterConfig;
 use crate::error::CoreError;
@@ -34,8 +34,7 @@ impl Spanner {
     /// Exact maximum multiplicative stretch over all graph edges
     /// (oracle-style check: BFS in the spanner per edge endpoint).
     pub fn max_stretch(&self, g: &Graph) -> f64 {
-        let keep: std::collections::HashSet<u32> =
-            self.edges.iter().map(|e| e.raw()).collect();
+        let keep: std::collections::HashSet<u32> = self.edges.iter().map(|e| e.raw()).collect();
         let (sub, _) = g.edge_subgraph(|e| keep.contains(&e.raw()));
         let mut worst = 1.0f64;
         for (u, v) in g.edges() {
@@ -52,7 +51,10 @@ impl Spanner {
 /// # Errors
 ///
 /// Infrastructure errors only.
-pub fn build_spanner(engine: &mut Engine<'_>, cfg: &TesterConfig) -> Result<Spanner, CoreError> {
+pub fn build_spanner<'g, E: EngineCore<'g>>(
+    engine: &mut E,
+    cfg: &TesterConfig,
+) -> Result<Spanner, CoreError> {
     let partition = run_partition(engine, cfg)?;
     let g = engine.graph();
     let state = &partition.state;
@@ -69,13 +71,18 @@ pub fn build_spanner(engine: &mut Engine<'_>, cfg: &TesterConfig) -> Result<Span
             tree_edges += 1;
         }
     }
-    Ok(Spanner { edges, tree_edges, cut_edges })
+    Ok(Spanner {
+        edges,
+        tree_edges,
+        cut_edges,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use planartest_graph::generators::planar;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     #[test]

@@ -12,7 +12,7 @@
 
 use planartest_graph::{EdgeId, NodeId};
 use planartest_sim::bfs::distributed_bfs;
-use planartest_sim::Engine;
+use planartest_sim::EngineCore;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -38,7 +38,11 @@ impl RandomShiftConfig {
     /// Panics unless `0 < beta < 1`.
     pub fn new(beta: f64) -> Self {
         assert!(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
-        RandomShiftConfig { beta, seed: 0x5EED, max_rounds: 100_000_000 }
+        RandomShiftConfig {
+            beta,
+            seed: 0x5EED,
+            max_rounds: 100_000_000,
+        }
     }
 }
 
@@ -53,8 +57,8 @@ impl RandomShiftConfig {
 /// # Errors
 ///
 /// Infrastructure errors only.
-pub fn random_shift_partition(
-    engine: &mut Engine<'_>,
+pub fn random_shift_partition<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &RandomShiftConfig,
 ) -> Result<PartitionState, CoreError> {
     let g = engine.graph();
@@ -72,9 +76,7 @@ pub fn random_shift_partition(
     // Cluster assignment: centre(v) maximises shift_u - d(u, v). Computed
     // via a Dijkstra-style sweep on the shifted starts (centralized
     // stand-in for the staggered flood; rounds charged below).
-    let mut best: Vec<(i64, u32)> = (0..n)
-        .map(|v| (shifts[v] as i64, v as u32))
-        .collect();
+    let mut best: Vec<(i64, u32)> = (0..n).map(|v| (shifts[v] as i64, v as u32)).collect();
     let mut heap: std::collections::BinaryHeap<(i64, u32, u32)> = (0..n as u32)
         .map(|v| (shifts[v as usize] as i64, v, v))
         .collect();
@@ -120,8 +122,8 @@ pub fn random_shift_partition(
 /// # Errors
 ///
 /// Infrastructure errors only.
-pub fn shift_spanner(
-    engine: &mut Engine<'_>,
+pub fn shift_spanner<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &RandomShiftConfig,
 ) -> Result<Vec<EdgeId>, CoreError> {
     let state = random_shift_partition(engine, cfg)?;
@@ -130,8 +132,7 @@ pub fn shift_spanner(
     for e in g.edge_ids() {
         let (u, v) = g.endpoints(e);
         let cut = state.root[u.index()] != state.root[v.index()];
-        let tree =
-            state.parent[u.index()] == Some(v) || state.parent[v.index()] == Some(u);
+        let tree = state.parent[u.index()] == Some(v) || state.parent[v.index()] == Some(u);
         if cut || tree {
             edges.push(e);
         }
@@ -151,6 +152,7 @@ fn shift_rng(seed: u64, node: u64) -> StdRng {
 mod tests {
     use super::*;
     use planartest_graph::generators::planar;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     #[test]
@@ -178,7 +180,10 @@ mod tests {
             state.cut_weight(&g)
         };
         // Statistical tendency with fixed seeds; chosen to hold here.
-        assert!(cut_at(0.05) <= cut_at(0.8), "low beta should cut fewer edges");
+        assert!(
+            cut_at(0.05) <= cut_at(0.8),
+            "low beta should cut fewer edges"
+        );
     }
 
     #[test]

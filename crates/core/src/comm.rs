@@ -16,17 +16,19 @@ use std::collections::VecDeque;
 
 use planartest_graph::NodeId;
 use planartest_sim::tree::TreeTopology;
-use planartest_sim::{Engine, Msg, NodeLogic, Outbox, SimError};
+use planartest_sim::EngineCore;
+use planartest_sim::{Msg, NodeLogic, Outbox, SimError};
 
 /// One round in which every node sends `msg_for(v, w)` to each neighbour
 /// `w` (skipping `None`s); returns what each node received as
 /// `(from, msg)` pairs sorted by sender.
-pub fn exchange<F>(
-    engine: &mut Engine<'_>,
+pub fn exchange<'g, E, F>(
+    engine: &mut E,
     mut msg_for: F,
     max_rounds: u64,
 ) -> Result<Vec<Vec<(NodeId, Msg)>>, SimError>
 where
+    E: EngineCore<'g>,
     F: FnMut(NodeId, NodeId) -> Option<Msg>,
 {
     struct Logic<'f, F> {
@@ -48,8 +50,11 @@ where
         }
     }
     let n = engine.graph().n();
-    let mut logic = Logic { msg_for: &mut msg_for, received: vec![Vec::new(); n] };
-    engine.run(&mut logic, max_rounds)?;
+    let mut logic = Logic {
+        msg_for: &mut msg_for,
+        received: vec![Vec::new(); n],
+    };
+    engine.run_logic(&mut logic, max_rounds)?;
     for r in &mut logic.received {
         r.sort_by_key(|&(from, _)| from);
     }
@@ -57,7 +62,11 @@ where
 }
 
 fn engine_neighbors(out: &Outbox<'_>, node: NodeId) -> Vec<NodeId> {
-    out.graph().neighbors(node).iter().map(|&(w, _)| w).collect()
+    out.graph()
+        .neighbors(node)
+        .iter()
+        .map(|&(w, _)| w)
+        .collect()
 }
 
 /// How [`census`] merges two values of the same key.
@@ -186,8 +195,8 @@ impl NodeLogic for CensusLogic<'_> {
 /// # Errors
 ///
 /// Propagates engine [`SimError`]s.
-pub fn census(
-    engine: &mut Engine<'_>,
+pub fn census<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     tree: &TreeTopology,
     local_items: &[Vec<(u32, u64)>],
     cap: usize,
@@ -213,7 +222,7 @@ pub fn census(
             logic.overflow[v] = true;
         }
     }
-    engine.run(&mut logic, max_rounds)?;
+    engine.run_logic(&mut logic, max_rounds)?;
     Ok(logic.result)
 }
 
@@ -266,8 +275,8 @@ impl NodeLogic for StreamBroadcastLogic<'_> {
 /// # Errors
 ///
 /// Propagates engine [`SimError`]s.
-pub fn stream_broadcast(
-    engine: &mut Engine<'_>,
+pub fn stream_broadcast<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     tree: &TreeTopology,
     payload: Vec<Vec<Msg>>,
     max_rounds: u64,
@@ -282,7 +291,7 @@ pub fn stream_broadcast(
         queue: payload.into_iter().map(VecDeque::from).collect(),
         received: vec![Vec::new(); n],
     };
-    engine.run(&mut logic, max_rounds)?;
+    engine.run_logic(&mut logic, max_rounds)?;
     Ok(logic.received)
 }
 
@@ -347,8 +356,8 @@ impl NodeLogic for UpStreamLogic<'_> {
 /// # Errors
 ///
 /// Propagates engine [`SimError`]s.
-pub fn up_stream(
-    engine: &mut Engine<'_>,
+pub fn up_stream<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     tree: &TreeTopology,
     items: Vec<Vec<Msg>>,
     max_rounds: u64,
@@ -359,7 +368,7 @@ pub fn up_stream(
         queue: items.into_iter().map(VecDeque::from).collect(),
         collected: vec![Vec::new(); n],
     };
-    engine.run(&mut logic, max_rounds)?;
+    engine.run_logic(&mut logic, max_rounds)?;
     Ok(logic.collected)
 }
 
@@ -367,6 +376,7 @@ pub fn up_stream(
 mod tests {
     use super::*;
     use planartest_graph::Graph;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     /// Path 0-1-2-3-4 rooted at 0; separate root 5 attached to 4? No — 5
@@ -388,8 +398,12 @@ mod tests {
     fn exchange_roundtrip() {
         let g = Graph::from_edges(3, [(0, 1), (1, 2)]).unwrap();
         let mut engine = Engine::new(&g, SimConfig::default());
-        let got = exchange(&mut engine, |v, w| Some(Msg::words(&[(v.raw() * 10 + w.raw()) as u64])), 10)
-            .unwrap();
+        let got = exchange(
+            &mut engine,
+            |v, w| Some(Msg::words(&[(v.raw() * 10 + w.raw()) as u64])),
+            10,
+        )
+        .unwrap();
         assert_eq!(got[0].len(), 1);
         assert_eq!(got[1].len(), 2);
         assert_eq!(got[0][0].1.word(0), 10); // from node 1 to node 0
@@ -403,7 +417,13 @@ mod tests {
         let mut engine = Engine::new(&g, SimConfig::default());
         let got = exchange(
             &mut engine,
-            |v, _| if v.index() == 1 { Some(Msg::ping()) } else { None },
+            |v, _| {
+                if v.index() == 1 {
+                    Some(Msg::ping())
+                } else {
+                    None
+                }
+            },
             10,
         )
         .unwrap();
@@ -434,8 +454,15 @@ mod tests {
         let (g, tree) = setup();
         let mut engine = Engine::new(&g, SimConfig::default());
         // Nodes 1..=4 contribute distinct keys; cap is 2.
-        let items: Vec<Vec<(u32, u64)>> =
-            (0..6).map(|v| if (1..=4).contains(&v) { vec![(v as u32, 1)] } else { vec![] }).collect();
+        let items: Vec<Vec<(u32, u64)>> = (0..6)
+            .map(|v| {
+                if (1..=4).contains(&v) {
+                    vec![(v as u32, 1)]
+                } else {
+                    vec![]
+                }
+            })
+            .collect();
         let out = census(&mut engine, &tree, &items, 2, MergeOp::Sum, 1000).unwrap();
         let c0 = out[0].as_ref().unwrap();
         assert!(c0.overflow);
@@ -460,21 +487,26 @@ mod tests {
         let mut payload = vec![Vec::new(); 6];
         payload[0] = vec![Msg::words(&[1]), Msg::words(&[2]), Msg::words(&[3])];
         let got = stream_broadcast(&mut engine, &tree, payload, 1000).unwrap();
-        for v in 1..5 {
-            let words: Vec<u64> = got[v].iter().map(|m| m.word(0)).collect();
+        for (v, msgs) in got.iter().enumerate().take(5).skip(1) {
+            let words: Vec<u64> = msgs.iter().map(|m| m.word(0)).collect();
             assert_eq!(words, vec![1, 2, 3], "node {v}");
         }
         assert!(got[5].is_empty());
         // Pipelined: depth 4 + 3 messages - 1 = 6-ish rounds, not 12.
-        assert!(engine.stats().rounds <= 8, "rounds {}", engine.stats().rounds);
+        assert!(
+            engine.stats().rounds <= 8,
+            "rounds {}",
+            engine.stats().rounds
+        );
     }
 
     #[test]
     fn up_stream_collects_everything() {
         let (g, tree) = setup();
         let mut engine = Engine::new(&g, SimConfig::default());
-        let items: Vec<Vec<Msg>> =
-            (0..6).map(|v| vec![Msg::words(&[v as u64]), Msg::words(&[100 + v as u64])]).collect();
+        let items: Vec<Vec<Msg>> = (0..6)
+            .map(|v| vec![Msg::words(&[v as u64]), Msg::words(&[100 + v as u64])])
+            .collect();
         let got = up_stream(&mut engine, &tree, items, 1000).unwrap();
         let mut words: Vec<u64> = got[0].iter().map(|(_, m)| m.word(0)).collect();
         words.sort_unstable();

@@ -146,7 +146,7 @@ mod tests {
         assert_eq!(cfg.peel_threshold(), 9);
         // t = ln(20)/-ln(35/36) ~ 106 with the paper's pessimistic decay.
         let t = cfg.phases(1000);
-        assert!(t >= 100 && t <= 120, "t={t}");
+        assert!((100..=120).contains(&t), "t={t}");
         assert!(cfg.peel_super_rounds(1024) == 40);
         assert!(cfg.sample_size(1000) >= 100);
     }

@@ -29,7 +29,10 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Sim(e) => write!(f, "simulation error: {e}"),
             CoreError::SampleOverflow { drawn, budget } => {
-                write!(f, "sampled {drawn} edges, budget {budget} (1/poly(n) event)")
+                write!(
+                    f,
+                    "sampled {drawn} edges, budget {budget} (1/poly(n) event)"
+                )
             }
         }
     }
@@ -59,7 +62,10 @@ mod tests {
         let e = CoreError::from(SimError::RoundLimitExceeded { limit: 9 });
         assert!(e.to_string().contains("simulation error"));
         assert!(std::error::Error::source(&e).is_some());
-        let o = CoreError::SampleOverflow { drawn: 10, budget: 5 };
+        let o = CoreError::SampleOverflow {
+            drawn: 10,
+            budget: 5,
+        };
         assert!(o.to_string().contains("budget 5"));
         assert!(std::error::Error::source(&o).is_none());
     }

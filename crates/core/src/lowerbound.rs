@@ -54,7 +54,9 @@ pub fn construct(n: usize, ck2: u32, seed: u64) -> LowerBoundInstance {
     let measured_girth = girth(&g);
     let excess = euler_excess(g.n(), g.m());
     let status = if excess > 0 {
-        PlanarityStatus::FarFromPlanar { min_removals: excess }
+        PlanarityStatus::FarFromPlanar {
+            min_removals: excess,
+        }
     } else {
         PlanarityStatus::Unknown
     };
@@ -80,7 +82,11 @@ mod tests {
         let g = &inst.certified.graph;
         // Girth at least the threshold.
         if let Some(girth) = inst.girth {
-            assert!(girth >= inst.girth_threshold, "girth {girth} < {}", inst.girth_threshold);
+            assert!(
+                girth >= inst.girth_threshold,
+                "girth {girth} < {}",
+                inst.girth_threshold
+            );
         }
         // Density stayed well above planar (few removals, Claim 12).
         assert!(
@@ -90,7 +96,11 @@ mod tests {
             g.n(),
             inst.removed_edges
         );
-        assert!(inst.certified.far_fraction() > 0.1, "{}", inst.certified.far_fraction());
+        assert!(
+            inst.certified.far_fraction() > 0.1,
+            "{}",
+            inst.certified.far_fraction()
+        );
         // Blind-round budget is positive: a 1-round tester cannot reject.
         assert!(inst.max_blind_rounds() >= 1);
     }

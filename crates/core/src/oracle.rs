@@ -16,13 +16,19 @@ pub fn label_nodes(g: &Graph, rot: &RotationSystem, root: NodeId) -> Vec<Option<
     let mut labels: Vec<Option<Label>> = vec![None; g.n()];
     labels[root.index()] = Some(Label::root());
     for &v in bfs.order() {
-        let vl = labels[v.index()].clone().expect("BFS order labels parents first");
+        let vl = labels[v.index()]
+            .clone()
+            .expect("BFS order labels parents first");
         let order = rot.order_at(v);
         if order.is_empty() {
             continue;
         }
         let start = match bfs.parent_edge(v) {
-            Some(pe) => order.iter().position(|&e| e == pe).map(|i| i + 1).unwrap_or(0),
+            Some(pe) => order
+                .iter()
+                .position(|&e| e == pe)
+                .map(|i| i + 1)
+                .unwrap_or(0),
             None => 0,
         };
         let mut digit = 1u32;
@@ -79,11 +85,14 @@ pub fn count_violating_edges(intervals: &[LabeledEdge]) -> usize {
     all.sort_by(|a, b| a.lex_cmp(b));
     all.dedup_by(|a, b| a.lex_cmp(b) == std::cmp::Ordering::Equal);
     let rank = |l: &Label| -> usize {
-        all.binary_search_by(|p| p.lex_cmp(l)).expect("endpoint inserted")
+        all.binary_search_by(|p| p.lex_cmp(l))
+            .expect("endpoint inserted")
     };
     let m = all.len();
-    let ivs: Vec<(usize, usize)> =
-        intervals.iter().map(|iv| (rank(&iv.lo), rank(&iv.hi))).collect();
+    let ivs: Vec<(usize, usize)> = intervals
+        .iter()
+        .map(|iv| (rank(&iv.lo), rank(&iv.hi)))
+        .collect();
 
     // max_b[p] = largest right endpoint among intervals opening at p;
     // min_a[p] = smallest left endpoint among intervals closing at p.
@@ -105,8 +114,8 @@ pub fn count_violating_edges(intervals: &[LabeledEdge]) -> usize {
         if b - a < 2 {
             continue; // nothing strictly inside
         }
-        let crosses = st_max.query(a + 1, b - 1) > b as i64
-            || st_min.query(a + 1, b - 1) < a as i64;
+        let crosses =
+            st_max.query(a + 1, b - 1) > b as i64 || st_min.query(a + 1, b - 1) < a as i64;
         if crosses {
             count += 1;
         }
@@ -149,8 +158,10 @@ pub fn audit_partition(g: &Graph, p: &Partition) -> PartitionAudit {
         if !cc.is_connected() {
             connected = false;
         } else if !mem.is_empty() {
-            max_diam = max_diam
-                .max(planartest_graph::algo::bfs::component_diameter(&sub, NodeId::new(0)));
+            max_diam = max_diam.max(planartest_graph::algo::bfs::component_diameter(
+                &sub,
+                NodeId::new(0),
+            ));
         }
     }
     let cut = p.state.cut_weight(g);
@@ -158,7 +169,11 @@ pub fn audit_partition(g: &Graph, p: &Partition) -> PartitionAudit {
         parts_connected: connected,
         parts: members.len(),
         cut_edges: cut,
-        cut_fraction: if g.m() == 0 { 0.0 } else { cut as f64 / g.m() as f64 },
+        cut_fraction: if g.m() == 0 {
+            0.0
+        } else {
+            cut as f64 / g.m() as f64
+        },
         max_diameter: max_diam,
     }
 }
@@ -313,8 +328,7 @@ mod tests {
     fn audit_partition_reports() {
         let g = planar::grid(5, 5).graph;
         let cfg = crate::TesterConfig::new(0.2).with_phases(4);
-        let mut engine =
-            planartest_sim::Engine::new(&g, planartest_sim::SimConfig::default());
+        let mut engine = planartest_sim::Engine::new(&g, planartest_sim::SimConfig::default());
         let p = crate::partition::run_partition(&mut engine, &cfg).unwrap();
         let audit = audit_partition(&g, &p);
         assert!(audit.parts_connected);

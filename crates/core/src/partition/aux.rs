@@ -27,8 +27,7 @@ impl AuxForest {
         let mut nodes = all_parts.to_vec();
         nodes.sort_unstable();
         nodes.dedup();
-        let idx: HashMap<u32, usize> =
-            nodes.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+        let idx: HashMap<u32, usize> = nodes.iter().enumerate().map(|(i, &r)| (r, i)).collect();
         let mut parent = vec![None; nodes.len()];
         let mut children = vec![Vec::new(); nodes.len()];
         for (&from, &(to, w)) in selections {
@@ -39,7 +38,11 @@ impl AuxForest {
         for c in &mut children {
             c.sort_unstable();
         }
-        AuxForest { nodes, parent, children }
+        AuxForest {
+            nodes,
+            parent,
+            children,
+        }
     }
 
     fn n(&self) -> usize {
@@ -104,7 +107,10 @@ impl AuxForest {
         // Verify properness along out-edges.
         for v in 0..n {
             if let Some((p, _)) = self.parent[v] {
-                assert_ne!(color[v], color[p], "Cole-Vishkin produced an improper colouring");
+                assert_ne!(
+                    color[v], color[p],
+                    "Cole-Vishkin produced an improper colouring"
+                );
             }
         }
         (color.iter().map(|&c| c as u8 + 1).collect(), hops)
@@ -118,8 +124,7 @@ impl AuxForest {
         for v in 0..n {
             match colors[v] {
                 1 => {
-                    let in_sum: u64 = self
-                        .children[v]
+                    let in_sum: u64 = self.children[v]
                         .iter()
                         .map(|&c| self.parent[c].expect("children have out-edges").1)
                         .sum();
@@ -133,14 +138,15 @@ impl AuxForest {
                     }
                 }
                 2 => {
-                    let in3: Vec<usize> = self
-                        .children[v]
+                    let in3: Vec<usize> = self.children[v]
                         .iter()
                         .copied()
                         .filter(|&c| colors[c] == 3)
                         .collect();
-                    let in3_sum: u64 =
-                        in3.iter().map(|&c| self.parent[c].expect("child edge").1).sum();
+                    let in3_sum: u64 = in3
+                        .iter()
+                        .map(|&c| self.parent[c].expect("child edge").1)
+                        .sum();
                     match self.parent[v] {
                         Some((p, w_out)) if colors[p] == 3 && w_out >= in3_sum => {
                             marked[v] = true;
@@ -203,19 +209,23 @@ impl AuxForest {
 
         // T-root of each node (walk up; height is small by [10]).
         let mut t_root = vec![0usize; n];
-        for v in 0..n {
+        for (v, slot) in t_root.iter_mut().enumerate() {
             let mut cur = v;
             while let Some(p) = t_parent(cur) {
                 cur = p;
             }
-            t_root[v] = cur;
+            *slot = cur;
         }
         let mut w_even: HashMap<usize, u64> = HashMap::new();
         let mut w_odd: HashMap<usize, u64> = HashMap::new();
         for v in 0..n {
             if marked[v] {
                 let w = self.parent[v].expect("marked out-edge").1;
-                let bucket = if level[v] % 2 == 0 { &mut w_even } else { &mut w_odd };
+                let bucket = if level[v] % 2 == 0 {
+                    &mut w_even
+                } else {
+                    &mut w_odd
+                };
                 *bucket.entry(t_root[v]).or_insert(0) += w;
             }
         }
@@ -246,8 +256,7 @@ mod tests {
     use super::*;
 
     fn forest(parts: &[u32], sel: &[(u32, u32, u64)]) -> AuxForest {
-        let map: HashMap<u32, (u32, u64)> =
-            sel.iter().map(|&(a, b, w)| (a, (b, w))).collect();
+        let map: HashMap<u32, (u32, u64)> = sel.iter().map(|&(a, b, w)| (a, (b, w))).collect();
         AuxForest::new(parts, &map)
     }
 
@@ -348,8 +357,10 @@ mod tests {
         let f = forest(&parts, &sel);
         let (colors, _) = f.cole_vishkin();
         let marked = f.marking(&colors);
-        let marked_w: u64 =
-            (0..6).filter(|&v| marked[v]).map(|v| f.parent[v].unwrap().1).sum();
+        let marked_w: u64 = (0..6)
+            .filter(|&v| marked[v])
+            .map(|v| f.parent[v].unwrap().1)
+            .sum();
         let (contracts, _, _) = f.contract_decisions(&marked);
         let contracted_w: u64 = contracts.iter().map(|&(c, _)| f.parent[c].unwrap().1).sum();
         assert!(2 * contracted_w >= marked_w, "{contracted_w} vs {marked_w}");

@@ -13,7 +13,8 @@ use std::collections::HashMap;
 
 use planartest_graph::NodeId;
 use planartest_sim::tree::TreeTopology;
-use planartest_sim::{Engine, Msg};
+use planartest_sim::EngineCore;
+use planartest_sim::Msg;
 
 use crate::comm::{self, MergeOp};
 use crate::config::TesterConfig;
@@ -57,8 +58,8 @@ struct RootScratch {
     cand_deact: HashMap<u32, u32>,
 }
 
-pub(crate) fn run_forest_decomposition(
-    engine: &mut Engine<'_>,
+pub(crate) fn run_forest_decomposition<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
     state: &PartitionState,
     tree: &TreeTopology,
@@ -108,11 +109,20 @@ pub(crate) fn run_forest_decomposition(
         let statuses = planartest_sim::tree::broadcast(
             engine,
             tree,
-            |r| Some(Msg::words(&[*status_of_root.get(&r.raw()).expect("root known")])),
+            |r| {
+                Some(Msg::words(&[*status_of_root
+                    .get(&r.raw())
+                    .expect("root known")]))
+            },
             max_rounds,
         )?;
         let my_status: Vec<u64> = (0..n)
-            .map(|v| statuses[v].as_ref().expect("all nodes are in some part").word(0))
+            .map(|v| {
+                statuses[v]
+                    .as_ref()
+                    .expect("all nodes are in some part")
+                    .word(0)
+            })
             .collect();
 
         // R2: boundary exchange of (my root, my part's status).
@@ -126,7 +136,10 @@ pub(crate) fn run_forest_decomposition(
                     .iter()
                     .any(|&(x, r)| x == w && r != roots[v.index()].raw());
                 if different {
-                    Some(Msg::words(&[roots[v.index()].raw() as u64, my_status_c[v.index()]]))
+                    Some(Msg::words(&[
+                        roots[v.index()].raw() as u64,
+                        my_status_c[v.index()],
+                    ]))
                 } else {
                     None
                 }
@@ -158,8 +171,7 @@ pub(crate) fn run_forest_decomposition(
         let active_census =
             comm::census(engine, tree, &active_items, cap, MergeOp::Sum, max_rounds)?;
         // R4: census of parts that deactivated last super-round.
-        let newly_census =
-            comm::census(engine, tree, &newly_items, cap, MergeOp::Min, max_rounds)?;
+        let newly_census = comm::census(engine, tree, &newly_items, cap, MergeOp::Min, max_rounds)?;
 
         // Root decisions (local computation).
         for v in g.nodes() {
@@ -174,7 +186,9 @@ pub(crate) fn run_forest_decomposition(
                 }
             }
             if sc.deact_round.is_none() {
-                let census = active_census[v.index()].as_ref().expect("census reaches root");
+                let census = active_census[v.index()]
+                    .as_ref()
+                    .expect("census reaches root");
                 let active_neighbors = census.items.len();
                 if !census.overflow && active_neighbors <= cfg.peel_threshold() {
                     sc.deact_round = Some(ell);
@@ -187,7 +201,10 @@ pub(crate) fn run_forest_decomposition(
     }
 
     // Final assembly: orientation of out-edges per §2.1.6.
-    let mut outcome = PeelOutcome { super_rounds_used, ..Default::default() };
+    let mut outcome = PeelOutcome {
+        super_rounds_used,
+        ..Default::default()
+    };
     for v in g.nodes() {
         if state.root[v.index()] != v {
             continue;
@@ -212,7 +229,13 @@ pub(crate) fn run_forest_decomposition(
                         out_edges.push((target, weight));
                     }
                 }
-                outcome.parts.insert(v.raw(), PartPeelInfo { deact_round: mine, out_edges });
+                outcome.parts.insert(
+                    v.raw(),
+                    PartPeelInfo {
+                        deact_round: mine,
+                        out_edges,
+                    },
+                );
             }
         }
     }
@@ -233,6 +256,7 @@ mod tests {
     use super::*;
     use planartest_graph::generators::{nonplanar, planar};
     use planartest_graph::Graph;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     fn peel_graph(g: &Graph, cfg: &TesterConfig) -> PeelOutcome {
@@ -290,8 +314,11 @@ mod tests {
                 incoming.entry(t).or_default().push(r);
             }
         }
-        let mut queue: Vec<u32> =
-            outdeg.iter().filter(|&(_, &d)| d == 0).map(|(&r, _)| r).collect();
+        let mut queue: Vec<u32> = outdeg
+            .iter()
+            .filter(|&(_, &d)| d == 0)
+            .map(|(&r, _)| r)
+            .collect();
         let mut removed = 0;
         while let Some(r) = queue.pop() {
             removed += 1;
@@ -303,7 +330,11 @@ mod tests {
                 }
             }
         }
-        assert_eq!(removed, out.parts.len(), "out-edge orientation contains a cycle");
+        assert_eq!(
+            removed,
+            out.parts.len(),
+            "out-edge orientation contains a cycle"
+        );
     }
 
     #[test]

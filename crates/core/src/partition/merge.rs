@@ -6,7 +6,8 @@ use std::collections::HashMap;
 
 use planartest_graph::NodeId;
 use planartest_sim::tree::{broadcast, convergecast};
-use planartest_sim::{Engine, Msg};
+use planartest_sim::EngineCore;
+use planartest_sim::Msg;
 
 use crate::comm;
 use crate::config::TesterConfig;
@@ -27,8 +28,8 @@ pub(crate) enum Selection {
 const NONE_SENTINEL: u64 = u64::MAX;
 
 /// Executes the merging step, updating `state` in place.
-pub(crate) fn run_merge(
-    engine: &mut Engine<'_>,
+pub(crate) fn run_merge<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
     state: &mut PartitionState,
     peel: &PeelOutcome,
@@ -92,11 +93,13 @@ pub(crate) fn run_merge(
         engine,
         &tree,
         move |node, kids: &[(NodeId, Msg)]| {
-            let mut best = kids.iter().map(|(_, m)| m.word(0)).min().unwrap_or(u64::MAX);
+            let mut best = kids
+                .iter()
+                .map(|(_, m)| m.word(0))
+                .min()
+                .unwrap_or(u64::MAX);
             let t = target_at_c[node.index()];
-            if t != NONE_SENTINEL
-                && nbr[node.index()].iter().any(|&(_, r)| r as u64 == t)
-            {
+            if t != NONE_SENTINEL && nbr[node.index()].iter().any(|&(_, r)| r as u64 == t) {
                 best = best.min(node.raw() as u64);
             }
             Msg::words(&[best])
@@ -119,7 +122,12 @@ pub(crate) fn run_merge(
     let winners = broadcast(
         engine,
         &tree,
-        move |r| Some(Msg::words(&[winner_of_root.get(&r.raw()).copied().unwrap_or(NONE_SENTINEL)])),
+        move |r| {
+            Some(Msg::words(&[winner_of_root
+                .get(&r.raw())
+                .copied()
+                .unwrap_or(NONE_SENTINEL)]))
+        },
         max_rounds,
     )?;
     // In-charge nodes and their cross endpoints.
@@ -180,7 +188,11 @@ pub(crate) fn run_merge(
             path.push(p);
             cur = p;
         }
-        debug_assert_eq!(cur.raw(), child_root, "in-charge node must be in the child part");
+        debug_assert_eq!(
+            cur.raw(),
+            child_root,
+            "in-charge node must be in the child part"
+        );
         for w in path.windows(2) {
             state.parent[w[1].index()] = Some(w[0]);
         }
@@ -198,6 +210,7 @@ pub(crate) fn run_merge(
 mod tests {
     use super::*;
     use planartest_graph::generators::planar;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     /// Run one full phase (peel + merge) on a small graph and check the
@@ -220,9 +233,20 @@ mod tests {
         .unwrap();
         assert!(peel.rejected.is_empty());
         let parts_before = state.part_count();
-        run_merge(&mut engine, &cfg, &mut state, &peel, &nbr, Selection::Heaviest).unwrap();
+        run_merge(
+            &mut engine,
+            &cfg,
+            &mut state,
+            &peel,
+            &nbr,
+            Selection::Heaviest,
+        )
+        .unwrap();
         let parts_after = state.part_count();
-        assert!(parts_after < parts_before, "{parts_after} !< {parts_before}");
+        assert!(
+            parts_after < parts_before,
+            "{parts_after} !< {parts_before}"
+        );
         // Lemma 6: trees valid, roots consistent, parts connected.
         let t2 = state.tree(&g);
         for v in g.nodes() {

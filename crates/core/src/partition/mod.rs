@@ -26,7 +26,8 @@ pub mod randomized;
 
 use planartest_graph::{Graph, NodeId};
 use planartest_sim::tree::TreeTopology;
-use planartest_sim::{Engine, Msg};
+use planartest_sim::EngineCore;
+use planartest_sim::Msg;
 
 use crate::comm;
 use crate::config::TesterConfig;
@@ -45,7 +46,10 @@ pub struct PartitionState {
 impl PartitionState {
     /// The singleton partition (each node its own part).
     pub fn singletons(g: &Graph) -> Self {
-        PartitionState { root: g.nodes().collect(), parent: vec![None; g.n()] }
+        PartitionState {
+            root: g.nodes().collect(),
+            parent: vec![None; g.n()],
+        }
     }
 
     /// Builds the (validated) tree topology of the current partition.
@@ -83,8 +87,7 @@ impl PartitionState {
 
     /// Members of each part, keyed by root raw id.
     pub fn members_by_root(&self) -> std::collections::HashMap<u32, Vec<NodeId>> {
-        let mut map: std::collections::HashMap<u32, Vec<NodeId>> =
-            std::collections::HashMap::new();
+        let mut map: std::collections::HashMap<u32, Vec<NodeId>> = std::collections::HashMap::new();
         for (v, r) in self.root.iter().enumerate() {
             map.entry(r.raw()).or_default().push(NodeId::new(v));
         }
@@ -138,7 +141,10 @@ impl Partition {
 ///
 /// Returns infrastructure errors only; rejection is reported in the
 /// returned [`Partition`].
-pub fn run_partition(engine: &mut Engine<'_>, cfg: &TesterConfig) -> Result<Partition, CoreError> {
+pub fn run_partition<'g, E: EngineCore<'g>>(
+    engine: &mut E,
+    cfg: &TesterConfig,
+) -> Result<Partition, CoreError> {
     let g = engine.graph();
     let mut state = PartitionState::singletons(g);
     let mut rejected: Vec<NodeId> = Vec::new();
@@ -159,13 +165,7 @@ pub fn run_partition(engine: &mut Engine<'_>, cfg: &TesterConfig) -> Result<Part
         }
 
         // Forest-decomposition step (message-level super-rounds).
-        let peel = forest::run_forest_decomposition(
-            engine,
-            cfg,
-            &state,
-            &tree,
-            &neighbor_roots,
-        )?;
+        let peel = forest::run_forest_decomposition(engine, cfg, &state, &tree, &neighbor_roots)?;
         rejected.extend(peel.rejected.iter().copied());
         if !peel.rejected.is_empty() {
             // Stage I failed (Definition 2): stop partitioning; the
@@ -182,7 +182,14 @@ pub fn run_partition(engine: &mut Engine<'_>, cfg: &TesterConfig) -> Result<Part
 
         // Merging step: heaviest out-edge selection, CHW marking and star
         // contraction.
-        merge::run_merge(engine, cfg, &mut state, &peel, &neighbor_roots, merge::Selection::Heaviest)?;
+        merge::run_merge(
+            engine,
+            cfg,
+            &mut state,
+            &peel,
+            &neighbor_roots,
+            merge::Selection::Heaviest,
+        )?;
 
         phases.push(PhaseMetrics {
             phase,
@@ -195,12 +202,16 @@ pub fn run_partition(engine: &mut Engine<'_>, cfg: &TesterConfig) -> Result<Part
 
     rejected.sort_unstable();
     rejected.dedup();
-    Ok(Partition { state, rejected, phases })
+    Ok(Partition {
+        state,
+        rejected,
+        phases,
+    })
 }
 
 /// One exchange round: every node learns `(neighbour, neighbour's root)`.
-pub(crate) fn exchange_roots(
-    engine: &mut Engine<'_>,
+pub(crate) fn exchange_roots<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     state: &PartitionState,
     max_rounds: u64,
 ) -> Result<Vec<Vec<(NodeId, u32)>>, CoreError> {
@@ -212,7 +223,11 @@ pub(crate) fn exchange_roots(
     )?;
     Ok(received
         .into_iter()
-        .map(|msgs| msgs.into_iter().map(|(from, m)| (from, m.word(0) as u32)).collect())
+        .map(|msgs| {
+            msgs.into_iter()
+                .map(|(from, m)| (from, m.word(0) as u32))
+                .collect()
+        })
         .collect())
 }
 
@@ -227,6 +242,7 @@ fn has_boundary(state: &PartitionState, neighbor_roots: &[Vec<(NodeId, u32)>]) -
 mod tests {
     use super::*;
     use planartest_graph::generators::planar;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     #[test]
@@ -266,7 +282,11 @@ mod tests {
         let p = run_partition(&mut engine, &cfg).unwrap();
         assert!(p.completed_successfully());
         let last = p.phases.last().unwrap();
-        assert_eq!(last.cut_weight, 0, "a path should fully merge: {:?}", p.phases);
+        assert_eq!(
+            last.cut_weight, 0,
+            "a path should fully merge: {:?}",
+            p.phases
+        );
         assert_eq!(p.state.part_count(), 1);
     }
 

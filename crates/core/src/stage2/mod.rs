@@ -27,7 +27,8 @@ use planartest_embed::RotationSystem;
 use planartest_graph::{EdgeId, Graph, NodeId};
 use planartest_sim::bfs::distributed_bfs;
 use planartest_sim::tree::{broadcast, convergecast};
-use planartest_sim::{Engine, Msg};
+use planartest_sim::EngineCore;
+use planartest_sim::Msg;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -84,8 +85,8 @@ impl Stage2Outcome {
 ///
 /// Infrastructure errors only ([`CoreError`]); verdicts are reported in
 /// the outcome.
-pub fn run_stage2(
-    engine: &mut Engine<'_>,
+pub fn run_stage2<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     cfg: &TesterConfig,
     state: &PartitionState,
 ) -> Result<Stage2Outcome, CoreError> {
@@ -95,8 +96,7 @@ pub fn run_stage2(
     let mut rejections: Vec<(NodeId, RejectReason)> = Vec::new();
 
     // --- 1. BFS trees inside every part. ---
-    let roots: Vec<NodeId> =
-        g.nodes().filter(|&v| state.root[v.index()] == v).collect();
+    let roots: Vec<NodeId> = g.nodes().filter(|&v| state.root[v.index()] == v).collect();
     let part_root = state.root.clone();
     let bfs = distributed_bfs(
         engine,
@@ -108,8 +108,9 @@ pub fn run_stage2(
 
     // Non-tree part edges, assigned to the higher (level, id) endpoint.
     // Each node can compute its assignment after one level exchange.
-    let levels: Vec<u64> =
-        (0..n).map(|v| bfs.level[v].expect("parts are connected") as u64).collect();
+    let levels: Vec<u64> = (0..n)
+        .map(|v| bfs.level[v].expect("parts are connected") as u64)
+        .collect();
     let levels_c = levels.clone();
     let _ = crate::comm::exchange(
         engine,
@@ -120,9 +121,7 @@ pub fn run_stage2(
 
     // --- 2. Counting n(Gj), m(Gj), non-tree counts. ---
     let assigned_count: Vec<u64> = assigned.iter().map(|a| a.len() as u64).collect();
-    let tree_edge_count: Vec<u64> = (0..n)
-        .map(|v| u64::from(bfs.parent[v].is_some()))
-        .collect();
+    let tree_edge_count: Vec<u64> = (0..n).map(|v| u64::from(bfs.parent[v].is_some())).collect();
     let counts = convergecast(
         engine,
         &tree,
@@ -213,7 +212,11 @@ pub fn run_stage2(
         let children: std::collections::HashSet<u32> =
             bfs.children[v.index()].iter().map(|c| c.raw()).collect();
         let start = match bfs.parent[v.index()] {
-            Some(p) => order.iter().position(|&w| w == p).map(|i| i + 1).unwrap_or(0),
+            Some(p) => order
+                .iter()
+                .position(|&w| w == p)
+                .map(|i| i + 1)
+                .unwrap_or(0),
             None => 0,
         };
         let mut digit = 1u32;
@@ -228,8 +231,7 @@ pub fn run_stage2(
     let node_labels = distribute_labels(engine, &tree, &digit_of, max_rounds)?;
 
     // --- 5. Label exchange across assigned non-tree edges. ---
-    let other_labels =
-        exchange_edge_labels(engine, g, &assigned, &node_labels, max_rounds)?;
+    let other_labels = exchange_edge_labels(engine, g, &assigned, &node_labels, max_rounds)?;
 
     // Assemble labelled intervals per assigned edge.
     let mut intervals: Vec<Vec<LabeledEdge>> = vec![Vec::new(); n];
@@ -269,7 +271,10 @@ pub fn run_stage2(
         let budget = (4.0 * s_target).ceil() as usize + 8;
         if count > budget {
             let _ = root;
-            return Err(CoreError::SampleOverflow { drawn: count, budget });
+            return Err(CoreError::SampleOverflow {
+                drawn: count,
+                budget,
+            });
         }
     }
     for rep in &mut reports {
@@ -301,7 +306,10 @@ pub fn run_stage2(
             sampled_intervals_at_root[&state.root[v].raw()].clone()
         } else {
             decode_streams(
-                &received[v].iter().map(|m| (NodeId::new(0), m.clone())).collect::<Vec<_>>(),
+                &received[v]
+                    .iter()
+                    .map(|m| (NodeId::new(0), m.clone()))
+                    .collect::<Vec<_>>(),
             )
         };
         'outer: for iv in &intervals[v] {
@@ -319,7 +327,11 @@ pub fn run_stage2(
 
     rejections.sort_by_key(|&(v, _)| v);
     rejections.dedup_by_key(|&mut (v, _)| v);
-    Ok(Stage2Outcome { rejections, violation_witnesses, parts: reports })
+    Ok(Stage2Outcome {
+        rejections,
+        violation_witnesses,
+        parts: reports,
+    })
 }
 
 /// Assigns each intra-part non-tree edge to its higher `(level, id)`
@@ -388,12 +400,10 @@ fn embed_part(
                 },
             }
         }
-        EmbeddingMode::Demoucron | EmbeddingMode::DemoucronStrict => {
-            match check_planarity(sub) {
-                PlanarityCheck::Planar(rot) => (rot, true),
-                PlanarityCheck::NonPlanar => (RotationSystem::from_adjacency(sub), false),
-            }
-        }
+        EmbeddingMode::Demoucron | EmbeddingMode::DemoucronStrict => match check_planarity(sub) {
+            PlanarityCheck::Planar(rot) => (rot, true),
+            PlanarityCheck::NonPlanar => (RotationSystem::from_adjacency(sub), false),
+        },
     }
 }
 
@@ -430,7 +440,10 @@ fn decode_streams(msgs: &[(NodeId, Msg)]) -> Vec<LabeledEdge> {
         if !buffers.contains_key(&origin) {
             order.push(origin);
         }
-        buffers.entry(origin).or_default().extend_from_slice(&w[1..]);
+        buffers
+            .entry(origin)
+            .or_default()
+            .extend_from_slice(&w[1..]);
     }
     let mut out = Vec::new();
     for origin in order {
@@ -444,7 +457,10 @@ fn decode_streams(msgs: &[(NodeId, Msg)]) -> Vec<LabeledEdge> {
             let lo = Label(body[1..1 + len_lo].iter().map(|&w| w as u32).collect());
             let len_hi = body[1 + len_lo] as usize;
             let hi = Label(
-                body[2 + len_lo..2 + len_lo + len_hi].iter().map(|&w| w as u32).collect(),
+                body[2 + len_lo..2 + len_lo + len_hi]
+                    .iter()
+                    .map(|&w| w as u32)
+                    .collect(),
             );
             out.push(LabeledEdge { lo, hi });
         }
@@ -464,6 +480,7 @@ fn sample_rng(seed: u64, node: u64) -> StdRng {
 mod tests {
     use super::*;
     use planartest_graph::generators::{nonplanar, planar};
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     fn stage2_singleton_partition(g: &Graph, cfg: &TesterConfig) -> Stage2Outcome {
@@ -490,7 +507,11 @@ mod tests {
             planar::path(9).graph,
         ] {
             let out = stage2_singleton_partition(&g, &cfg);
-            assert!(out.accepted(), "planar graph rejected: {:?}", out.rejections);
+            assert!(
+                out.accepted(),
+                "planar graph rejected: {:?}",
+                out.rejections
+            );
             assert!(out.parts[0].embedded_planar);
         }
     }

@@ -5,7 +5,8 @@ use std::collections::HashMap;
 
 use planartest_graph::{EdgeId, Graph, NodeId};
 use planartest_sim::tree::TreeTopology;
-use planartest_sim::{Engine, Msg, NodeLogic, Outbox, SimError};
+use planartest_sim::EngineCore;
+use planartest_sim::{Msg, NodeLogic, Outbox, SimError};
 
 use crate::stage2::labels::Label;
 
@@ -15,8 +16,8 @@ const TAG_END: u64 = 1;
 /// Distributes vertex labels down every part tree: each node's label is
 /// its parent's label plus its own child digit (from `digit_of[parent]`).
 /// Fully pipelined: `O(depth + max label length)` rounds.
-pub(crate) fn distribute_labels(
-    engine: &mut Engine<'_>,
+pub(crate) fn distribute_labels<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     tree: &TreeTopology,
     digit_of: &[HashMap<u32, u32>],
     max_rounds: u64,
@@ -85,15 +86,15 @@ pub(crate) fn distribute_labels(
         label: vec![Vec::new(); n],
         end_pending: vec![false; n],
     };
-    engine.run(&mut logic, max_rounds)?;
+    engine.run_logic(&mut logic, max_rounds)?;
     Ok(logic.label.into_iter().map(Label).collect())
 }
 
 /// Streams, for every assigned non-tree edge, the non-owner endpoint's
 /// label to the owner. Returns, per node, the other-endpoint label words
 /// in the same order as `assigned[node]`.
-pub(crate) fn exchange_edge_labels(
-    engine: &mut Engine<'_>,
+pub(crate) fn exchange_edge_labels<'g, E: EngineCore<'g>>(
+    engine: &mut E,
     g: &Graph,
     assigned: &[Vec<EdgeId>],
     node_labels: &[Label],
@@ -166,7 +167,7 @@ pub(crate) fn exchange_edge_labels(
         chunk,
         received: vec![HashMap::new(); n],
     };
-    engine.run(&mut logic, max_rounds)?;
+    engine.run_logic(&mut logic, max_rounds)?;
 
     let mut out = vec![Vec::new(); n];
     for (v, edges) in assigned.iter().enumerate() {
@@ -187,6 +188,7 @@ pub(crate) fn exchange_edge_labels(
 mod tests {
     use super::*;
     use planartest_graph::Graph;
+    use planartest_sim::Engine;
     use planartest_sim::SimConfig;
 
     #[test]
@@ -221,8 +223,9 @@ mod tests {
         // not O(depth^2).
         let k = 40;
         let g = Graph::from_edges(k, (0..k - 1).map(|i| (i, i + 1))).unwrap();
-        let parent: Vec<Option<NodeId>> =
-            std::iter::once(None).chain((1..k).map(|i| Some(NodeId::new(i - 1)))).collect();
+        let parent: Vec<Option<NodeId>> = std::iter::once(None)
+            .chain((1..k).map(|i| Some(NodeId::new(i - 1))))
+            .collect();
         let tree = TreeTopology::from_parents(&g, parent).unwrap();
         let digit_of: Vec<HashMap<u32, u32>> = (0..k)
             .map(|v| {

@@ -1,7 +1,7 @@
 //! The full planarity tester (Theorem 1): Stage I then Stage II.
 
 use planartest_graph::{Graph, NodeId};
-use planartest_sim::{Engine, SimConfig, SimStats};
+use planartest_sim::{Backend, Engine, EngineCore, ParallelEngine, SimConfig, SimStats};
 
 use crate::config::TesterConfig;
 use crate::error::CoreError;
@@ -88,12 +88,24 @@ pub struct PlanarityTester {
 impl PlanarityTester {
     /// Creates a tester with the given configuration.
     pub fn new(cfg: TesterConfig) -> Self {
-        PlanarityTester { cfg, sim: SimConfig::default() }
+        PlanarityTester {
+            cfg,
+            sim: SimConfig::default(),
+        }
     }
 
     /// Overrides the simulated network's bandwidth configuration.
     pub fn with_sim_config(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
+        self
+    }
+
+    /// Selects the execution backend (serial or worker-pool). Both
+    /// produce identical outcomes for the same seed; see
+    /// [`planartest_sim::runtime`].
+    #[must_use]
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.sim.backend = backend;
         self
     }
 
@@ -112,8 +124,16 @@ impl PlanarityTester {
     ///
     /// Infrastructure errors only (model violations, sample overflow).
     pub fn run(&self, g: &Graph) -> Result<TestOutcome, CoreError> {
-        let mut engine = Engine::new(g, self.sim);
-        let partition = partition::run_partition(&mut engine, &self.cfg)?;
+        match self.sim.backend {
+            Backend::Serial => self.run_on(&mut Engine::new(g, self.sim)),
+            Backend::Parallel { .. } => self.run_on(&mut ParallelEngine::new(g, self.sim)),
+        }
+    }
+
+    /// Runs the two stages on an already-constructed engine (any
+    /// backend).
+    fn run_on<'g, E: EngineCore<'g>>(&self, engine: &mut E) -> Result<TestOutcome, CoreError> {
+        let partition = partition::run_partition(engine, &self.cfg)?;
         let mut rejections: Vec<(NodeId, RejectReason)> = partition
             .rejected
             .iter()
@@ -122,7 +142,7 @@ impl PlanarityTester {
         let mut parts = Vec::new();
         let mut violation_witnesses = Vec::new();
         if rejections.is_empty() {
-            let s2 = stage2::run_stage2(&mut engine, &self.cfg, &partition.state)?;
+            let s2 = stage2::run_stage2(engine, &self.cfg, &partition.state)?;
             rejections.extend(s2.rejections);
             parts = s2.parts;
             violation_witnesses = s2.violation_witnesses;
@@ -164,7 +184,11 @@ mod tests {
         ];
         for g in graphs {
             let out = PlanarityTester::new(quick_cfg(0.15)).run(&g).unwrap();
-            assert!(out.accepted(), "planar graph rejected: {:?}", out.rejections);
+            assert!(
+                out.accepted(),
+                "planar graph rejected: {:?}",
+                out.rejections
+            );
             assert!(out.rounds() > 0);
         }
     }
@@ -172,7 +196,9 @@ mod tests {
     #[test]
     fn soundness_on_k5_chain() {
         let far = nonplanar::k5_chain(10);
-        let out = PlanarityTester::new(quick_cfg(0.05)).run(&far.graph).unwrap();
+        let out = PlanarityTester::new(quick_cfg(0.05))
+            .run(&far.graph)
+            .unwrap();
         assert!(!out.accepted());
     }
 
@@ -189,14 +215,18 @@ mod tests {
     fn soundness_on_planar_plus_chords() {
         let mut rng = StdRng::seed_from_u64(4);
         let far = nonplanar::planar_plus_chords(80, 60, &mut rng);
-        let out = PlanarityTester::new(quick_cfg(0.1)).run(&far.graph).unwrap();
+        let out = PlanarityTester::new(quick_cfg(0.1))
+            .run(&far.graph)
+            .unwrap();
         assert!(!out.accepted(), "{:?}", far.name);
     }
 
     #[test]
     fn dense_graph_rejected_in_stage1_or_2() {
         let far = nonplanar::complete(16);
-        let out = PlanarityTester::new(quick_cfg(0.1)).run(&far.graph).unwrap();
+        let out = PlanarityTester::new(quick_cfg(0.1))
+            .run(&far.graph)
+            .unwrap();
         assert!(!out.accepted());
         assert!(out
             .rejections
@@ -222,6 +252,28 @@ mod tests {
         let b = PlanarityTester::new(quick_cfg(0.2)).run(&g).unwrap();
         assert_eq!(a.rounds(), b.rounds());
         assert_eq!(a.stats.messages, b.stats.messages);
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let graphs = vec![
+            planar::triangulated_grid(6, 6).graph,
+            nonplanar::k5_chain(6).graph,
+            planar::random_planar(50, 0.7, &mut rng).graph,
+        ];
+        for g in graphs {
+            let serial = PlanarityTester::new(quick_cfg(0.1)).run(&g).unwrap();
+            for threads in [2, 4] {
+                let par = PlanarityTester::new(quick_cfg(0.1))
+                    .with_backend(Backend::Parallel { threads })
+                    .run(&g)
+                    .unwrap();
+                assert_eq!(par.rejections, serial.rejections, "threads={threads}");
+                assert_eq!(par.stats, serial.stats, "threads={threads}");
+                assert_eq!(par.violation_witnesses, serial.violation_witnesses);
+            }
+        }
     }
 
     #[test]

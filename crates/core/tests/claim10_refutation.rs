@@ -42,8 +42,13 @@ fn counterexample() -> Graph {
 #[test]
 fn planar_counterexample_has_violations_under_every_embedding() {
     let g = counterexample();
-    let rot = check_planarity(&g).into_rotation().expect("the graph is planar");
-    assert!(rot.is_planar_embedding(&g), "embedding must verify via Euler");
+    let rot = check_planarity(&g)
+        .into_rotation()
+        .expect("the graph is planar");
+    assert!(
+        rot.is_planar_embedding(&g),
+        "embedding must verify via Euler"
+    );
     let ivs = non_tree_intervals(&g, &rot, NodeId::new(0));
     assert!(
         count_violating_edges(&ivs) > 0,
@@ -57,7 +62,11 @@ fn sound_default_mode_still_accepts_the_counterexample() {
     let out = PlanarityTester::new(TesterConfig::new(0.2).with_phases(4))
         .run(&g)
         .expect("tester runs");
-    assert!(out.accepted(), "the sound tester must accept planar inputs: {:?}", out.rejections);
+    assert!(
+        out.accepted(),
+        "the sound tester must accept planar inputs: {:?}",
+        out.rejections
+    );
     // The violation witnesses may be non-empty — that is the refutation
     // being observed at runtime without breaking one-sidedness.
 }

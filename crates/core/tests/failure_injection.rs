@@ -20,7 +20,11 @@ fn bogus_hint_falls_back_soundly() {
         .with_phases(6)
         .with_embedding(EmbeddingMode::Hint(bogus));
     let out = PlanarityTester::new(cfg).run(&fam.graph).expect("run");
-    assert!(out.accepted(), "wrong hint must not break completeness: {:?}", out.rejections);
+    assert!(
+        out.accepted(),
+        "wrong hint must not break completeness: {:?}",
+        out.rejections
+    );
 }
 
 /// A wrong hint on a far graph must still reject (fallback certifies).
@@ -43,7 +47,10 @@ fn insufficient_bandwidth_is_loud() {
     let fam = planar::grid(5, 5);
     let cfg = TesterConfig::new(0.2).with_phases(4);
     let err = PlanarityTester::new(cfg)
-        .with_sim_config(SimConfig { max_words_per_message: 1 })
+        .with_sim_config(SimConfig {
+            max_words_per_message: 1,
+            ..SimConfig::default()
+        })
         .run(&fam.graph)
         .expect_err("1-word bandwidth cannot carry BFS offers");
     assert!(err.to_string().contains("bandwidth"));

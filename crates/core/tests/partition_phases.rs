@@ -45,7 +45,9 @@ fn randomized_partition_invariants_over_seeds() {
     for seed in 0..6u64 {
         let mut rng = StdRng::seed_from_u64(100 + seed);
         let g = planar::apollonian(100, &mut rng).graph;
-        let cfg = RandomPartitionConfig::new(0.2, 0.25).with_phases(6).with_seed(seed);
+        let cfg = RandomPartitionConfig::new(0.2, 0.25)
+            .with_phases(6)
+            .with_seed(seed);
         let mut engine = Engine::new(&g, SimConfig::default());
         let p = run_randomized_partition(&mut engine, &cfg).expect("partition");
         let audit = audit_partition(&g, &p);

@@ -18,7 +18,9 @@ fn randomized_uses_fewer_rounds_at_comparable_cut() {
     let det_rounds = det_engine.stats().total_rounds();
     let det_cut = det.state.cut_weight(&g);
 
-    let rcfg = RandomPartitionConfig::new(0.1, 0.2).with_phases(8).with_seed(1);
+    let rcfg = RandomPartitionConfig::new(0.1, 0.2)
+        .with_phases(8)
+        .with_seed(1);
     let mut r_engine = Engine::new(&g, SimConfig::default());
     let rnd = run_randomized_partition(&mut r_engine, &rcfg).expect("rand");
     let rnd_rounds = r_engine.stats().total_rounds();

@@ -66,7 +66,10 @@ pub fn check_planarity(g: &Graph) -> PlanarityCheck {
         }
     }
     let rot = RotationSystem::new(g, orders).expect("blocks partition the edge set");
-    debug_assert!(rot.is_planar_embedding(g), "Demoucron produced a non-planar rotation");
+    debug_assert!(
+        rot.is_planar_embedding(g),
+        "Demoucron produced a non-planar rotation"
+    );
     PlanarityCheck::Planar(rot)
 }
 
@@ -109,7 +112,12 @@ impl BlockCtx {
             adj[lu as usize].push((lv, le as u32));
             adj[lv as usize].push((lu, le as u32));
         }
-        BlockCtx { global_v, global_e, adj, ends }
+        BlockCtx {
+            global_v,
+            global_e,
+            adj,
+            ends,
+        }
     }
 
     fn n(&self) -> usize {
@@ -119,15 +127,12 @@ impl BlockCtx {
     fn m(&self) -> usize {
         self.global_e.len()
     }
-
 }
 
 /// A not-yet-embedded fragment relative to the embedded subgraph `H`.
 enum Fragment {
     /// A single non-embedded edge with both endpoints in `H`.
-    SingleEdge {
-        edge: u32,
-    },
+    SingleEdge { edge: u32 },
     /// A connected component of `G − V(H)` plus its attachment edges.
     Component {
         /// Local vertices of the component (not in `H`).
@@ -220,7 +225,10 @@ fn embed_block(g: &Graph, edges: &[EdgeId]) -> Option<Vec<(NodeId, Vec<EdgeId>)>
             }
             attachments.sort_unstable();
             attachments.dedup();
-            fragments.push(Fragment::Component { members, attachments });
+            fragments.push(Fragment::Component {
+                members,
+                attachments,
+            });
         }
         for le in 0..ctx.m() as u32 {
             if embedded[le as usize] {
@@ -246,7 +254,10 @@ fn embed_block(g: &Graph, edges: &[EdgeId]) -> Option<Vec<(NodeId, Vec<EdgeId>)>
         let mut best_count = usize::MAX;
         for (i, frag) in fragments.iter().enumerate() {
             let atts = frag.attachments(&ctx, &mut att_buf);
-            debug_assert!(atts.len() >= 2, "biconnected block fragments have >= 2 attachments");
+            debug_assert!(
+                atts.len() >= 2,
+                "biconnected block fragments have >= 2 attachments"
+            );
             let mut admissible: Option<u32> = None;
             let mut count = 0usize;
             for &fi in &faces_at[atts[0] as usize] {
@@ -274,8 +285,7 @@ fn embed_block(g: &Graph, edges: &[EdgeId]) -> Option<Vec<(NodeId, Vec<EdgeId>)>
                 _ => {}
             }
         }
-        let (fi_frag, fi_face) =
-            chosen.expect("fragments nonempty and none returned NonPlanar");
+        let (fi_frag, fi_face) = chosen.expect("fragments nonempty and none returned NonPlanar");
 
         // --- Extract a path through the chosen fragment. ---
         let path: Vec<(u32, u32)> = match &fragments[fi_frag] {
@@ -283,9 +293,10 @@ fn embed_block(g: &Graph, edges: &[EdgeId]) -> Option<Vec<(NodeId, Vec<EdgeId>)>
                 let (a, b) = ctx.ends[*edge as usize];
                 vec![(a, u32::MAX), (b, *edge)]
             }
-            Fragment::Component { members, attachments } => {
-                find_fragment_path(&ctx, members, attachments, &in_h)
-            }
+            Fragment::Component {
+                members,
+                attachments,
+            } => find_fragment_path(&ctx, members, attachments, &in_h),
         };
 
         // --- Mark path embedded. ---
@@ -340,7 +351,10 @@ fn split_cycle(face: &[u32], pa: usize, pb: usize) -> (Vec<u32>, Vec<u32>) {
 }
 
 fn edge_between_local(ctx: &BlockCtx, u: u32, v: u32) -> Option<u32> {
-    ctx.adj[u as usize].iter().find(|&&(w, _)| w == v).map(|&(_, e)| e)
+    ctx.adj[u as usize]
+        .iter()
+        .find(|&&(w, _)| w == v)
+        .map(|&(_, e)| e)
 }
 
 /// Finds any cycle in the block (iterative DFS; first back edge closes it).
@@ -426,7 +440,10 @@ fn find_fragment_path(
             queue.push_back(w);
         }
     }
-    debug_assert!(found, "attachments of a fragment must be connected through it");
+    debug_assert!(
+        found,
+        "attachments of a fragment must be connected through it"
+    );
     let mut rev = vec![];
     let mut cur = b;
     while cur != a {

@@ -29,7 +29,10 @@ pub fn rotation_from_coordinates(
     coords: &[(f64, f64)],
 ) -> Result<RotationSystem, RotationError> {
     if coords.len() != g.n() {
-        return Err(RotationError::WrongLength { got: coords.len(), expected: g.n() });
+        return Err(RotationError::WrongLength {
+            got: coords.len(),
+            expected: g.n(),
+        });
     }
     let mut orders = Vec::with_capacity(g.n());
     for v in g.nodes() {

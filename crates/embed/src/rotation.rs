@@ -64,7 +64,10 @@ impl fmt::Display for RotationError {
                 write!(f, "rotation has {got} vertex entries, graph has {expected}")
             }
             RotationError::NotAPermutation { node } => {
-                write!(f, "rotation at {node:?} is not a permutation of incident edges")
+                write!(
+                    f,
+                    "rotation at {node:?} is not a permutation of incident edges"
+                )
             }
         }
     }
@@ -106,7 +109,10 @@ impl RotationSystem {
     /// Each `orders[v]` must be a permutation of the edges incident to `v`.
     pub fn new(g: &Graph, orders: Vec<Vec<EdgeId>>) -> Result<Self, RotationError> {
         if orders.len() != g.n() {
-            return Err(RotationError::WrongLength { got: orders.len(), expected: g.n() });
+            return Err(RotationError::WrongLength {
+                got: orders.len(),
+                expected: g.n(),
+            });
         }
         let mut pos = vec![[u32::MAX; 2]; g.m()];
         for v in g.nodes() {
@@ -345,7 +351,8 @@ mod tests {
         // K4 drawn as a triangle 1,2,3 with 0 in the centre.
         let g = Graph::from_edges(4, [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
         let e = |u: usize, v: usize| {
-            g.edge_between(NodeId::new(u), NodeId::new(v)).expect("edge exists")
+            g.edge_between(NodeId::new(u), NodeId::new(v))
+                .expect("edge exists")
         };
         let orders = vec![
             vec![e(0, 1), e(0, 2), e(0, 3)],
@@ -379,14 +386,21 @@ mod tests {
         let g = triangle();
         // Wrong number of vertices.
         let err = RotationSystem::new(&g, vec![vec![]; 2]).unwrap_err();
-        assert!(matches!(err, RotationError::WrongLength { got: 2, expected: 3 }));
+        assert!(matches!(
+            err,
+            RotationError::WrongLength {
+                got: 2,
+                expected: 3
+            }
+        ));
         // Missing edge at vertex 0.
         let err = RotationSystem::new(
             &g,
-            vec![vec![EdgeId::new(0)], vec![EdgeId::new(0), EdgeId::new(1)], vec![
-                EdgeId::new(1),
-                EdgeId::new(2),
-            ]],
+            vec![
+                vec![EdgeId::new(0)],
+                vec![EdgeId::new(0), EdgeId::new(1)],
+                vec![EdgeId::new(1), EdgeId::new(2)],
+            ],
         )
         .unwrap_err();
         assert!(matches!(err, RotationError::NotAPermutation { .. }));

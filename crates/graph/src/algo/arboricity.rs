@@ -115,7 +115,10 @@ pub fn peel(g: &Graph, alpha: usize, rounds: u32) -> PeelingOutcome {
             break;
         }
     }
-    PeelingOutcome { inactive_round, survivors }
+    PeelingOutcome {
+        inactive_round,
+        survivors,
+    }
 }
 
 #[cfg(test)]
@@ -133,8 +136,7 @@ mod tests {
     #[test]
     fn degeneracy_of_complete_graph() {
         let n = 6;
-        let g = Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))))
-            .unwrap();
+        let g = Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j)))).unwrap();
         let (d, _) = degeneracy(&g);
         assert_eq!(d, n - 1);
     }
@@ -153,7 +155,10 @@ mod tests {
                 .iter()
                 .filter(|&&(w, _)| pos[w.index()] > pos[v.index()])
                 .count();
-            assert!(later <= d, "node {v:?} has {later} later neighbours, degeneracy {d}");
+            assert!(
+                later <= d,
+                "node {v:?} has {later} later neighbours, degeneracy {d}"
+            );
         }
     }
 
@@ -190,8 +195,7 @@ mod tests {
     fn peel_dense_graph_survives() {
         // K12 has min degree 11 > 9 = 3*3: nobody ever peels.
         let n = 12;
-        let g = Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j))))
-            .unwrap();
+        let g = Graph::from_edges(n, (0..n).flat_map(|i| (i + 1..n).map(move |j| (i, j)))).unwrap();
         let out = peel(&g, 3, 50);
         assert_eq!(out.survivors, n);
     }

@@ -63,7 +63,13 @@ impl BfsTree {
                 }
             }
         }
-        BfsTree { root, parent, parent_edge, level, order }
+        BfsTree {
+            root,
+            parent,
+            parent_edge,
+            level,
+            order,
+        }
     }
 
     /// The root node.
@@ -223,7 +229,10 @@ mod tests {
         let g = path_graph(4);
         let t = BfsTree::build(&g, NodeId::new(0));
         let p = t.path_to_root(NodeId::new(3)).unwrap();
-        assert_eq!(p.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![3, 2, 1, 0]);
+        assert_eq!(
+            p.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![3, 2, 1, 0]
+        );
     }
 
     #[test]

@@ -91,7 +91,11 @@ impl Blocks {
                 is_cut[root.index()] = false;
             }
         }
-        Blocks { block_of_edge, count, is_cut }
+        Blocks {
+            block_of_edge,
+            count,
+            is_cut,
+        }
     }
 
     /// Number of blocks.
@@ -143,11 +147,8 @@ mod tests {
     #[test]
     fn bridge_is_own_block() {
         // Two triangles joined by a bridge: 3 blocks, 2 cut vertices.
-        let g = Graph::from_edges(
-            6,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)],
-        )
-        .unwrap();
+        let g =
+            Graph::from_edges(6, [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]).unwrap();
         let b = Blocks::build(&g);
         assert_eq!(b.count(), 3);
         assert!(b.is_cut_vertex(NodeId::new(2)));
@@ -160,8 +161,7 @@ mod tests {
 
     #[test]
     fn two_triangles_sharing_vertex() {
-        let g =
-            Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]).unwrap();
+        let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]).unwrap();
         let b = Blocks::build(&g);
         assert_eq!(b.count(), 2);
         assert!(b.is_cut_vertex(NodeId::new(0)));
@@ -186,7 +186,16 @@ mod tests {
     fn edges_partitioned() {
         let g = Graph::from_edges(
             7,
-            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3), (5, 6)],
+            [
+                (0, 1),
+                (1, 2),
+                (2, 0),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 3),
+                (5, 6),
+            ],
         )
         .unwrap();
         let b = Blocks::build(&g);

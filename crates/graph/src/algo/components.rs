@@ -44,7 +44,11 @@ impl Components {
             sizes[label[v] as usize] += 1;
         }
         let count = sizes.len();
-        Components { label, count, sizes }
+        Components {
+            label,
+            count,
+            sizes,
+        }
     }
 
     /// Number of connected components.

@@ -42,7 +42,13 @@ impl DfsTree {
                 stack.push((w, 0));
             }
         }
-        DfsTree { root, parent, parent_edge, pre, order }
+        DfsTree {
+            root,
+            parent,
+            parent_edge,
+            pre,
+            order,
+        }
     }
 
     /// The DFS root.

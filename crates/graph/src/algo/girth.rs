@@ -130,7 +130,10 @@ fn reconstruct_cycle(
         }
     }
     let lca = nw[lca_pos_w];
-    let lca_pos_u = nu.iter().position(|&x| x == lca).expect("lca on both paths");
+    let lca_pos_u = nu
+        .iter()
+        .position(|&x| x == lca)
+        .expect("lca on both paths");
     let mut cycle = Vec::with_capacity(lca_pos_u + lca_pos_w + 1);
     cycle.extend_from_slice(&eu[..lca_pos_u]);
     cycle.extend_from_slice(&ew[..lca_pos_w]);

@@ -10,11 +10,17 @@ use crate::{Graph, GraphBuilder};
 fn with_euler_bound(graph: Graph, name: String) -> Certified {
     let excess = euler_excess(graph.n(), graph.m());
     let status = if excess > 0 {
-        PlanarityStatus::FarFromPlanar { min_removals: excess }
+        PlanarityStatus::FarFromPlanar {
+            min_removals: excess,
+        }
     } else {
         PlanarityStatus::Unknown
     };
-    Certified { graph, status, name }
+    Certified {
+        graph,
+        status,
+        name,
+    }
 }
 
 /// Complete graph `K_n`.
@@ -77,7 +83,9 @@ pub fn k5_chain(tiles: usize) -> Certified {
     let graph = b.build();
     Certified {
         graph,
-        status: PlanarityStatus::FarFromPlanar { min_removals: tiles },
+        status: PlanarityStatus::FarFromPlanar {
+            min_removals: tiles,
+        },
         name: format!("k5_chain(tiles={tiles})"),
     }
 }
@@ -131,7 +139,7 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Certified {
 ///
 /// Panics if `n * d` is odd or `d >= n`.
 pub fn near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Certified {
-    assert!(n * d % 2 == 0, "n*d must be even");
+    assert!((n * d).is_multiple_of(2), "n*d must be even");
     assert!(d < n, "degree must be < n");
     let mut stubs: Vec<usize> = (0..n).flat_map(|v| std::iter::repeat_n(v, d)).collect();
     stubs.shuffle(rng);
@@ -157,7 +165,10 @@ pub fn planar_plus_chords<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> C
     assert!(n >= 5, "need n >= 5");
     let base = super::planar::apollonian(n, rng).graph;
     let max_extra = n * (n - 1) / 2 - base.m();
-    assert!(k <= max_extra, "cannot add {k} chords, only {max_extra} non-edges");
+    assert!(
+        k <= max_extra,
+        "cannot add {k} chords, only {max_extra} non-edges"
+    );
     let mut b = GraphBuilder::new(n);
     for (u, v) in base.edges() {
         b.add_edge(u.index(), v.index()).expect("in range");
@@ -198,8 +209,10 @@ pub fn torus(rows: usize, cols: usize) -> Certified {
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {
         for c in 0..cols {
-            b.add_edge(idx(r, c), idx(r, (c + 1) % cols)).expect("in range");
-            b.add_edge(idx(r, c), idx((r + 1) % rows, c)).expect("in range");
+            b.add_edge(idx(r, c), idx(r, (c + 1) % cols))
+                .expect("in range");
+            b.add_edge(idx(r, c), idx((r + 1) % rows, c))
+                .expect("in range");
         }
     }
     Certified {
@@ -259,7 +272,10 @@ pub fn social_overlay<R: Rng + ?Sized>(n: usize, extra_per_node: f64, rng: &mut 
             b.add_edge(u, v).expect("in range");
         }
     }
-    with_euler_bound(b.build(), format!("social_overlay(n={n},x={extra_per_node})"))
+    with_euler_bound(
+        b.build(),
+        format!("social_overlay(n={n},x={extra_per_node})"),
+    )
 }
 
 #[cfg(test)]
@@ -275,7 +291,10 @@ mod tests {
     #[test]
     fn complete_sizes_and_status() {
         assert_eq!(complete(5).graph.m(), 10);
-        assert!(matches!(complete(5).status, PlanarityStatus::FarFromPlanar { min_removals: 1 }));
+        assert!(matches!(
+            complete(5).status,
+            PlanarityStatus::FarFromPlanar { min_removals: 1 }
+        ));
         assert!(complete(4).status.is_planar());
         assert!(complete(1).status.is_planar());
     }
@@ -294,7 +313,10 @@ mod tests {
         let c = k5_chain(10);
         assert_eq!(c.graph.n(), 50);
         assert_eq!(c.graph.m(), 10 * 10 + 9);
-        assert!(matches!(c.status, PlanarityStatus::FarFromPlanar { min_removals: 10 }));
+        assert!(matches!(
+            c.status,
+            PlanarityStatus::FarFromPlanar { min_removals: 10 }
+        ));
         assert!(crate::algo::components::is_connected(&c.graph));
         assert!(c.far_fraction() > 0.08);
     }
@@ -306,7 +328,10 @@ mod tests {
         let c = gnp(n, p, &mut rng());
         let expected = p * (n * (n - 1) / 2) as f64;
         let m = c.graph.m() as f64;
-        assert!((m - expected).abs() < 0.25 * expected, "m={m}, expected={expected}");
+        assert!(
+            (m - expected).abs() < 0.25 * expected,
+            "m={m}, expected={expected}"
+        );
     }
 
     #[test]
@@ -329,7 +354,10 @@ mod tests {
     fn planar_plus_chords_certificate() {
         let c = planar_plus_chords(100, 30, &mut rng());
         assert_eq!(c.graph.m(), 3 * 100 - 6 + 30);
-        assert!(matches!(c.status, PlanarityStatus::FarFromPlanar { min_removals: 30 }));
+        assert!(matches!(
+            c.status,
+            PlanarityStatus::FarFromPlanar { min_removals: 30 }
+        ));
     }
 
     #[test]

@@ -6,7 +6,11 @@ use crate::generators::{Certified, PlanarityStatus};
 use crate::{Graph, GraphBuilder};
 
 fn certified(graph: Graph, name: String) -> Certified {
-    Certified { graph, status: PlanarityStatus::Planar, name }
+    Certified {
+        graph,
+        status: PlanarityStatus::Planar,
+        name,
+    }
 }
 
 /// Path on `n` nodes.
@@ -201,7 +205,10 @@ pub fn maximal_outerplanar<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Certified 
 /// and random road closures (still planar by construction). Used by the
 /// `road_network` example.
 pub fn road_network<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Certified {
-    assert!(rows > 1 && cols > 1, "road network needs at least a 2x2 grid");
+    assert!(
+        rows > 1 && cols > 1,
+        "road network needs at least a 2x2 grid"
+    );
     let idx = |r: usize, c: usize| r * cols + c;
     let mut b = GraphBuilder::new(rows * cols);
     for r in 0..rows {

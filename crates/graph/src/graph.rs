@@ -115,7 +115,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "edge endpoint {node} out of range for graph with {n} nodes")
+                write!(
+                    f,
+                    "edge endpoint {node} out of range for graph with {n} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
         }
@@ -292,7 +295,8 @@ impl Graph {
         for e in self.edge_ids() {
             if keep_edge(e) {
                 let (u, v) = self.endpoints(e);
-                b.add_edge(u.index(), v.index()).expect("edges already valid");
+                b.add_edge(u.index(), v.index())
+                    .expect("edges already valid");
                 map.push(e);
             }
         }
@@ -350,7 +354,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Starts building a graph on `n` nodes.
     pub fn new(n: usize) -> Self {
-        GraphBuilder { n, edges: Vec::new() }
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -395,7 +402,11 @@ impl GraphBuilder {
         for a in &mut adj {
             a.sort_unstable_by_key(|&(w, _)| w);
         }
-        Graph { n: self.n, edges, adj }
+        Graph {
+            n: self.n,
+            edges,
+            adj,
+        }
     }
 }
 
@@ -470,7 +481,11 @@ mod tests {
     #[test]
     fn neighbors_sorted_and_edge_between() {
         let g = Graph::from_edges(5, [(2, 4), (2, 0), (2, 3), (2, 1)]).unwrap();
-        let ns: Vec<usize> = g.neighbors(NodeId::new(2)).iter().map(|&(w, _)| w.index()).collect();
+        let ns: Vec<usize> = g
+            .neighbors(NodeId::new(2))
+            .iter()
+            .map(|&(w, _)| w.index())
+            .collect();
         assert_eq!(ns, vec![0, 1, 3, 4]);
         for &(w, e) in g.neighbors(NodeId::new(2)) {
             assert_eq!(g.edge_between(NodeId::new(2), w), Some(e));
@@ -494,7 +509,10 @@ mod tests {
         let g = Graph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]).unwrap();
         let (h, orig) = g.induced_subgraph(|v| v.index() % 2 == 0);
         assert_eq!(h.n(), 3);
-        assert_eq!(orig.iter().map(|v| v.index()).collect::<Vec<_>>(), vec![0, 2, 4]);
+        assert_eq!(
+            orig.iter().map(|v| v.index()).collect::<Vec<_>>(),
+            vec![0, 2, 4]
+        );
         // Only edge among {0,2,4} is (4,0).
         assert_eq!(h.m(), 1);
     }

@@ -143,7 +143,13 @@ mod tests {
     #[test]
     fn missing_edges() {
         let e = from_edge_list("3 2\n0 1\n").unwrap_err();
-        assert_eq!(e, ParseGraphError::MissingEdges { expected: 2, found: 1 });
+        assert_eq!(
+            e,
+            ParseGraphError::MissingEdges {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]

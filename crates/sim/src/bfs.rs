@@ -5,10 +5,18 @@
 //! parent, and propagates offers. A membership filter restricts which
 //! offers a node may accept — Stage II uses it to keep each part's BFS
 //! inside the part.
+//!
+//! The protocol is expressed as a [`ParallelNodeLogic`]: each node's
+//! join state is node-local, so on a parallel backend the offer waves —
+//! the `O(depth)`-round bulk of Stage II's preprocessing — fan out
+//! across the worker pool. On a serial backend the same code runs on
+//! one thread with identical results (see the
+//! [runtime docs](crate::runtime)).
 
 use planartest_graph::{Graph, NodeId};
 
-use crate::engine::{Engine, Msg, NodeLogic, Outbox, SimError};
+use crate::engine::{Msg, Outbox, SimError};
+use crate::runtime::{EngineCore, ParallelNodeLogic};
 use crate::tree::TreeTopology;
 
 const TAG_OFFER: u64 = 0;
@@ -42,19 +50,21 @@ impl DistBfs {
 /// Runs a synchronous multi-root BFS; `allow(node, root)` gates which tree
 /// a node may join (use `|_, _| true` for an unrestricted BFS).
 ///
-/// Takes `2·depth + O(1)` rounds (offers + accepts).
+/// Takes `2·depth + O(1)` rounds (offers + accepts). Runs node-parallel
+/// on a [`Backend::Parallel`](crate::runtime::Backend) engine.
 ///
 /// # Errors
 ///
 /// Propagates engine [`SimError`]s.
-pub fn distributed_bfs<F>(
-    engine: &mut Engine<'_>,
+pub fn distributed_bfs<'g, E, F>(
+    engine: &mut E,
     roots: &[NodeId],
     allow: F,
     max_rounds: u64,
 ) -> Result<DistBfs, SimError>
 where
-    F: FnMut(NodeId, NodeId) -> bool,
+    E: EngineCore<'g>,
+    F: Fn(NodeId, NodeId) -> bool + Sync,
 {
     let g = engine.graph();
     let n = g.n();
@@ -62,49 +72,65 @@ where
     for &r in roots {
         is_root[r.index()] = true;
     }
-    let mut logic = BfsLogic {
-        g,
-        is_root,
-        allow,
-        out_state: DistBfs {
-            root_of: vec![None; n],
-            parent: vec![None; n],
-            children: vec![Vec::new(); n],
-            level: vec![None; n],
-        },
+    let logic = BfsLogic { g, is_root, allow };
+    let mut states = vec![BfsNodeState::default(); n];
+    engine.run_program(&logic, &mut states, max_rounds)?;
+    let mut out = DistBfs {
+        root_of: Vec::with_capacity(n),
+        parent: Vec::with_capacity(n),
+        children: Vec::with_capacity(n),
+        level: Vec::with_capacity(n),
     };
-    engine.run(&mut logic, max_rounds)?;
-    let mut state = logic.out_state;
-    for c in &mut state.children {
-        c.sort_unstable();
+    for mut s in states {
+        s.children.sort_unstable();
+        out.root_of.push(s.root_of);
+        out.parent.push(s.parent);
+        out.children.push(s.children);
+        out.level.push(s.level);
     }
-    Ok(state)
+    Ok(out)
+}
+
+/// One node's BFS join state.
+#[derive(Debug, Clone, Default)]
+struct BfsNodeState {
+    root_of: Option<NodeId>,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    level: Option<u32>,
 }
 
 struct BfsLogic<'g, F> {
     g: &'g Graph,
     is_root: Vec<bool>,
     allow: F,
-    out_state: DistBfs,
 }
 
-impl<F: FnMut(NodeId, NodeId) -> bool> NodeLogic for BfsLogic<'_, F> {
-    fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+impl<F: Fn(NodeId, NodeId) -> bool + Sync> ParallelNodeLogic for BfsLogic<'_, F> {
+    type State = BfsNodeState;
+
+    fn init(&self, node: NodeId, state: &mut BfsNodeState, out: &mut Outbox<'_>) {
         if self.is_root[node.index()] {
-            self.out_state.root_of[node.index()] = Some(node);
-            self.out_state.level[node.index()] = Some(0);
+            state.root_of = Some(node);
+            state.level = Some(0);
             out.send_all(Msg::words(&[TAG_OFFER, node.raw() as u64, 0]));
         }
     }
 
-    fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
+    fn round(
+        &self,
+        node: NodeId,
+        state: &mut BfsNodeState,
+        inbox: &[(NodeId, Msg)],
+        out: &mut Outbox<'_>,
+    ) {
         // Record accepts (children) regardless of our own join state.
         for (from, msg) in inbox {
             if msg.word(0) == TAG_ACCEPT {
-                self.out_state.children[node.index()].push(*from);
+                state.children.push(*from);
             }
         }
-        if self.out_state.root_of[node.index()].is_some() {
+        if state.root_of.is_some() {
             return; // already in a tree: ignore further offers
         }
         // Collect admissible offers and pick deterministically.
@@ -125,14 +151,12 @@ impl<F: FnMut(NodeId, NodeId) -> bool> NodeLogic for BfsLogic<'_, F> {
         }
         if let Some((root, sender, level)) = best {
             let parent = NodeId::from(sender);
-            let st = &mut self.out_state;
-            st.root_of[node.index()] = Some(NodeId::from(root));
-            st.parent[node.index()] = Some(parent);
-            st.level[node.index()] = Some(level + 1);
+            state.root_of = Some(NodeId::from(root));
+            state.parent = Some(parent);
+            state.level = Some(level + 1);
             out.send(parent, Msg::words(&[TAG_ACCEPT]));
             let offer = Msg::words(&[TAG_OFFER, root as u64, (level + 1) as u64]);
-            let neighbors: Vec<NodeId> =
-                self.g.neighbors(node).iter().map(|&(w, _)| w).collect();
+            let neighbors: Vec<NodeId> = self.g.neighbors(node).iter().map(|&(w, _)| w).collect();
             for w in neighbors {
                 if w != parent {
                     out.send(w, offer.clone());
@@ -145,14 +169,14 @@ impl<F: FnMut(NodeId, NodeId) -> bool> NodeLogic for BfsLogic<'_, F> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::SimConfig;
+    use crate::engine::{Engine, SimConfig};
+    use crate::runtime::{Backend, ParallelEngine};
 
     #[test]
     fn single_root_levels() {
         let g = Graph::from_edges(6, [(0, 1), (1, 2), (2, 3), (0, 4), (4, 5), (5, 3)]).unwrap();
         let mut engine = Engine::new(&g, SimConfig::default());
-        let bfs =
-            distributed_bfs(&mut engine, &[NodeId::new(0)], |_, _| true, 100).unwrap();
+        let bfs = distributed_bfs(&mut engine, &[NodeId::new(0)], |_, _| true, 100).unwrap();
         assert_eq!(bfs.level[0], Some(0));
         assert_eq!(bfs.level[1], Some(1));
         assert_eq!(bfs.level[4], Some(1));
@@ -162,7 +186,10 @@ mod tests {
         // Parent levels are exactly one less.
         for v in g.nodes() {
             if let Some(p) = bfs.parent[v.index()] {
-                assert_eq!(bfs.level[v.index()].unwrap(), bfs.level[p.index()].unwrap() + 1);
+                assert_eq!(
+                    bfs.level[v.index()].unwrap(),
+                    bfs.level[p.index()].unwrap() + 1
+                );
                 assert!(bfs.children[p.index()].contains(&v));
             }
         }
@@ -218,8 +245,7 @@ mod tests {
     fn unreached_nodes_stay_none() {
         let g = Graph::from_edges(4, [(0, 1), (2, 3)]).unwrap();
         let mut engine = Engine::new(&g, SimConfig::default());
-        let bfs =
-            distributed_bfs(&mut engine, &[NodeId::new(0)], |_, _| true, 100).unwrap();
+        let bfs = distributed_bfs(&mut engine, &[NodeId::new(0)], |_, _| true, 100).unwrap();
         assert_eq!(bfs.root_of[2], None);
         assert_eq!(bfs.level[3], None);
     }
@@ -233,5 +259,47 @@ mod tests {
         let rounds = engine.stats().rounds;
         assert!(rounds >= (n - 1) as u64, "rounds {rounds}");
         assert!(rounds <= 2 * n as u64, "rounds {rounds}");
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial() {
+        let g = Graph::from_edges(
+            9,
+            [
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 8),
+                (8, 0),
+                (2, 6),
+            ],
+        )
+        .unwrap();
+        let run_with = |threads: usize| {
+            let cfg = SimConfig::default().with_backend(Backend::Parallel { threads });
+            let mut engine = ParallelEngine::new(&g, cfg);
+            let bfs = distributed_bfs(
+                &mut engine,
+                &[NodeId::new(0), NodeId::new(4)],
+                |_, _| true,
+                100,
+            )
+            .unwrap();
+            (
+                bfs.root_of,
+                bfs.parent,
+                bfs.children,
+                bfs.level,
+                *engine.stats(),
+            )
+        };
+        let serial = run_with(1);
+        for threads in [2, 4] {
+            assert_eq!(run_with(threads), serial, "threads={threads}");
+        }
     }
 }

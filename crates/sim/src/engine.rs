@@ -16,26 +16,33 @@ pub struct Msg {
 
 impl Msg {
     /// Creates a message from payload words.
+    #[must_use]
     pub fn words(words: &[u64]) -> Self {
-        Msg { words: words.to_vec() }
+        Msg {
+            words: words.to_vec(),
+        }
     }
 
     /// Creates an empty (0-word) "ping" message.
+    #[must_use]
     pub fn ping() -> Self {
         Msg { words: Vec::new() }
     }
 
     /// The payload words.
+    #[must_use]
     pub fn as_words(&self) -> &[u64] {
         &self.words
     }
 
     /// Number of payload words.
+    #[must_use]
     pub fn len(&self) -> usize {
         self.words.len()
     }
 
     /// Whether the payload is empty.
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.words.is_empty()
     }
@@ -45,8 +52,17 @@ impl Msg {
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
+    #[must_use]
     pub fn word(&self, i: usize) -> u64 {
-        self.words[i]
+        match self.words.get(i) {
+            Some(&w) => w,
+            None => panic!(
+                "protocol bug: word {i} requested from a {}-word message {:?} \
+                 (sender and receiver disagree on the message layout)",
+                self.words.len(),
+                self.words
+            ),
+        }
     }
 }
 
@@ -62,11 +78,28 @@ pub struct SimConfig {
     /// Bandwidth: maximum payload words per message (per edge per round).
     /// The default of 4 models a constant number of `O(log n)`-bit fields.
     pub max_words_per_message: usize,
+    /// Which execution backend drives the rounds (see
+    /// [`Backend`](crate::runtime::Backend)). The serial and parallel
+    /// backends are bit-for-bit equivalent; the choice only affects
+    /// wall-clock time.
+    pub backend: crate::runtime::Backend,
 }
 
 impl Default for SimConfig {
     fn default() -> Self {
-        SimConfig { max_words_per_message: 4 }
+        SimConfig {
+            max_words_per_message: 4,
+            backend: crate::runtime::Backend::Serial,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Returns the configuration with `backend` selected.
+    #[must_use]
+    pub fn with_backend(mut self, backend: crate::runtime::Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -108,7 +141,12 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::MessageTooLarge { from, to, words, limit } => write!(
+            SimError::MessageTooLarge {
+                from,
+                to,
+                words,
+                limit,
+            } => write!(
                 f,
                 "message {from:?} -> {to:?} has {words} words, bandwidth limit is {limit}"
             ),
@@ -172,6 +210,33 @@ pub struct Outbox<'a> {
 }
 
 impl<'a> Outbox<'a> {
+    /// Assembles an outbox over caller-owned buffers (used by both the
+    /// serial loop and the parallel runtime's per-worker scratch).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn assemble(
+        src: NodeId,
+        g: &'a Graph,
+        limit: usize,
+        round: u64,
+        staged: &'a mut Vec<(NodeId, NodeId, Msg)>,
+        edge_stamp: &'a mut [u64],
+        wake: &'a mut Vec<NodeId>,
+        woken: &'a mut [bool],
+        error: &'a mut Option<SimError>,
+    ) -> Self {
+        Outbox {
+            src,
+            g,
+            limit,
+            round,
+            staged,
+            edge_stamp,
+            wake,
+            woken,
+            error,
+        }
+    }
+
     /// Sends `msg` to neighbour `to`, to be delivered next round.
     pub fn send(&mut self, to: NodeId, msg: Msg) {
         if self.error.is_some() {
@@ -203,8 +268,7 @@ impl<'a> Outbox<'a> {
 
     /// Sends a copy of `msg` to every neighbour.
     pub fn send_all(&mut self, msg: Msg) {
-        let neighbors: Vec<NodeId> =
-            self.g.neighbors(self.src).iter().map(|&(w, _)| w).collect();
+        let neighbors: Vec<NodeId> = self.g.neighbors(self.src).iter().map(|&(w, _)| w).collect();
         for w in neighbors {
             self.send(w, msg.clone());
         }
@@ -249,7 +313,11 @@ pub struct Engine<'g> {
 impl<'g> Engine<'g> {
     /// Creates an engine over `g`.
     pub fn new(g: &'g Graph, cfg: SimConfig) -> Self {
-        Engine { g, cfg, stats: SimStats::default() }
+        Engine {
+            g,
+            cfg,
+            stats: SimStats::default(),
+        }
     }
 
     /// The underlying graph.
@@ -273,90 +341,104 @@ impl<'g> Engine<'g> {
         self.stats.charged_rounds += rounds;
     }
 
+    /// Folds one run's report into the cumulative statistics.
+    pub(crate) fn absorb(&mut self, report: RunReport) {
+        self.stats.absorb(report);
+    }
+
     /// Runs `logic` to quiescence (no staged messages and no wake-ups).
     ///
     /// # Errors
     ///
     /// Returns a [`SimError`] if the protocol violates the CONGEST
     /// constraints or fails to quiesce within `max_rounds`.
-    pub fn run<L: NodeLogic>(&mut self, logic: &mut L, max_rounds: u64) -> Result<RunReport, SimError> {
-        let n = self.g.n();
-        let mut staged: Vec<(NodeId, NodeId, Msg)> = Vec::new();
-        let mut edge_stamp = vec![u64::MAX; 2 * self.g.m()];
-        // MAX means "never"; we store round+1 at send time, so initialize
-        // with 0 meaning "not this round".
-        edge_stamp.iter_mut().for_each(|s| *s = 0);
-        let mut wake: Vec<NodeId> = Vec::new();
-        let mut woken = vec![false; n];
-        let mut error: Option<SimError> = None;
-        let mut report = RunReport::default();
+    pub fn run<L: NodeLogic>(
+        &mut self,
+        logic: &mut L,
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError> {
+        let report = run_serial(self.g, self.cfg, logic, max_rounds)?;
+        self.stats.absorb(report);
+        Ok(report)
+    }
+}
 
-        // Round 0: init.
-        for v in self.g.nodes() {
+/// The reference serial round loop, shared by [`Engine::run`] and the
+/// parallel runtime's sequential fallback for aggregate-state logic.
+///
+/// Delivery, activation and wake semantics live in
+/// [`Mailboxes`](crate::runtime::mailbox::Mailboxes) and
+/// [`finish_active`](crate::runtime::parallel::finish_active) — the
+/// same primitives the parallel executor runs on — so the CONGEST
+/// semantics exist exactly once and the serial/parallel bit-for-bit
+/// equivalence is structural, not a matter of keeping two hand-written
+/// loops in sync.
+pub(crate) fn run_serial<L: NodeLogic>(
+    g: &Graph,
+    cfg: SimConfig,
+    logic: &mut L,
+    max_rounds: u64,
+) -> Result<RunReport, SimError> {
+    let n = g.n();
+    let mut staged: Vec<(NodeId, NodeId, Msg)> = Vec::new();
+    // `edge_stamp[2e + dir] = round + 1` of the last send; 0 = never.
+    let mut edge_stamp = vec![0u64; 2 * g.m()];
+    let mut wake: Vec<NodeId> = Vec::new();
+    let mut woken = vec![false; n];
+    let mut error: Option<SimError> = None;
+    let mut report = RunReport::default();
+
+    // Round 0: init.
+    for v in g.nodes() {
+        let mut out = Outbox {
+            src: v,
+            g,
+            limit: cfg.max_words_per_message,
+            round: 0,
+            staged: &mut staged,
+            edge_stamp: &mut edge_stamp,
+            wake: &mut wake,
+            woken: &mut woken,
+            error: &mut error,
+        };
+        logic.init(v, &mut out);
+        if let Some(e) = error {
+            return Err(e);
+        }
+    }
+
+    let mut boxes = crate::runtime::mailbox::Mailboxes::new(n);
+    let mut round: u64 = 0;
+    while !staged.is_empty() || !wake.is_empty() {
+        round += 1;
+        if round > max_rounds {
+            return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+        }
+        let mut active: Vec<NodeId> = Vec::new();
+        boxes.deliver(&mut staged, &woken, &mut active, &mut report);
+        crate::runtime::parallel::finish_active(&mut active, &mut wake, &mut woken);
+        for &v in &active {
+            let inbox = boxes.take_inbox(v);
             let mut out = Outbox {
                 src: v,
-                g: self.g,
-                limit: self.cfg.max_words_per_message,
-                round: 0,
+                g,
+                limit: cfg.max_words_per_message,
+                round,
                 staged: &mut staged,
                 edge_stamp: &mut edge_stamp,
                 wake: &mut wake,
                 woken: &mut woken,
                 error: &mut error,
             };
-            logic.init(v, &mut out);
+            logic.round(v, &inbox, &mut out);
             if let Some(e) = error {
                 return Err(e);
             }
+            boxes.recycle(inbox);
         }
-
-        let mut inboxes: Vec<Vec<(NodeId, Msg)>> = vec![Vec::new(); n];
-        let mut round: u64 = 0;
-        while !staged.is_empty() || !wake.is_empty() {
-            round += 1;
-            if round > max_rounds {
-                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
-            }
-            // Deliver.
-            let mut active: Vec<NodeId> = Vec::new();
-            for (src, dst, msg) in staged.drain(..) {
-                report.messages += 1;
-                report.words += msg.len() as u64;
-                if inboxes[dst.index()].is_empty() && !woken[dst.index()] {
-                    active.push(dst);
-                }
-                inboxes[dst.index()].push((src, msg));
-            }
-            active.extend(wake.drain(..));
-            active.sort_unstable();
-            active.dedup();
-            for &v in &active {
-                woken[v.index()] = false;
-            }
-            // Act.
-            for &v in &active {
-                let inbox = std::mem::take(&mut inboxes[v.index()]);
-                let mut out = Outbox {
-                    src: v,
-                    g: self.g,
-                    limit: self.cfg.max_words_per_message,
-                    round,
-                    staged: &mut staged,
-                    edge_stamp: &mut edge_stamp,
-                    wake: &mut wake,
-                    woken: &mut woken,
-                    error: &mut error,
-                };
-                logic.round(v, &inbox, &mut out);
-                if let Some(e) = error {
-                    return Err(e);
-                }
-            }
-        }
-        report.rounds = round;
-        self.stats.absorb(report);
-        Ok(report)
     }
+    report.rounds = round;
+    Ok(report)
 }
 
 #[cfg(test)]
@@ -411,9 +493,22 @@ mod tests {
     #[test]
     fn bandwidth_enforced() {
         let g = path4();
-        let mut engine = Engine::new(&g, SimConfig { max_words_per_message: 4 });
+        let mut engine = Engine::new(
+            &g,
+            SimConfig {
+                max_words_per_message: 4,
+                ..SimConfig::default()
+            },
+        );
         let err = engine.run(&mut SendTooBig, 10).unwrap_err();
-        assert!(matches!(err, SimError::MessageTooLarge { words: 9, limit: 4, .. }));
+        assert!(matches!(
+            err,
+            SimError::MessageTooLarge {
+                words: 9,
+                limit: 4,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("bandwidth"));
     }
 
@@ -434,7 +529,10 @@ mod tests {
         let err = engine.run(&mut SendToStranger, 10).unwrap_err();
         assert_eq!(
             err,
-            SimError::NotANeighbor { from: NodeId::new(0), to: NodeId::new(3) }
+            SimError::NotANeighbor {
+                from: NodeId::new(0),
+                to: NodeId::new(3)
+            }
         );
     }
 
@@ -464,7 +562,10 @@ mod tests {
     impl NodeLogic for CrossTalk {
         fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
             if node.index() <= 1 {
-                out.send(NodeId::new(1 - node.index()), Msg::words(&[node.index() as u64]));
+                out.send(
+                    NodeId::new(1 - node.index()),
+                    Msg::words(&[node.index() as u64]),
+                );
             }
         }
         fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], _: &mut Outbox<'_>) {

@@ -58,8 +58,10 @@
 
 pub mod bfs;
 mod engine;
+pub mod runtime;
 mod stats;
 pub mod tree;
 
 pub use crate::engine::{Engine, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError};
+pub use crate::runtime::{Backend, EngineCore, ParallelEngine, ParallelNodeLogic, TrialRunner};
 pub use crate::stats::SimStats;

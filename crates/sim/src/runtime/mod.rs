@@ -1,0 +1,212 @@
+//! Execution backends for the CONGEST engine.
+//!
+//! The round-synchronous CONGEST model is embarrassingly parallel along
+//! two independent axes, and this module exploits both:
+//!
+//! * **within a round** — every node's `round` hook depends only on the
+//!   messages delivered *this* round and on the node's own state, so the
+//!   per-round node sweep can fan out across a worker pool
+//!   ([`ParallelEngine`], [`ParallelNodeLogic`]);
+//! * **across trials** — Monte-Carlo acceptance sweeps and ε/n sweeps
+//!   run independent seeded simulations, fanned across cores by
+//!   [`TrialRunner`].
+//!
+//! # Determinism guarantee
+//!
+//! The parallel backend is **bit-for-bit equivalent** to the serial
+//! [`Engine`](crate::Engine): for the same graph, logic and seed it
+//! produces the same [`RunReport`](crate::RunReport), the same
+//! [`SimStats`](crate::SimStats), the same per-round message sequences
+//! (delivered in the same stable `(src, dst)` order) and the same final
+//! node states, regardless of worker count or scheduling. This holds
+//! because each round's sends are collected into per-worker buffers and
+//! merged in active-node order — exactly the order the serial loop
+//! produces — before the next round's double-buffered mailbox delivery
+//! (see [`mailbox`]). The `runtime_equivalence` proptest suite enforces
+//! the guarantee on random graphs and protocols.
+//!
+//! One scoping note: the guarantee as stated is for runs that end in
+//! `Ok`. A run that ends in a [`SimError`](crate::SimError) returns the
+//! *same error value* on every backend (the one the serial engine hits
+//! first), but caller-owned node states may reflect different partial
+//! progress past the failing node — the serial loop aborts mid-round
+//! while pool workers finish their chunks before the error is
+//! collected. Error-path states are protocol-bug debris either way;
+//! don't interpret them.
+//!
+//! # Why a second logic trait?
+//!
+//! [`NodeLogic`](crate::NodeLogic) hands every node the *same* `&mut
+//! self`, which is inherently sequential: the borrow checker is right
+//! that concurrent `round` calls on one aggregate object would race.
+//! [`ParallelNodeLogic`] splits the protocol into an immutable shared
+//! part (`&self`: the graph, parameters, lookup tables) and an owned
+//! per-node [`State`](ParallelNodeLogic::State), which is what makes the
+//! node sweep safely — and deterministically — parallel. Aggregate-state
+//! [`NodeLogic`](crate::NodeLogic) protocols still run on any backend
+//! through [`EngineCore::run_logic`]; they just stay on one thread.
+
+pub mod mailbox;
+pub mod parallel;
+pub mod trials;
+
+pub use parallel::{ParallelEngine, ParallelNodeLogic};
+pub use trials::TrialRunner;
+
+use planartest_graph::Graph;
+
+use crate::engine::{NodeLogic, RunReport, SimConfig, SimError};
+use crate::stats::SimStats;
+
+/// Which execution backend drives a simulation's rounds.
+///
+/// Both backends implement identical CONGEST semantics; the choice only
+/// affects wall-clock time (see the [module docs](self) for the
+/// determinism guarantee).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// Single-threaded reference engine.
+    #[default]
+    Serial,
+    /// Worker-pool engine: per-node `round` calls fan out across
+    /// `threads` OS threads (`0` = one per available core, overridden
+    /// by the `PLANARTEST_THREADS` environment variable when set).
+    Parallel {
+        /// Worker count; `0` picks the hardware parallelism.
+        threads: usize,
+    },
+}
+
+impl Backend {
+    /// The number of worker threads this backend resolves to (≥ 1).
+    #[must_use]
+    pub fn effective_threads(self) -> usize {
+        match self {
+            Backend::Serial => 1,
+            Backend::Parallel { threads: 0 } => auto_threads(),
+            Backend::Parallel { threads } => threads.max(1),
+        }
+    }
+}
+
+/// Hardware parallelism, overridden by `PLANARTEST_THREADS` when it
+/// holds a positive integer (the override may exceed the core count —
+/// deliberately, so worker-pool paths can be exercised on small
+/// machines; unparsable values fall back to the hardware count).
+#[must_use]
+pub fn auto_threads() -> usize {
+    std::env::var("PLANARTEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&t| t >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
+}
+
+/// The engine interface the protocol drivers program against.
+///
+/// Implemented by the serial [`Engine`](crate::Engine) and by
+/// [`ParallelEngine`]; drivers written against `EngineCore` (the
+/// partition, Stage II, the applications, the baselines) run unchanged
+/// on either backend. The lifetime `'g` is the graph borrow — logic
+/// structs routinely hold `engine.graph()` across a `run_*` call, so the
+/// trait preserves the graph's independence from `&self`.
+pub trait EngineCore<'g> {
+    /// The simulated network.
+    fn graph(&self) -> &'g Graph;
+
+    /// The network configuration.
+    fn config(&self) -> SimConfig;
+
+    /// Cumulative statistics over all runs (plus charged rounds).
+    fn stats(&self) -> &SimStats;
+
+    /// Adds explicitly charged rounds (substituted subroutines whose
+    /// cost is taken from their paper's bound).
+    fn charge_rounds(&mut self, rounds: u64);
+
+    /// Runs aggregate-state [`NodeLogic`] to quiescence.
+    ///
+    /// Always executes on one thread (see the [module docs](self)); the
+    /// result is identical on every backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on CONGEST violations or round-budget
+    /// exhaustion.
+    fn run_logic<L: NodeLogic>(
+        &mut self,
+        logic: &mut L,
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError>;
+
+    /// Runs per-node-state [`ParallelNodeLogic`] to quiescence, in
+    /// parallel when the backend allows it.
+    ///
+    /// `states[v]` is node `v`'s state; the slice length must equal the
+    /// graph's node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on CONGEST violations or round-budget
+    /// exhaustion.
+    fn run_program<P: ParallelNodeLogic>(
+        &mut self,
+        program: &P,
+        states: &mut [P::State],
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError>;
+}
+
+impl<'g> EngineCore<'g> for crate::Engine<'g> {
+    fn graph(&self) -> &'g Graph {
+        crate::Engine::graph(self)
+    }
+
+    fn config(&self) -> SimConfig {
+        crate::Engine::config(self)
+    }
+
+    fn stats(&self) -> &SimStats {
+        crate::Engine::stats(self)
+    }
+
+    fn charge_rounds(&mut self, rounds: u64) {
+        crate::Engine::charge_rounds(self, rounds);
+    }
+
+    fn run_logic<L: NodeLogic>(
+        &mut self,
+        logic: &mut L,
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError> {
+        self.run(logic, max_rounds)
+    }
+
+    fn run_program<P: ParallelNodeLogic>(
+        &mut self,
+        program: &P,
+        states: &mut [P::State],
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError> {
+        // The serial engine always executes programs on one thread.
+        let report =
+            parallel::execute(self.graph(), self.config(), program, states, max_rounds, 1)?;
+        self.absorb(report);
+        Ok(report)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_thread_resolution() {
+        assert_eq!(Backend::Serial.effective_threads(), 1);
+        assert_eq!(Backend::Parallel { threads: 3 }.effective_threads(), 3);
+        assert!(Backend::Parallel { threads: 0 }.effective_threads() >= 1);
+        assert_eq!(Backend::default(), Backend::Serial);
+    }
+}

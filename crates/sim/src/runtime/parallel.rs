@@ -1,0 +1,757 @@
+//! The worker-pool CONGEST engine.
+//!
+//! [`ParallelEngine`] executes [`ParallelNodeLogic`] protocols with the
+//! per-round node sweep fanned across OS threads. See the
+//! [runtime module docs](super) for the determinism guarantee and the
+//! rationale behind the per-node-state logic trait.
+//!
+//! # Execution scheme
+//!
+//! One run spawns a scoped worker pool. Every round:
+//!
+//! 1. the coordinator delivers the previous round's merged sends through
+//!    the double-buffered [mailboxes](super::mailbox) and computes the
+//!    sorted active-node list (identical to the serial engine);
+//! 2. the active list is split into contiguous chunks, one per worker;
+//!    each worker runs its nodes' `round` hooks against worker-local
+//!    scratch (outbound buffer, edge stamps, wake flags) — a per-round
+//!    barrier is implicit in the task/result channel pair;
+//! 3. the coordinator merges the workers' outbound buffers *in worker
+//!    order* — which is ascending active-node order — restoring the
+//!    exact staging order of the serial loop, and folds message/word
+//!    counts into the [`RunReport`](crate::RunReport).
+//!
+//! CONGEST validation (bandwidth, topology, one message per edge
+//! direction per round) runs inside the workers with zero shared state:
+//! a duplicate send on an edge direction can only originate from that
+//! direction's single sender, which is processed by exactly one worker,
+//! so the edge-stamp check is worker-local by construction. When several
+//! nodes violate the model in one round, the error reported is the one
+//! the serial engine would have hit first (lowest active position).
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+use planartest_graph::{Graph, NodeId};
+
+use crate::engine::{self, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError};
+use crate::runtime::mailbox::{Mailboxes, Staged};
+use crate::runtime::EngineCore;
+use crate::stats::SimStats;
+
+/// Per-node protocol logic with the state split out, safe to drive in
+/// parallel.
+///
+/// The implementor is the *shared* part — parameters, the graph, lookup
+/// tables — and must be [`Sync`]; everything a node mutates lives in its
+/// own [`State`](Self::State). The hooks mirror
+/// [`NodeLogic`](crate::NodeLogic) exactly otherwise.
+pub trait ParallelNodeLogic: Sync {
+    /// A single node's mutable state.
+    type State: Send;
+
+    /// Round-0 hook: seed initial messages/wake-ups.
+    fn init(&self, node: NodeId, state: &mut Self::State, out: &mut Outbox<'_>);
+
+    /// Called once per round per *active* node with the messages that
+    /// arrived this round (possibly empty if the node was merely woken).
+    fn round(
+        &self,
+        node: NodeId,
+        state: &mut Self::State,
+        inbox: &[(NodeId, Msg)],
+        out: &mut Outbox<'_>,
+    );
+}
+
+/// The worker-pool engine: drop-in alternative to
+/// [`Engine`](crate::Engine) for [`ParallelNodeLogic`] protocols.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::{Graph, NodeId};
+/// use planartest_sim::runtime::{Backend, ParallelEngine, ParallelNodeLogic};
+/// use planartest_sim::{Msg, Outbox, SimConfig};
+///
+/// /// Every node learns the minimum id in its component.
+/// struct MinId;
+/// impl ParallelNodeLogic for MinId {
+///     type State = u64;
+///     fn init(&self, node: NodeId, state: &mut u64, out: &mut Outbox<'_>) {
+///         *state = node.raw() as u64;
+///         out.send_all(Msg::words(&[*state]));
+///     }
+///     fn round(&self, _: NodeId, state: &mut u64, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
+///         let best = inbox.iter().map(|(_, m)| m.word(0)).min().expect("active => messages");
+///         if best < *state {
+///             *state = best;
+///             out.send_all(Msg::words(&[best]));
+///         }
+///     }
+/// }
+///
+/// let g = Graph::from_edges(5, [(4, 3), (3, 2), (2, 1), (1, 0)])?;
+/// let cfg = SimConfig::default().with_backend(Backend::Parallel { threads: 2 });
+/// let mut engine = ParallelEngine::new(&g, cfg);
+/// let mut states = vec![0u64; g.n()];
+/// engine.run(&MinId, &mut states, 100)?;
+/// assert!(states.iter().all(|&s| s == 0));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ParallelEngine<'g> {
+    g: &'g Graph,
+    cfg: SimConfig,
+    threads: usize,
+    stats: SimStats,
+}
+
+impl<'g> ParallelEngine<'g> {
+    /// Creates an engine over `g`; the worker count comes from
+    /// `cfg.backend` (a `Serial` backend degrades to one worker).
+    #[must_use]
+    pub fn new(g: &'g Graph, cfg: SimConfig) -> Self {
+        ParallelEngine {
+            g,
+            cfg,
+            threads: cfg.backend.effective_threads(),
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Overrides the worker count (`0` = hardware parallelism).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 {
+            crate::runtime::auto_threads()
+        } else {
+            threads
+        };
+        self
+    }
+
+    /// The worker count used for `run` calls.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The underlying graph.
+    #[must_use]
+    pub fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    /// Cumulative statistics over all runs (plus charged rounds).
+    #[must_use]
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Adds explicitly charged rounds.
+    pub fn charge_rounds(&mut self, rounds: u64) {
+        self.stats.charged_rounds += rounds;
+    }
+
+    /// Runs `logic` to quiescence across the worker pool.
+    ///
+    /// `states[v]` is node `v`'s state; `states.len()` must equal the
+    /// node count.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] if the protocol violates the CONGEST
+    /// constraints or fails to quiesce within `max_rounds`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph().n()`.
+    pub fn run<P: ParallelNodeLogic>(
+        &mut self,
+        logic: &P,
+        states: &mut [P::State],
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError> {
+        let report = execute(self.g, self.cfg, logic, states, max_rounds, self.threads)?;
+        self.stats.absorb(report);
+        Ok(report)
+    }
+}
+
+impl<'g> EngineCore<'g> for ParallelEngine<'g> {
+    fn graph(&self) -> &'g Graph {
+        self.g
+    }
+
+    fn config(&self) -> SimConfig {
+        self.cfg
+    }
+
+    fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    fn charge_rounds(&mut self, rounds: u64) {
+        ParallelEngine::charge_rounds(self, rounds);
+    }
+
+    fn run_logic<L: NodeLogic>(
+        &mut self,
+        logic: &mut L,
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError> {
+        // Aggregate-state logic is inherently sequential (see the module
+        // docs); it runs on the reference loop regardless of backend.
+        let report = engine::run_serial(self.g, self.cfg, logic, max_rounds)?;
+        self.stats.absorb(report);
+        Ok(report)
+    }
+
+    fn run_program<P: ParallelNodeLogic>(
+        &mut self,
+        program: &P,
+        states: &mut [P::State],
+        max_rounds: u64,
+    ) -> Result<RunReport, SimError> {
+        self.run(program, states, max_rounds)
+    }
+}
+
+/// Worker-local buffers for one engine run.
+struct Scratch<'g> {
+    g: &'g Graph,
+    limit: usize,
+    /// `edge_stamp[2e + dir] = round + 1` of the last send on that
+    /// direction. Worker-local is sufficient: a direction's single
+    /// sender is processed by exactly one worker per round.
+    edge_stamp: Vec<u64>,
+    /// Per-call wake dedup flags (only `self` can wake a node, so these
+    /// never need cross-worker reconciliation). Reset via `wake` after
+    /// each batch.
+    woken: Vec<bool>,
+    staged: Vec<Staged>,
+    wake: Vec<NodeId>,
+    error: Option<SimError>,
+}
+
+impl<'g> Scratch<'g> {
+    fn new(g: &'g Graph, cfg: SimConfig) -> Self {
+        Scratch {
+            g,
+            limit: cfg.max_words_per_message,
+            edge_stamp: vec![0; 2 * g.m()],
+            woken: vec![false; g.n()],
+            staged: Vec::new(),
+            wake: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Runs one node hook; returns `false` once an error is recorded.
+    fn drive<P: ParallelNodeLogic>(
+        &mut self,
+        logic: &P,
+        node: NodeId,
+        state: &mut P::State,
+        inbox: Option<&[(NodeId, Msg)]>,
+        round: u64,
+    ) -> bool {
+        let mut out = Outbox::assemble(
+            node,
+            self.g,
+            self.limit,
+            round,
+            &mut self.staged,
+            &mut self.edge_stamp,
+            &mut self.wake,
+            &mut self.woken,
+            &mut self.error,
+        );
+        match inbox {
+            None => logic.init(node, state, &mut out),
+            Some(inbox) => logic.round(node, state, inbox, &mut out),
+        }
+        self.error.is_none()
+    }
+
+    /// Extracts this batch's results, resetting the wake flags.
+    fn take_batch(&mut self) -> Batch {
+        let wake = std::mem::take(&mut self.wake);
+        for &v in &wake {
+            self.woken[v.index()] = false;
+        }
+        Batch {
+            staged: std::mem::take(&mut self.staged),
+            wake,
+            error: self.error.take(),
+        }
+    }
+
+    /// Single-worker variant of [`Scratch::take_batch`]: applies the
+    /// pending wake requests to the global wake state in place, leaving
+    /// the staged sends untouched for the next delivery.
+    fn flush_wake(&mut self, woken: &mut [bool], wake: &mut Vec<NodeId>) {
+        let mut batch = std::mem::take(&mut self.wake);
+        for &v in &batch {
+            self.woken[v.index()] = false;
+        }
+        merge_wake(&mut batch, woken, wake);
+    }
+}
+
+/// One worker's per-round output.
+struct Batch {
+    staged: Vec<Staged>,
+    wake: Vec<NodeId>,
+    /// Error plus its *chunk-local* node position.
+    error: Option<SimError>,
+}
+
+/// A round's work for one worker: `(node, inbox)` pairs in active-list
+/// order (`inbox == None` encodes the round-0 `init` sweep), plus the
+/// local position of the first failing node if any.
+struct WorkItem {
+    round: u64,
+    nodes: Vec<NodeWork>,
+}
+
+/// One node's work: `(node, inbox)`, where `inbox == None` encodes the
+/// round-0 `init` sweep.
+type NodeWork = (NodeId, Option<Vec<(NodeId, Msg)>>);
+
+struct WorkResult {
+    batch: Batch,
+    /// Chunk-local index of the node whose hook raised `batch.error`.
+    error_at: usize,
+}
+
+/// Shared `&mut`-per-node access to the state slice.
+///
+/// Safety protocol: within one round every node id appears in at most
+/// one worker's `WorkItem` (the active list is sorted and deduplicated,
+/// then chunked), and the coordinator never touches `states` while a
+/// round is in flight (it blocks on the result channels). Hence all
+/// `&mut` references derived from this pointer are disjoint.
+struct StatesPtr<S>(*mut S);
+
+impl<S> Clone for StatesPtr<S> {
+    fn clone(&self) -> Self {
+        StatesPtr(self.0)
+    }
+}
+
+unsafe impl<S: Send> Send for StatesPtr<S> {}
+unsafe impl<S: Send> Sync for StatesPtr<S> {}
+
+/// Executes `logic` with `threads` workers (1 = inline, no spawning).
+///
+/// This is the single implementation behind every backend combination,
+/// which is what makes the serial/parallel equivalence structural
+/// rather than coincidental.
+pub(crate) fn execute<P: ParallelNodeLogic>(
+    g: &Graph,
+    cfg: SimConfig,
+    logic: &P,
+    states: &mut [P::State],
+    max_rounds: u64,
+    threads: usize,
+) -> Result<RunReport, SimError> {
+    assert_eq!(
+        states.len(),
+        g.n(),
+        "states slice must hold exactly one state per node"
+    );
+    if threads <= 1 || g.n() <= 1 {
+        execute_inline(g, cfg, logic, states, max_rounds)
+    } else {
+        execute_pool(g, cfg, logic, states, max_rounds, threads)
+    }
+}
+
+/// The one-worker path: the reference loop with per-node states.
+fn execute_inline<P: ParallelNodeLogic>(
+    g: &Graph,
+    cfg: SimConfig,
+    logic: &P,
+    states: &mut [P::State],
+    max_rounds: u64,
+) -> Result<RunReport, SimError> {
+    let mut scratch = Scratch::new(g, cfg);
+    let mut report = RunReport::default();
+    let mut boxes = Mailboxes::new(g.n());
+    let mut woken = vec![false; g.n()];
+    let mut wake: Vec<NodeId> = Vec::new();
+
+    for v in g.nodes() {
+        if !scratch.drive(logic, v, &mut states[v.index()], None, 0) {
+            return Err(scratch.error.take().expect("drive reported an error"));
+        }
+    }
+    scratch.flush_wake(&mut woken, &mut wake);
+
+    let mut round: u64 = 0;
+    while !scratch.staged.is_empty() || !wake.is_empty() {
+        round += 1;
+        if round > max_rounds {
+            return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+        }
+        let mut active: Vec<NodeId> = Vec::new();
+        boxes.deliver(&mut scratch.staged, &woken, &mut active, &mut report);
+        finish_active(&mut active, &mut wake, &mut woken);
+        for &v in &active {
+            let inbox = boxes.take_inbox(v);
+            if !scratch.drive(logic, v, &mut states[v.index()], Some(&inbox), round) {
+                return Err(scratch.error.take().expect("drive reported an error"));
+            }
+            boxes.recycle(inbox);
+        }
+        scratch.flush_wake(&mut woken, &mut wake);
+    }
+    report.rounds = round;
+    Ok(report)
+}
+
+/// The pooled path: persistent scoped workers, channel-barrier rounds.
+fn execute_pool<P: ParallelNodeLogic>(
+    g: &Graph,
+    cfg: SimConfig,
+    logic: &P,
+    states: &mut [P::State],
+    max_rounds: u64,
+    threads: usize,
+) -> Result<RunReport, SimError> {
+    let n = g.n();
+    let ptr = StatesPtr(states.as_mut_ptr());
+    std::thread::scope(|scope| {
+        let mut task_txs: Vec<Sender<WorkItem>> = Vec::with_capacity(threads);
+        let mut result_rxs: Vec<Receiver<WorkResult>> = Vec::with_capacity(threads);
+        for _ in 0..threads {
+            let (task_tx, task_rx) = channel::<WorkItem>();
+            let (result_tx, result_rx) = channel::<WorkResult>();
+            task_txs.push(task_tx);
+            result_rxs.push(result_rx);
+            let ptr = ptr.clone();
+            scope.spawn(move || worker_loop(g, cfg, logic, &ptr, &task_rx, &result_tx));
+        }
+
+        let dispatch = |round: u64,
+                        work: Vec<NodeWork>,
+                        staged: &mut Vec<Staged>,
+                        woken: &mut Vec<bool>,
+                        wake: &mut Vec<NodeId>|
+         -> Result<(), SimError> {
+            // Contiguous chunks preserve ascending node order under the
+            // in-order merge below.
+            let chunk = work.len().div_ceil(threads).max(1);
+            let mut chunks: Vec<Vec<_>> = Vec::with_capacity(threads);
+            let mut work = work.into_iter();
+            for _ in 0..threads {
+                chunks.push(work.by_ref().take(chunk).collect());
+            }
+            let bases: Vec<usize> = (0..threads).map(|w| w * chunk).collect();
+            for (tx, nodes) in task_txs.iter().zip(chunks) {
+                tx.send(WorkItem { round, nodes }).expect("worker alive");
+            }
+            let mut first_error: Option<(usize, SimError)> = None;
+            for (w, rx) in result_rxs.iter().enumerate() {
+                let WorkResult { batch, error_at } = rx.recv().expect("worker alive");
+                if let Some(e) = batch.error {
+                    let pos = bases[w] + error_at;
+                    if first_error.as_ref().is_none_or(|(p, _)| pos < *p) {
+                        first_error = Some((pos, e));
+                    }
+                }
+                // In-order merge: worker w's sends precede worker w+1's,
+                // i.e. ascending active-node order — the serial order.
+                staged.extend(batch.staged);
+                merge_wake(&mut { batch.wake }, woken, wake);
+            }
+            match first_error {
+                Some((_, e)) => Err(e),
+                None => Ok(()),
+            }
+        };
+
+        let mut staged: Vec<Staged> = Vec::new();
+        let mut woken = vec![false; n];
+        let mut wake: Vec<NodeId> = Vec::new();
+        let mut report = RunReport::default();
+
+        let init_work: Vec<_> = g.nodes().map(|v| (v, None)).collect();
+        dispatch(0, init_work, &mut staged, &mut woken, &mut wake)?;
+
+        let mut boxes = Mailboxes::new(n);
+        let mut round: u64 = 0;
+        while !staged.is_empty() || !wake.is_empty() {
+            round += 1;
+            if round > max_rounds {
+                return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+            }
+            let mut active: Vec<NodeId> = Vec::new();
+            boxes.deliver(&mut staged, &woken, &mut active, &mut report);
+            finish_active(&mut active, &mut wake, &mut woken);
+            let work: Vec<_> = active
+                .iter()
+                .map(|&v| (v, Some(boxes.take_inbox(v))))
+                .collect();
+            dispatch(round, work, &mut staged, &mut woken, &mut wake)?;
+        }
+        report.rounds = round;
+        Ok(report)
+    })
+}
+
+fn worker_loop<P: ParallelNodeLogic>(
+    g: &Graph,
+    cfg: SimConfig,
+    logic: &P,
+    states: &StatesPtr<P::State>,
+    tasks: &Receiver<WorkItem>,
+    results: &Sender<WorkResult>,
+) {
+    let mut scratch = Scratch::new(g, cfg);
+    while let Ok(WorkItem { round, nodes }) = tasks.recv() {
+        let mut error_at = 0;
+        for (i, (node, inbox)) in nodes.into_iter().enumerate() {
+            // SAFETY: see `StatesPtr` — node ids are unique across all
+            // workers' items this round, and the coordinator blocks on
+            // our result before touching `states` again.
+            let state = unsafe { &mut *states.0.add(node.index()) };
+            let ok = scratch.drive(logic, node, state, inbox.as_deref(), round);
+            if !ok {
+                error_at = i;
+                break;
+            }
+        }
+        if results
+            .send(WorkResult {
+                batch: scratch.take_batch(),
+                error_at,
+            })
+            .is_err()
+        {
+            return; // coordinator gone (earlier error); shut down
+        }
+    }
+}
+
+/// Applies one batch's wake requests to the global wake state.
+fn merge_wake(batch_wake: &mut Vec<NodeId>, woken: &mut [bool], wake: &mut Vec<NodeId>) {
+    for v in batch_wake.drain(..) {
+        // Only `v` itself can request `v`'s wake-up and each node runs
+        // once per round, so no dedup check is needed here; the flag
+        // feeds the next delivery's activation logic.
+        woken[v.index()] = true;
+        wake.push(v);
+    }
+}
+
+/// Completes a round's active list: append the woken nodes, sort,
+/// dedup, clear their wake flags. Shared with the serial reference loop
+/// (`engine::run_serial`) so the activation rule exists exactly once.
+pub(crate) fn finish_active(active: &mut Vec<NodeId>, wake: &mut Vec<NodeId>, woken: &mut [bool]) {
+    active.append(wake);
+    active.sort_unstable();
+    active.dedup();
+    for &v in active.iter() {
+        woken[v.index()] = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Backend;
+
+    fn grid(rows: usize, cols: usize) -> Graph {
+        let mut edges = Vec::new();
+        let id = |r: usize, c: usize| r * cols + c;
+        for r in 0..rows {
+            for c in 0..cols {
+                if c + 1 < cols {
+                    edges.push((id(r, c), id(r, c + 1)));
+                }
+                if r + 1 < rows {
+                    edges.push((id(r, c), id(r + 1, c)));
+                }
+            }
+        }
+        Graph::from_edges(rows * cols, edges).unwrap()
+    }
+
+    /// Distance-from-source flood: per-node state is `Option<level>`.
+    struct Levels;
+    impl ParallelNodeLogic for Levels {
+        type State = Option<u64>;
+        fn init(&self, node: NodeId, state: &mut Self::State, out: &mut Outbox<'_>) {
+            if node.index() == 0 {
+                *state = Some(0);
+                out.send_all(Msg::words(&[0]));
+            }
+        }
+        fn round(
+            &self,
+            _node: NodeId,
+            state: &mut Self::State,
+            inbox: &[(NodeId, Msg)],
+            out: &mut Outbox<'_>,
+        ) {
+            if state.is_none() {
+                let lvl = inbox.iter().map(|(_, m)| m.word(0)).min().expect("msgs") + 1;
+                *state = Some(lvl);
+                out.send_all(Msg::words(&[lvl]));
+            }
+        }
+    }
+
+    fn run_levels(threads: usize) -> (Vec<Option<u64>>, RunReport) {
+        let g = grid(9, 11);
+        let mut engine = ParallelEngine::new(&g, SimConfig::default()).with_threads(threads);
+        let mut states = vec![None; g.n()];
+        let report = engine.run(&Levels, &mut states, 10_000).unwrap();
+        (states, report)
+    }
+
+    #[test]
+    fn flood_levels_are_bfs_distances() {
+        let (states, report) = run_levels(4);
+        // Manhattan distance on a grid from corner (0,0).
+        for r in 0..9u64 {
+            for c in 0..11u64 {
+                assert_eq!(states[(r * 11 + c) as usize], Some(r + c));
+            }
+        }
+        assert!(report.rounds >= 9 + 11 - 2);
+    }
+
+    #[test]
+    fn thread_count_does_not_change_anything() {
+        let baseline = run_levels(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run_levels(threads), baseline, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn errors_match_serial_choice() {
+        // Two violators in one round; the serial engine reports the
+        // smaller node id first. All thread counts must agree.
+        struct TwoViolators;
+        impl ParallelNodeLogic for TwoViolators {
+            type State = ();
+            fn init(&self, node: NodeId, _: &mut (), out: &mut Outbox<'_>) {
+                if node.index() == 3 || node.index() == 7 {
+                    out.send_all(Msg::words(&[0; 9])); // over bandwidth
+                }
+            }
+            fn round(&self, _: NodeId, _: &mut (), _: &[(NodeId, Msg)], _: &mut Outbox<'_>) {}
+        }
+        let g = grid(3, 4);
+        for threads in [1, 2, 5] {
+            let mut engine = ParallelEngine::new(&g, SimConfig::default()).with_threads(threads);
+            let err = engine
+                .run(&TwoViolators, &mut vec![(); g.n()], 10)
+                .unwrap_err();
+            assert!(
+                matches!(err, SimError::MessageTooLarge { from, .. } if from.index() == 3),
+                "threads={threads}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_limit_enforced() {
+        struct PingPong;
+        impl ParallelNodeLogic for PingPong {
+            type State = ();
+            fn init(&self, node: NodeId, _: &mut (), out: &mut Outbox<'_>) {
+                if node.index() == 0 {
+                    out.send(NodeId::new(1), Msg::ping());
+                }
+            }
+            fn round(&self, _: NodeId, _: &mut (), inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
+                for (from, _) in inbox {
+                    out.send(*from, Msg::ping());
+                }
+            }
+        }
+        let g = grid(1, 2);
+        let mut engine = ParallelEngine::new(&g, SimConfig::default()).with_threads(2);
+        let err = engine.run(&PingPong, &mut [(); 2], 7).unwrap_err();
+        assert_eq!(err, SimError::RoundLimitExceeded { limit: 7 });
+    }
+
+    #[test]
+    fn wake_semantics_preserved() {
+        // A node that wakes itself twice, then quiesces.
+        struct Snooze;
+        impl ParallelNodeLogic for Snooze {
+            type State = u32;
+            fn init(&self, node: NodeId, _: &mut u32, out: &mut Outbox<'_>) {
+                if node.index() == 5 {
+                    out.wake();
+                }
+            }
+            fn round(
+                &self,
+                node: NodeId,
+                state: &mut u32,
+                inbox: &[(NodeId, Msg)],
+                out: &mut Outbox<'_>,
+            ) {
+                assert_eq!(node.index(), 5);
+                assert!(inbox.is_empty());
+                *state += 1;
+                if *state < 3 {
+                    out.wake();
+                    out.wake(); // dedup: still one activation
+                }
+            }
+        }
+        let g = grid(2, 4);
+        for threads in [1, 4] {
+            let mut states = vec![0u32; g.n()];
+            let mut engine = ParallelEngine::new(&g, SimConfig::default()).with_threads(threads);
+            let report = engine.run(&Snooze, &mut states, 100).unwrap();
+            assert_eq!(states[5], 3);
+            assert_eq!(report.rounds, 3);
+            assert_eq!(report.messages, 0);
+        }
+    }
+
+    #[test]
+    fn backend_selects_thread_count() {
+        let g = grid(2, 2);
+        let cfg = SimConfig::default().with_backend(Backend::Parallel { threads: 6 });
+        assert_eq!(ParallelEngine::new(&g, cfg).threads(), 6);
+        assert_eq!(ParallelEngine::new(&g, SimConfig::default()).threads(), 1);
+    }
+
+    #[test]
+    fn engine_core_runs_aggregate_logic_serially() {
+        struct Count(u64);
+        impl NodeLogic for Count {
+            fn init(&mut self, node: NodeId, out: &mut Outbox<'_>) {
+                if node.index() == 0 {
+                    out.send_all(Msg::ping());
+                }
+            }
+            fn round(&mut self, _: NodeId, inbox: &[(NodeId, Msg)], _: &mut Outbox<'_>) {
+                self.0 += inbox.len() as u64;
+            }
+        }
+        let g = grid(2, 3);
+        let mut engine = ParallelEngine::new(&g, SimConfig::default()).with_threads(4);
+        let mut logic = Count(0);
+        let report = EngineCore::run_logic(&mut engine, &mut logic, 100).unwrap();
+        assert_eq!(logic.0, 2);
+        assert_eq!(report.messages, 2);
+        assert_eq!(engine.stats().runs, 1);
+    }
+}

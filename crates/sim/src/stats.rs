@@ -30,6 +30,7 @@ impl SimStats {
 
     /// Executed plus charged rounds — the figure the paper's theorems
     /// bound.
+    #[must_use]
     pub fn total_rounds(&self) -> u64 {
         self.rounds + self.charged_rounds
     }
@@ -61,8 +62,16 @@ mod tests {
     #[test]
     fn absorb_and_total() {
         let mut s = SimStats::default();
-        s.absorb(RunReport { rounds: 10, messages: 5, words: 9 });
-        s.absorb(RunReport { rounds: 3, messages: 1, words: 1 });
+        s.absorb(RunReport {
+            rounds: 10,
+            messages: 5,
+            words: 9,
+        });
+        s.absorb(RunReport {
+            rounds: 3,
+            messages: 1,
+            words: 1,
+        });
         s.charged_rounds = 7;
         assert_eq!(s.rounds, 13);
         assert_eq!(s.total_rounds(), 20);
@@ -72,9 +81,30 @@ mod tests {
 
     #[test]
     fn merge() {
-        let mut a = SimStats { rounds: 1, charged_rounds: 2, messages: 3, words: 4, runs: 5 };
-        let b = SimStats { rounds: 10, charged_rounds: 20, messages: 30, words: 40, runs: 50 };
+        let mut a = SimStats {
+            rounds: 1,
+            charged_rounds: 2,
+            messages: 3,
+            words: 4,
+            runs: 5,
+        };
+        let b = SimStats {
+            rounds: 10,
+            charged_rounds: 20,
+            messages: 30,
+            words: 40,
+            runs: 50,
+        };
         a.merge(&b);
-        assert_eq!(a, SimStats { rounds: 11, charged_rounds: 22, messages: 33, words: 44, runs: 55 });
+        assert_eq!(
+            a,
+            SimStats {
+                rounds: 11,
+                charged_rounds: 22,
+                messages: 33,
+                words: 44,
+                runs: 55
+            }
+        );
     }
 }

@@ -9,7 +9,8 @@ use std::fmt;
 
 use planartest_graph::{Graph, NodeId};
 
-use crate::engine::{Engine, Msg, NodeLogic, Outbox, SimError};
+use crate::engine::{Msg, NodeLogic, Outbox, SimError};
+use crate::runtime::EngineCore;
 
 /// A rooted forest over the nodes of a graph, where every parent link is a
 /// graph edge. Nodes with no parent are roots (isolated nodes are trivial
@@ -66,7 +67,10 @@ impl TreeTopology {
     /// Rejects non-neighbour parents and cyclic pointer chains.
     pub fn from_parents(g: &Graph, parent: Vec<Option<NodeId>>) -> Result<Self, TreeError> {
         if parent.len() != g.n() {
-            return Err(TreeError::WrongLength { got: parent.len(), expected: g.n() });
+            return Err(TreeError::WrongLength {
+                got: parent.len(),
+                expected: g.n(),
+            });
         }
         for v in g.nodes() {
             if let Some(p) = parent[v.index()] {
@@ -148,7 +152,10 @@ impl TreeTopology {
 
     /// Height of the forest (maximum depth over all nodes).
     pub fn height(&self) -> u32 {
-        (0..self.parent.len()).map(|v| self.depth(NodeId::new(v))).max().unwrap_or(0)
+        (0..self.parent.len())
+            .map(|v| self.depth(NodeId::new(v)))
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -172,7 +179,11 @@ impl<F: FnMut(NodeId) -> Option<Msg>> NodeLogic for BroadcastLogic<'_, F> {
 
     fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>) {
         for (from, msg) in inbox {
-            debug_assert_eq!(Some(*from), self.tree.parent(node), "broadcast came off-tree");
+            debug_assert_eq!(
+                Some(*from),
+                self.tree.parent(node),
+                "broadcast came off-tree"
+            );
             for &c in self.tree.children(node) {
                 out.send(c, msg.clone());
             }
@@ -190,18 +201,23 @@ impl<F: FnMut(NodeId) -> Option<Msg>> NodeLogic for BroadcastLogic<'_, F> {
 /// # Errors
 ///
 /// Propagates engine [`SimError`]s (e.g. payload over bandwidth).
-pub fn broadcast<F>(
-    engine: &mut Engine<'_>,
+pub fn broadcast<'g, E, F>(
+    engine: &mut E,
     tree: &TreeTopology,
     payload: F,
     max_rounds: u64,
 ) -> Result<Vec<Option<Msg>>, SimError>
 where
+    E: EngineCore<'g>,
     F: FnMut(NodeId) -> Option<Msg>,
 {
     let n = engine.graph().n();
-    let mut logic = BroadcastLogic { tree, payload, received: vec![None; n] };
-    engine.run(&mut logic, max_rounds)?;
+    let mut logic = BroadcastLogic {
+        tree,
+        payload,
+        received: vec![None; n],
+    };
+    engine.run_logic(&mut logic, max_rounds)?;
     Ok(logic.received)
 }
 
@@ -253,13 +269,14 @@ impl<F: FnMut(NodeId, &[(NodeId, Msg)]) -> Msg> NodeLogic for ConvergecastLogic<
 /// # Errors
 ///
 /// Propagates engine [`SimError`]s.
-pub fn convergecast<F>(
-    engine: &mut Engine<'_>,
+pub fn convergecast<'g, E, F>(
+    engine: &mut E,
     tree: &TreeTopology,
     combine: F,
     max_rounds: u64,
 ) -> Result<Vec<Option<Msg>>, SimError>
 where
+    E: EngineCore<'g>,
     F: FnMut(NodeId, &[(NodeId, Msg)]) -> Msg,
 {
     let n = engine.graph().n();
@@ -270,14 +287,14 @@ where
         gathered: vec![Vec::new(); n],
         result: vec![None; n],
     };
-    engine.run(&mut logic, max_rounds)?;
+    engine.run_logic(&mut logic, max_rounds)?;
     Ok(logic.result)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::SimConfig;
+    use crate::engine::{Engine, SimConfig};
 
     /// A path 0-1-2-3-4 rooted at 0 plus an isolated root 5.
     fn setup() -> (Graph, TreeTopology) {
@@ -318,10 +335,8 @@ mod tests {
         let e = TreeTopology::from_parents(&g, vec![None, None, Some(NodeId::new(0))]);
         assert!(matches!(e, Err(TreeError::ParentNotNeighbor { .. })));
         // Cycle 0 <-> 1.
-        let e = TreeTopology::from_parents(
-            &g,
-            vec![Some(NodeId::new(1)), Some(NodeId::new(0)), None],
-        );
+        let e =
+            TreeTopology::from_parents(&g, vec![Some(NodeId::new(1)), Some(NodeId::new(0)), None]);
         assert!(matches!(e, Err(TreeError::Cycle { .. })));
         assert!(e.unwrap_err().to_string().contains("cycle"));
     }
@@ -333,12 +348,18 @@ mod tests {
         let got = broadcast(
             &mut engine,
             &tree,
-            |r| if r.index() == 0 { Some(Msg::words(&[99])) } else { None },
+            |r| {
+                if r.index() == 0 {
+                    Some(Msg::words(&[99]))
+                } else {
+                    None
+                }
+            },
             100,
         )
         .unwrap();
-        for v in 0..5 {
-            assert_eq!(got[v].as_ref().map(|m| m.word(0)), Some(99), "node {v}");
+        for (v, msg) in got.iter().enumerate().take(5) {
+            assert_eq!(msg.as_ref().map(|m| m.word(0)), Some(99), "node {v}");
         }
         assert_eq!(got[5], None);
         assert_eq!(engine.stats().rounds, 4); // height of the path
@@ -360,16 +381,21 @@ mod tests {
         .unwrap();
         assert_eq!(roots[0].as_ref().map(|m| m.word(0)), Some(5)); // path of 5 nodes
         assert_eq!(roots[5].as_ref().map(|m| m.word(0)), Some(1)); // isolated
-        for v in 1..5 {
-            assert!(roots[v].is_none());
+        for root in roots.iter().take(5).skip(1) {
+            assert!(root.is_none());
         }
     }
 
     #[test]
     fn convergecast_on_star() {
         let g = Graph::from_edges(5, (1..5).map(|i| (0, i))).unwrap();
-        let parent =
-            vec![None, Some(NodeId::new(0)), Some(NodeId::new(0)), Some(NodeId::new(0)), Some(NodeId::new(0))];
+        let parent = vec![
+            None,
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+            Some(NodeId::new(0)),
+        ];
         let tree = TreeTopology::from_parents(&g, parent).unwrap();
         let mut engine = Engine::new(&g, SimConfig::default());
         let roots = convergecast(
@@ -381,14 +407,20 @@ mod tests {
             100,
         )
         .unwrap();
-        assert_eq!(roots[0].as_ref().map(|m| m.word(0)), Some(0 + 1 + 2 + 3 + 4));
+        assert_eq!(roots[0].as_ref().map(|m| m.word(0)), Some(1 + 2 + 3 + 4));
         assert_eq!(engine.stats().rounds, 1);
     }
 
     #[test]
     fn broadcast_oversized_payload_fails() {
         let (g, tree) = setup();
-        let mut engine = Engine::new(&g, SimConfig { max_words_per_message: 2 });
+        let mut engine = Engine::new(
+            &g,
+            SimConfig {
+                max_words_per_message: 2,
+                ..SimConfig::default()
+            },
+        );
         let err = broadcast(&mut engine, &tree, |_| Some(Msg::words(&[0; 3])), 100).unwrap_err();
         assert!(matches!(err, SimError::MessageTooLarge { .. }));
     }

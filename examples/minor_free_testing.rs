@@ -7,9 +7,7 @@
 //! ```
 
 use planartest::core::applications::{test_bipartiteness, test_cycle_freeness};
-use planartest::core::partition::randomized::{
-    run_randomized_partition, RandomPartitionConfig,
-};
+use planartest::core::partition::randomized::{run_randomized_partition, RandomPartitionConfig};
 use planartest::core::TesterConfig;
 use planartest::graph::generators::planar;
 use planartest::sim::{Engine, SimConfig};
@@ -24,10 +22,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grid = planar::grid(12, 12).graph;
     let mut engine = Engine::new(&tree, SimConfig::default());
     let out = test_cycle_freeness(&mut engine, &cfg)?;
-    println!("cycle-freeness  tree  -> {} ({} rounds)", verdict(out.accepted()), engine.stats().total_rounds());
+    println!(
+        "cycle-freeness  tree  -> {} ({} rounds)",
+        verdict(out.accepted()),
+        engine.stats().total_rounds()
+    );
     let mut engine = Engine::new(&grid, SimConfig::default());
     let out = test_cycle_freeness(&mut engine, &cfg)?;
-    println!("cycle-freeness  grid  -> {} ({} rejecting)", verdict(out.accepted()), out.rejecting.len());
+    println!(
+        "cycle-freeness  grid  -> {} ({} rejecting)",
+        verdict(out.accepted()),
+        out.rejecting.len()
+    );
 
     // Bipartiteness.
     let tri = planar::triangulated_grid(10, 10).graph;
@@ -36,12 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("bipartiteness   grid  -> {}", verdict(out.accepted()));
     let mut engine = Engine::new(&tri, SimConfig::default());
     let out = test_bipartiteness(&mut engine, &cfg)?;
-    println!("bipartiteness   tri   -> {} ({} rejecting)", verdict(out.accepted()), out.rejecting.len());
+    println!(
+        "bipartiteness   tri   -> {} ({} rejecting)",
+        verdict(out.accepted()),
+        out.rejecting.len()
+    );
 
     // Theorem 4: randomized partition at different confidence levels.
     println!("\nrandomized minor-free partition (Theorem 4) on the triangulated grid:");
     for delta in [0.5, 0.1, 0.01] {
-        let pcfg = RandomPartitionConfig::new(0.2, delta).with_phases(8).with_seed(3);
+        let pcfg = RandomPartitionConfig::new(0.2, delta)
+            .with_phases(8)
+            .with_seed(3);
         let mut engine = Engine::new(&tri, SimConfig::default());
         let p = run_randomized_partition(&mut engine, &pcfg)?;
         let cut = p.state.cut_weight(&tri);

@@ -34,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if out.accepted() { "ACCEPT" } else { "REJECT" },
         out.rounds(),
         out.rejections.len(),
-        out.rejections.first().map(|&(_, r)| r.to_string()).unwrap_or_default(),
+        out.rejections
+            .first()
+            .map(|&(_, r)| r.to_string())
+            .unwrap_or_default(),
     );
     assert!(!out.accepted(), "certified-far inputs are rejected");
 

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rng = StdRng::seed_from_u64(2024);
     let city = planar::road_network(14, 14, &mut rng);
     let n = city.graph.n();
-    println!("road network: {} intersections, {} road segments", n, city.graph.m());
+    println!(
+        "road network: {} intersections, {} road segments",
+        n,
+        city.graph.m()
+    );
 
     let tester = PlanarityTester::new(TesterConfig::new(0.1).with_phases(8));
     let out = tester.run(&city.graph)?;

@@ -30,7 +30,11 @@ fn completeness_across_families_and_seeds() {
         planar::road_network(8, 8, &mut rng),
     ];
     for fam in &families {
-        assert!(is_planar(&fam.graph), "{} generator must be planar", fam.name);
+        assert!(
+            is_planar(&fam.graph),
+            "{} generator must be planar",
+            fam.name
+        );
         for seed in [0u64, 1, 99] {
             let t = PlanarityTester::new(TesterConfig::new(0.1).with_phases(8).with_seed(seed));
             let out = t.run(&fam.graph).expect("run");
@@ -63,7 +67,11 @@ fn soundness_across_certified_far_families() {
             fam.name
         );
         let out = tester(0.05).run(&fam.graph).expect("run");
-        assert!(!out.accepted(), "certified-far family {} accepted", fam.name);
+        assert!(
+            !out.accepted(),
+            "certified-far family {} accepted",
+            fam.name
+        );
     }
 }
 
@@ -77,7 +85,10 @@ fn near_planar_inputs_are_handled() {
     assert!(out.rounds() > 0);
     let k33 = nonplanar::complete_bipartite(3, 3);
     let out = tester(0.1).run(&k33.graph).expect("run");
-    assert!(!out.accepted(), "K3,3 as a single small part is caught by the embedder");
+    assert!(
+        !out.accepted(),
+        "K3,3 as a single small part is caught by the embedder"
+    );
 }
 
 /// The round complexity is sublinear in n for fixed eps: quadrupling n
@@ -126,9 +137,10 @@ fn rejection_reasons_are_sensible() {
 
     let k33 = nonplanar::complete_bipartite(3, 3);
     let out = tester(0.1).run(&k33.graph).expect("run");
-    assert!(out.rejections.iter().all(|&(_, r)| {
-        r == RejectReason::EmbeddingFailed || r == RejectReason::EulerBound
-    }));
+    assert!(out
+        .rejections
+        .iter()
+        .all(|&(_, r)| { r == RejectReason::EmbeddingFailed || r == RejectReason::EulerBound }));
 }
 
 /// Determinism: identical config + seed => identical telemetry.
@@ -155,7 +167,9 @@ fn disconnected_graphs_supported() {
         builder.add_edge(u.index(), v.index()).unwrap();
     }
     for (u, v) in b.edges() {
-        builder.add_edge(a.n() + u.index(), a.n() + v.index()).unwrap();
+        builder
+            .add_edge(a.n() + u.index(), a.n() + v.index())
+            .unwrap();
     }
     let g = builder.build();
     let out = tester(0.2).run(&g).expect("run");
