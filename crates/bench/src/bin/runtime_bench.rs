@@ -1,6 +1,25 @@
 //! Serial-vs-parallel runtime benchmark; writes `BENCH_runtime.json`.
 //! Set `PLANARTEST_QUICK=1` for CI-sized runs, `PLANARTEST_THREADS=k`
 //! to cap the worker pools.
+//!
+//! With `--check`, exits non-zero when the regression gate fails
+//! (parallel at max threads losing to serial on the largest tester
+//! workload) — this is the CI performance gate.
 fn main() {
-    planartest_bench::runtime_bench();
+    let check = std::env::args().any(|a| a == "--check");
+    let gate = planartest_bench::runtime_bench();
+    if check && !gate.pass() {
+        eprintln!(
+            "benchmark gate FAILED: parallel speedup {:.3}x < 1.0 on the largest \
+             tester workload (n={})",
+            gate.speedup, gate.largest_n
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!(
+            "benchmark gate passed: parallel speedup {:.3}x on n={}",
+            gate.speedup, gate.largest_n
+        );
+    }
 }

@@ -23,7 +23,7 @@ use rand::SeedableRng;
 pub mod json;
 mod runtime_bench;
 
-pub use runtime_bench::{runtime_bench, runtime_bench_document};
+pub use runtime_bench::{runtime_bench, runtime_bench_document, BenchGate};
 
 /// Whether quick (CI-sized) sweeps were requested.
 pub fn quick() -> bool {
@@ -568,7 +568,7 @@ pub fn run_all() {
     e10_spanner();
     e11_stage1_alt();
     e12_bandwidth();
-    runtime_bench();
+    let _ = runtime_bench();
 }
 
 #[cfg(test)]

@@ -56,8 +56,14 @@ impl ParallelNodeLogic for FloodProgram {
 }
 
 /// Median-of-`reps` wall-clock seconds for `f` (quick mode: 1 rep).
-fn time_median<F: FnMut()>(mut f: F) -> f64 {
-    let reps = if quick() { 1 } else { 3 };
+fn time_median<F: FnMut()>(f: F) -> f64 {
+    time_median_reps(if quick() { 1 } else { 3 }, f)
+}
+
+/// Median-of-`reps` wall-clock seconds for `f` with an explicit rep
+/// count (the gated measurements keep 3 reps even in quick mode, so a
+/// single noisy sample can't flip the CI gate).
+fn time_median_reps<F: FnMut()>(reps: usize, mut f: F) -> f64 {
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let start = Instant::now();
@@ -148,46 +154,86 @@ fn engine_throughput(side: usize) -> Json {
         .field("parallel", parallel)
 }
 
-/// Tester wall-clock vs `n`, serial backend vs parallel backend.
-fn tester_n_sweep() -> Json {
+/// Measures one tester workload on the three backends; returns the row
+/// plus the parallel-vs-serial speedup. `reps` overrides the default
+/// rep policy (the CI gate keeps 3 reps even in quick mode so one
+/// noisy sample can't flip it).
+fn tester_workload(side: usize, reps: usize) -> (Json, f64) {
+    let fam = planar::triangulated_grid(side, side);
+    let g = &fam.graph;
+    let cfg = crate::practical_cfg(0.1);
+    let mut rounds = 0u64;
+    let serial_secs = time_median_reps(reps, || {
+        let out = PlanarityTester::new(cfg.clone())
+            .with_backend(Backend::Serial)
+            .run(g)
+            .expect("run");
+        assert!(out.accepted());
+        rounds = out.rounds();
+    });
+    let parallel_secs = time_median_reps(reps, || {
+        let out = PlanarityTester::new(cfg.clone())
+            .with_backend(Backend::Parallel { threads: 0 })
+            .run(g)
+            .expect("run");
+        assert!(out.accepted());
+        assert_eq!(out.rounds(), rounds, "backends must agree");
+    });
+    let auto_secs = time_median(|| {
+        let out = PlanarityTester::new(cfg.clone())
+            .with_backend(Backend::Auto)
+            .run(g)
+            .expect("run");
+        assert!(out.accepted());
+        assert_eq!(out.rounds(), rounds, "backends must agree");
+    });
+    let speedup = serial_secs / parallel_secs;
+    println!(
+        "tester sweep   n={:<6} serial {serial_secs:>8.3}s  parallel {parallel_secs:>8.3}s \
+         (speedup {speedup:.2}x)  auto {auto_secs:>8.3}s  ({rounds} rounds)",
+        g.n()
+    );
+    let row = Json::obj()
+        .field("n", g.n())
+        .field("m", g.m())
+        .field("rounds", rounds)
+        .field("serial_seconds", serial_secs)
+        .field("parallel_seconds", parallel_secs)
+        .field("speedup_vs_serial", speedup)
+        .field("auto_seconds", auto_secs);
+    (row, speedup)
+}
+
+/// Tester wall-clock vs `n`: serial backend vs parallel-at-max-threads
+/// vs the default `Auto` backend. Returns the rows plus the
+/// parallel-vs-serial speedup and size of the gated (largest) instance.
+///
+/// The largest instance — the CI gate — is sized to at least
+/// [`Backend::AUTO_MIN_NODES`] in *both* modes: below that width the
+/// code's own `Auto` calibration says pooled execution loses to serial,
+/// so gating a smaller workload would demand a speedup the design
+/// itself does not promise.
+fn tester_n_sweep() -> (Json, f64, usize) {
     let sides: Vec<usize> = if quick() {
-        vec![8, 16]
+        vec![8, 16, 48]
     } else {
         vec![16, 32, 64]
     };
+    let gate_side = *sides.last().expect("non-empty sweep");
+    assert!(
+        gate_side * gate_side >= Backend::AUTO_MIN_NODES,
+        "gated workload narrower than the Auto pool threshold"
+    );
     let mut rows = Vec::new();
+    let (mut largest_speedup, mut largest_n) = (f64::NAN, 0);
     for side in sides {
-        let fam = planar::triangulated_grid(side, side);
-        let g = &fam.graph;
-        let cfg = crate::practical_cfg(0.1);
-        let mut rounds = 0u64;
-        let serial_secs = time_median(|| {
-            let out = PlanarityTester::new(cfg.clone()).run(g).expect("run");
-            assert!(out.accepted());
-            rounds = out.rounds();
-        });
-        let parallel_secs = time_median(|| {
-            let out = PlanarityTester::new(cfg.clone())
-                .with_backend(Backend::Parallel { threads: 0 })
-                .run(g)
-                .expect("run");
-            assert!(out.accepted());
-            assert_eq!(out.rounds(), rounds, "backends must agree");
-        });
-        println!(
-            "tester sweep   n={:<6} serial {serial_secs:>8.3}s  parallel {parallel_secs:>8.3}s  ({rounds} rounds)",
-            g.n()
-        );
-        rows.push(
-            Json::obj()
-                .field("n", g.n())
-                .field("m", g.m())
-                .field("rounds", rounds)
-                .field("serial_seconds", serial_secs)
-                .field("parallel_seconds", parallel_secs),
-        );
+        let reps = if side == gate_side || !quick() { 3 } else { 1 };
+        let (row, speedup) = tester_workload(side, reps);
+        largest_speedup = speedup;
+        largest_n = side * side;
+        rows.push(row);
     }
-    Json::Arr(rows)
+    (Json::Arr(rows), largest_speedup, largest_n)
 }
 
 /// Trial-parallel Monte-Carlo sweep (the e1 workload shape): the same
@@ -233,27 +279,69 @@ fn trial_sweep() -> Json {
         .field("speedup_vs_serial", speedup)
 }
 
-/// Builds the full benchmark document (also printed as tables).
+/// The CI regression gate computed alongside the benchmark document:
+/// the parallel backend at max threads must not lose to serial on the
+/// largest `tester_n_sweep` workload.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchGate {
+    /// Node count of the gated (largest) tester workload.
+    pub largest_n: usize,
+    /// Serial wall-clock over parallel wall-clock on that workload.
+    pub speedup: f64,
+    /// Worker threads the parallel measurement resolved to.
+    pub max_threads: usize,
+}
+
+impl BenchGate {
+    /// Whether the gate passes: speedup at or above parity. On a
+    /// single-hardware-thread machine there is no pool to gate — the
+    /// "parallel" run takes the same inline path as serial, so the
+    /// ratio is pure timing noise and the gate is vacuously true.
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.max_threads <= 1 || self.speedup >= 1.0
+    }
+}
+
+/// Builds the full benchmark document (also printed as tables) and the
+/// CI gate derived from it.
 #[must_use]
-pub fn runtime_bench_document() -> Json {
+pub fn runtime_bench_document() -> (Json, BenchGate) {
     println!("\n## runtime benchmark (serial vs parallel)");
     let side = if quick() { 24 } else { 64 };
-    Json::obj()
+    let (tester_rows, speedup, largest_n) = tester_n_sweep();
+    let gate = BenchGate {
+        largest_n,
+        speedup,
+        max_threads: auto_threads(),
+    };
+    let doc = Json::obj()
         .field("schema", "planartest-bench/runtime/v1")
         .field("quick_mode", quick())
         .field("hardware_threads", auto_threads())
         .field("engine_throughput", engine_throughput(side))
-        .field("tester_n_sweep", tester_n_sweep())
+        .field("tester_n_sweep", tester_rows)
         .field("trial_sweep", trial_sweep())
+        .field(
+            "gate",
+            Json::obj()
+                .field("workload", "tester_n_sweep_largest")
+                .field("n", gate.largest_n)
+                .field("max_threads", gate.max_threads)
+                .field("parallel_speedup_at_max_threads", gate.speedup)
+                .field("pass", gate.pass()),
+        );
+    (doc, gate)
 }
 
 /// Runs the benchmark and writes `BENCH_runtime.json` into the current
-/// directory (the repo root under `cargo run`).
-pub fn runtime_bench() {
-    let doc = runtime_bench_document();
+/// directory (the repo root under `cargo run`); returns the CI gate.
+pub fn runtime_bench() -> BenchGate {
+    let (doc, gate) = runtime_bench_document();
     let path = "BENCH_runtime.json";
     std::fs::write(path, doc.pretty()).expect("write BENCH_runtime.json");
     println!("wrote {path}");
+    gate
 }
 
 #[cfg(test)]
@@ -269,23 +357,55 @@ mod tests {
     }
 
     #[test]
-    fn document_has_required_sections() {
-        // Force quick sizes regardless of the environment: the document
-        // builder itself reads `quick()`, so just verify on whatever
-        // size is configured but keep CI fast via PLANARTEST_QUICK.
-        if !quick() {
-            return; // full-size benches belong to `cargo run`, not tests
-        }
-        let doc = runtime_bench_document();
-        let text = doc.pretty();
+    fn tester_workload_row_has_required_fields() {
+        // One tiny workload exercises the row builder and all three
+        // backends; the full document (with the gate-sized instance) is
+        // too heavy for a debug-build test and runs for real in CI via
+        // `runtime_bench --check` on the release binary.
+        let (row, speedup) = tester_workload(4, 1);
+        let text = row.pretty();
         for key in [
-            "engine_throughput",
-            "tester_n_sweep",
-            "trial_sweep",
+            "rounds",
+            "serial_seconds",
+            "parallel_seconds",
             "speedup_vs_serial",
-            "rounds_per_sec",
+            "auto_seconds",
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }
+        assert!(speedup.is_finite() && speedup > 0.0);
+    }
+
+    #[test]
+    fn gate_workload_is_wide_enough_for_the_pool() {
+        // Both mode's largest sweep instance must be at least as wide
+        // as the Auto pool threshold — gating a narrower workload would
+        // demand a speedup the backend's own calibration rejects.
+        for largest_side in [48usize, 64] {
+            assert!(largest_side * largest_side >= Backend::AUTO_MIN_NODES);
+        }
+    }
+
+    #[test]
+    fn gate_threshold_is_parity() {
+        assert!(BenchGate {
+            largest_n: 1,
+            speedup: 1.0,
+            max_threads: 4
+        }
+        .pass());
+        assert!(!BenchGate {
+            largest_n: 1,
+            speedup: 0.99,
+            max_threads: 4
+        }
+        .pass());
+        // One hardware thread: nothing to gate, noise must not fail CI.
+        assert!(BenchGate {
+            largest_n: 1,
+            speedup: 0.99,
+            max_threads: 1
+        }
+        .pass());
     }
 }

@@ -46,7 +46,10 @@ where
             }
         }
         fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], _out: &mut Outbox<'_>) {
-            self.received[node.index()].extend(inbox.iter().cloned());
+            // The inbox is a borrowed slice of the engine's delivery
+            // arena; one bulk copy moves it into the result table
+            // (inline `Msg`s make this a flat memcpy-style clone).
+            self.received[node.index()].extend_from_slice(inbox);
         }
     }
     let n = engine.graph().n();

@@ -126,7 +126,11 @@ impl PlanarityTester {
     pub fn run(&self, g: &Graph) -> Result<TestOutcome, CoreError> {
         match self.sim.backend {
             Backend::Serial => self.run_on(&mut Engine::new(g, self.sim)),
-            Backend::Parallel { .. } => self.run_on(&mut ParallelEngine::new(g, self.sim)),
+            // `Auto` rides the parallel engine, which resolves the
+            // worker count per run from the backend's work threshold.
+            Backend::Parallel { .. } | Backend::Auto => {
+                self.run_on(&mut ParallelEngine::new(g, self.sim))
+            }
         }
     }
 

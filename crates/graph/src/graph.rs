@@ -47,6 +47,7 @@ impl fmt::Display for NodeId {
 }
 
 impl From<u32> for NodeId {
+    #[inline]
     fn from(v: u32) -> Self {
         NodeId(v)
     }
@@ -89,6 +90,7 @@ impl fmt::Debug for EdgeId {
 }
 
 impl From<u32> for EdgeId {
+    #[inline]
     fn from(v: u32) -> Self {
         EdgeId(v)
     }
@@ -127,12 +129,15 @@ impl fmt::Display for GraphError {
 
 impl std::error::Error for GraphError {}
 
-/// An immutable, undirected simple graph.
+/// An immutable, undirected simple graph in CSR (compressed sparse row)
+/// layout.
 ///
 /// Nodes are `0..n`, edges are stored once with canonical orientation
-/// `u < v` and identified by [`EdgeId`]. Adjacency lists store
-/// `(neighbour, edge id)` pairs sorted by neighbour, so membership tests
-/// are `O(log deg)`.
+/// `u < v` and identified by [`EdgeId`]. Adjacency is a single flat
+/// array of `(neighbour, edge id)` pairs — node `v`'s neighbours are the
+/// contiguous slice `csr[offsets[v]..offsets[v + 1]]`, sorted by
+/// neighbour — so a whole-graph sweep is one linear pass over memory and
+/// membership tests are `O(log deg)` binary searches.
 ///
 /// # Example
 ///
@@ -150,8 +155,12 @@ pub struct Graph {
     n: usize,
     /// Canonical endpoints, `edges[e] = (u, v)` with `u < v`.
     edges: Vec<(NodeId, NodeId)>,
-    /// `adj[v]` sorted by neighbour id.
-    adj: Vec<Vec<(NodeId, EdgeId)>>,
+    /// Flat adjacency: `2m` `(neighbour, edge id)` entries, grouped by
+    /// source node, each group sorted by neighbour id.
+    csr: Vec<(NodeId, EdgeId)>,
+    /// `n + 1` row offsets into `csr`; node `v` owns
+    /// `csr[offsets[v] as usize..offsets[v + 1] as usize]`.
+    offsets: Vec<u32>,
 }
 
 impl fmt::Debug for Graph {
@@ -188,7 +197,8 @@ impl Graph {
         Graph {
             n,
             edges: Vec::new(),
-            adj: vec![Vec::new(); n],
+            csr: Vec::new(),
+            offsets: vec![0; n + 1],
         }
     }
 
@@ -248,29 +258,36 @@ impl Graph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.adj[v.index()].len()
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
     }
 
     /// Neighbours of `v` with the connecting edge id, sorted by neighbour.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.adj[v.index()]
+        &self.csr[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
 
-    /// Whether `{u, v}` is an edge.
+    /// Whether `{u, v}` is an edge (binary search over the sorted CSR
+    /// neighbour slice, `O(log deg u)`).
+    #[inline]
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         self.edge_between(u, v).is_some()
     }
 
     /// The edge id connecting `u` and `v`, if any.
+    #[inline]
     pub fn edge_between(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let a = &self.adj[u.index()];
+        let a = self.neighbors(u);
         a.binary_search_by_key(&v, |&(w, _)| w).ok().map(|i| a[i].1)
     }
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+        self.offsets
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Sum of degrees divided by `n` (0.0 for the empty graph).
@@ -387,25 +404,47 @@ impl GraphBuilder {
     }
 
     /// Finishes construction, collapsing duplicate edges.
+    ///
+    /// The CSR adjacency is filled in one counting-sort pass over the
+    /// sorted edge list. No per-node sort is needed: scanning canonical
+    /// edges in `(u, v)` order writes each node's smaller neighbours
+    /// (where it is the second endpoint) in ascending order first, then
+    /// its larger neighbours (where it is the first endpoint) in
+    /// ascending order — the row comes out sorted by neighbour id.
     pub fn build(mut self) -> Graph {
         self.edges.sort_unstable();
         self.edges.dedup();
-        let mut edges = Vec::with_capacity(self.edges.len());
-        let mut adj: Vec<Vec<(NodeId, EdgeId)>> = vec![Vec::new(); self.n];
+        let m = self.edges.len();
+        u32::try_from(2 * m).expect("adjacency entries exceed u32 offsets");
+        let mut offsets = vec![0u32; self.n + 1];
+        for &(u, v) in &self.edges {
+            offsets[u + 1] += 1;
+            offsets[v + 1] += 1;
+        }
+        for i in 0..self.n {
+            offsets[i + 1] += offsets[i];
+        }
+        // `cursor[v]` = next free slot in v's row.
+        let mut cursor: Vec<u32> = offsets[..self.n].to_vec();
+        let mut edges = Vec::with_capacity(m);
+        let mut csr = vec![(NodeId::default(), EdgeId::default()); 2 * m];
         for &(u, v) in &self.edges {
             let e = EdgeId::new(edges.len());
             let (u, v) = (NodeId::new(u), NodeId::new(v));
             edges.push((u, v));
-            adj[u.index()].push((v, e));
-            adj[v.index()].push((u, e));
+            csr[cursor[u.index()] as usize] = (v, e);
+            cursor[u.index()] += 1;
+            csr[cursor[v.index()] as usize] = (u, e);
+            cursor[v.index()] += 1;
         }
-        for a in &mut adj {
-            a.sort_unstable_by_key(|&(w, _)| w);
-        }
+        debug_assert!((0..self.n).all(|v| {
+            csr[offsets[v] as usize..offsets[v + 1] as usize].is_sorted_by_key(|&(w, _)| w)
+        }));
         Graph {
             n: self.n,
             edges,
-            adj,
+            csr,
+            offsets,
         }
     }
 }

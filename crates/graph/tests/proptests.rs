@@ -39,6 +39,49 @@ proptest! {
         prop_assert_eq!(g, h);
     }
 
+    /// CSR layout invariants against a naive reference adjacency built
+    /// from the edge list: per-row sortedness (strict — no duplicate
+    /// neighbours), degrees, `max_degree`, and `has_edge`/`edge_between`
+    /// symmetry across the builder/CSR boundary.
+    #[test]
+    fn csr_matches_reference_adjacency(g in arb_graph()) {
+        let mut reference: Vec<Vec<usize>> = vec![Vec::new(); g.n()];
+        for (u, v) in g.edges() {
+            reference[u.index()].push(v.index());
+            reference[v.index()].push(u.index());
+        }
+        for row in &mut reference {
+            row.sort_unstable();
+        }
+        let mut max_deg = 0;
+        for v in g.nodes() {
+            let row: Vec<usize> = g.neighbors(v).iter().map(|&(w, _)| w.index()).collect();
+            prop_assert!(
+                row.windows(2).all(|p| p[0] < p[1]),
+                "row {} not strictly sorted: {:?}",
+                v,
+                row
+            );
+            prop_assert_eq!(&row, &reference[v.index()]);
+            prop_assert_eq!(g.degree(v), row.len());
+            max_deg = max_deg.max(row.len());
+            for &(w, e) in g.neighbors(v) {
+                prop_assert_eq!(g.edge_between(v, w), Some(e));
+                prop_assert_eq!(g.edge_between(w, v), Some(e));
+                prop_assert!(g.has_edge(v, w) && g.has_edge(w, v));
+            }
+        }
+        prop_assert_eq!(g.max_degree(), max_deg);
+        // Negative membership agrees with the reference (first few rows
+        // keep the quadratic probe cheap).
+        for u in g.nodes().take(12) {
+            for w in g.nodes().take(12) {
+                let expected = u != w && reference[u.index()].binary_search(&w.index()).is_ok();
+                prop_assert_eq!(g.has_edge(u, w), expected);
+            }
+        }
+    }
+
     /// Handshake lemma: degree sum = 2m, and adjacency is symmetric.
     #[test]
     fn degrees_consistent(g in arb_graph()) {

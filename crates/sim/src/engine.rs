@@ -6,45 +6,89 @@ use planartest_graph::{Graph, NodeId};
 
 use crate::stats::SimStats;
 
+/// Payload words a [`Msg`] stores inline, without touching the heap.
+///
+/// Covers the default [`SimConfig::max_words_per_message`] of 4, so under
+/// the default bandwidth every message of a run is allocation-free —
+/// the `O(log n)`-bit CONGEST bandwidth bound is structural in the
+/// representation, not just checked at send time.
+pub const MSG_INLINE_WORDS: usize = 4;
+
 /// A CONGEST message: a short sequence of machine words (`u64`). Each word
 /// models `O(log n)` bits; [`SimConfig::max_words_per_message`] bounds how
 /// many words fit in one round's message on one edge.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+///
+/// Payloads of up to [`MSG_INLINE_WORDS`] words are stored inline in the
+/// value itself; only larger payloads (possible when the bandwidth limit
+/// is raised) spill to the heap. Equality and hashing are over the
+/// payload words alone, uniform across the inline/spill boundary.
+#[derive(Clone, Default)]
 pub struct Msg {
-    words: Vec<u64>,
+    /// Payload length in words.
+    len: u32,
+    /// The payload when `len <= MSG_INLINE_WORDS` (zero-padded).
+    inline: [u64; MSG_INLINE_WORDS],
+    /// The full payload when `len > MSG_INLINE_WORDS`.
+    spill: Option<Box<[u64]>>,
 }
 
 impl Msg {
     /// Creates a message from payload words.
     #[must_use]
     pub fn words(words: &[u64]) -> Self {
-        Msg {
-            words: words.to_vec(),
+        let len = u32::try_from(words.len()).expect("message length exceeds u32");
+        if words.len() <= MSG_INLINE_WORDS {
+            let mut inline = [0u64; MSG_INLINE_WORDS];
+            inline[..words.len()].copy_from_slice(words);
+            Msg {
+                len,
+                inline,
+                spill: None,
+            }
+        } else {
+            Msg {
+                len,
+                inline: [0; MSG_INLINE_WORDS],
+                spill: Some(words.into()),
+            }
         }
     }
 
     /// Creates an empty (0-word) "ping" message.
     #[must_use]
     pub fn ping() -> Self {
-        Msg { words: Vec::new() }
+        Msg::default()
     }
 
     /// The payload words.
+    #[inline]
     #[must_use]
     pub fn as_words(&self) -> &[u64] {
-        &self.words
+        match &self.spill {
+            Some(boxed) => boxed,
+            None => &self.inline[..self.len as usize],
+        }
     }
 
     /// Number of payload words.
+    #[inline]
     #[must_use]
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.len as usize
     }
 
     /// Whether the payload is empty.
+    #[inline]
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.len == 0
+    }
+
+    /// Whether the payload lives inline in the value (no heap storage).
+    #[inline]
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        self.spill.is_none()
     }
 
     /// Word `i`, panicking with a protocol-bug message if absent.
@@ -52,23 +96,55 @@ impl Msg {
     /// # Panics
     ///
     /// Panics if `i >= self.len()`.
+    #[inline]
     #[must_use]
     pub fn word(&self, i: usize) -> u64 {
-        match self.words.get(i) {
+        match self.as_words().get(i) {
             Some(&w) => w,
             None => panic!(
                 "protocol bug: word {i} requested from a {}-word message {:?} \
                  (sender and receiver disagree on the message layout)",
-                self.words.len(),
-                self.words
+                self.len(),
+                self.as_words()
             ),
         }
     }
 }
 
+impl PartialEq for Msg {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_words() == other.as_words()
+    }
+}
+
+impl Eq for Msg {}
+
+impl std::hash::Hash for Msg {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_words().hash(state);
+    }
+}
+
+impl fmt::Debug for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Msg")
+            .field("words", &self.as_words())
+            .finish()
+    }
+}
+
 impl From<Vec<u64>> for Msg {
     fn from(words: Vec<u64>) -> Self {
-        Msg { words }
+        if words.len() <= MSG_INLINE_WORDS {
+            Msg::words(&words)
+        } else {
+            // Move the vector into the spill storage — no re-copy.
+            Msg {
+                len: u32::try_from(words.len()).expect("message length exceeds u32"),
+                inline: [0; MSG_INLINE_WORDS],
+                spill: Some(words.into_boxed_slice()),
+            }
+        }
     }
 }
 
@@ -89,7 +165,7 @@ impl Default for SimConfig {
     fn default() -> Self {
         SimConfig {
             max_words_per_message: 4,
-            backend: crate::runtime::Backend::Serial,
+            backend: crate::runtime::Backend::Auto,
         }
     }
 }
@@ -166,7 +242,12 @@ impl fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Report of a single [`Engine::run`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// Equality compares the CONGEST-semantic fields (`rounds`, `messages`,
+/// `words`) only: `backend` is wall-clock telemetry, and the
+/// serial/parallel determinism guarantee is exactly that reports from
+/// different backends are equal.
+#[derive(Debug, Clone, Copy)]
 pub struct RunReport {
     /// Rounds executed (the last round in which any message was delivered
     /// or any node was woken).
@@ -175,7 +256,29 @@ pub struct RunReport {
     pub messages: u64,
     /// Total payload words delivered.
     pub words: u64,
+    /// The backend that executed this run, with `Auto` resolved to the
+    /// concrete choice it made (telemetry; excluded from equality).
+    pub backend: crate::runtime::Backend,
 }
+
+impl Default for RunReport {
+    fn default() -> Self {
+        RunReport {
+            rounds: 0,
+            messages: 0,
+            words: 0,
+            backend: crate::runtime::Backend::Serial,
+        }
+    }
+}
+
+impl PartialEq for RunReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.rounds == other.rounds && self.messages == other.messages && self.words == other.words
+    }
+}
+
+impl Eq for RunReport {}
 
 /// Per-node protocol logic, driven synchronously by the [`Engine`].
 ///
@@ -418,7 +521,6 @@ pub(crate) fn run_serial<L: NodeLogic>(
         boxes.deliver(&mut staged, &woken, &mut active, &mut report);
         crate::runtime::parallel::finish_active(&mut active, &mut wake, &mut woken);
         for &v in &active {
-            let inbox = boxes.take_inbox(v);
             let mut out = Outbox {
                 src: v,
                 g,
@@ -430,11 +532,10 @@ pub(crate) fn run_serial<L: NodeLogic>(
                 woken: &mut woken,
                 error: &mut error,
             };
-            logic.round(v, &inbox, &mut out);
+            logic.round(v, boxes.inbox(v), &mut out);
             if let Some(e) = error {
                 return Err(e);
             }
-            boxes.recycle(inbox);
         }
     }
     report.rounds = round;

@@ -62,6 +62,8 @@ pub mod runtime;
 mod stats;
 pub mod tree;
 
-pub use crate::engine::{Engine, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError};
+pub use crate::engine::{
+    Engine, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError, MSG_INLINE_WORDS,
+};
 pub use crate::runtime::{Backend, EngineCore, ParallelEngine, ParallelNodeLogic, TrialRunner};
 pub use crate::stats::SimStats;

@@ -1,13 +1,25 @@
-//! Double-buffered per-node mailboxes with deterministic delivery.
+//! Flat arena mailboxes with deterministic delivery.
 //!
-//! Each round of the CONGEST loop alternates two buffer roles: the
-//! **back** buffer receives the previous round's merged sends (in
-//! stable `(src, dst)` order — ascending active-node order, emission
-//! order within a node, exactly what the serial engine produces), and
-//! the **front** buffers are the taken-out inboxes being *read* by the
-//! current round's `round` hooks. Returning a front buffer through
-//! [`Mailboxes::recycle`] feeds an allocation pool that delivery draws
-//! from, so steady-state rounds allocate nothing.
+//! One round's delivered messages live in a single recycled arena — a
+//! flat `Vec<(src, Msg)>` grouped by destination — plus a per-node
+//! `[start, end)` range table. Delivery is a two-pass counting sort of
+//! the staged sends (which arrive in the documented stable `(src, dst)`
+//! order: ascending active-node order, emission order within a node —
+//! exactly what the serial engine produces):
+//!
+//! 1. count messages per destination, recording first-touch activations
+//!    (a destination's first message activates it unless it is already
+//!    wake-flagged — the serial engine's rule);
+//! 2. prefix-sum the counts into arena ranges and place each send at its
+//!    destination's cursor, preserving staged order within a
+//!    destination.
+//!
+//! A node's inbox is then the slice `arena[start..end]` — no per-node
+//! `Vec`, no take/recycle churn, and because the arena and the range
+//! table are recycled across rounds, steady-state delivery allocates
+//! nothing. The counting sort is stable, so the per-destination message
+//! order (and with it the serial/parallel bit-for-bit equivalence) is
+//! identical to the historical nested-`Vec` layout.
 
 use planartest_graph::NodeId;
 
@@ -16,13 +28,18 @@ use crate::engine::{Msg, RunReport};
 /// One staged send: `(src, dst, payload)`.
 pub type Staged = (NodeId, NodeId, Msg);
 
-/// The double-buffered mailbox grid of one engine run.
+/// A node's inbox location in the delivery arena: `[start, end)`.
+pub type InboxRange = (u32, u32);
+
+/// The flat arena mailbox grid of one engine run.
 #[derive(Debug)]
 pub struct Mailboxes {
-    /// Back buffer: per-node inboxes being filled for the next round.
-    back: Vec<Vec<(NodeId, Msg)>>,
-    /// Allocation pool of recycled front buffers.
-    spare: Vec<Vec<(NodeId, Msg)>>,
+    /// This round's delivered `(src, msg)` pairs, grouped by destination.
+    arena: Vec<(NodeId, Msg)>,
+    /// `ranges[v]` = `v`'s `[start, end)` slice of `arena` this round.
+    ranges: Vec<InboxRange>,
+    /// Destinations with a non-empty range this round (cheap reset).
+    touched: Vec<NodeId>,
 }
 
 impl Mailboxes {
@@ -30,16 +47,17 @@ impl Mailboxes {
     #[must_use]
     pub fn new(n: usize) -> Self {
         Mailboxes {
-            back: vec![Vec::new(); n],
-            spare: Vec::new(),
+            arena: Vec::new(),
+            ranges: vec![(0, 0); n],
+            touched: Vec::new(),
         }
     }
 
-    /// Delivers the staged sends of the previous round into the back
-    /// buffer, recording message/word counts in `report` and appending
-    /// every node that just became active (first message, not already
+    /// Delivers the staged sends of the previous round into the arena,
+    /// recording message/word counts in `report` and appending every
+    /// node that just became active (first message, not already
     /// wake-flagged) to `active` — exactly the serial engine's delivery
-    /// semantics.
+    /// semantics. The previous round's inboxes are discarded.
     pub fn deliver(
         &mut self,
         staged: &mut Vec<Staged>,
@@ -47,37 +65,67 @@ impl Mailboxes {
         active: &mut Vec<NodeId>,
         report: &mut RunReport,
     ) {
-        for (src, dst, msg) in staged.drain(..) {
+        for v in self.touched.drain(..) {
+            self.ranges[v.index()] = (0, 0);
+        }
+        self.arena.clear();
+        // Pass 1: count per destination (`end` temporarily holds the
+        // count), recording activations in first-message order.
+        for &(_, dst, ref msg) in staged.iter() {
             report.messages += 1;
             report.words += msg.len() as u64;
-            let slot = &mut self.back[dst.index()];
-            if slot.is_empty() {
+            let r = &mut self.ranges[dst.index()];
+            if r.1 == 0 {
+                self.touched.push(dst);
                 if !woken[dst.index()] {
                     active.push(dst);
                 }
-                if slot.capacity() == 0 {
-                    if let Some(recycled) = self.spare.pop() {
-                        *slot = recycled;
-                    }
-                }
             }
-            slot.push((src, msg));
+            r.1 += 1;
+        }
+        // Pass 2: prefix-sum counts into ranges (layout in first-touch
+        // order; only the within-destination order is observable).
+        let mut cursor = 0u32;
+        for &v in &self.touched {
+            let r = &mut self.ranges[v.index()];
+            let count = r.1;
+            *r = (cursor, cursor);
+            cursor += count;
+        }
+        // Pass 3: place each send at its destination's cursor (`end`
+        // doubles as the cursor and finishes at the true end). Staged
+        // order within a destination is preserved — a stable sort.
+        self.arena
+            .resize_with(staged.len(), || (NodeId::default(), Msg::ping()));
+        for (src, dst, msg) in staged.drain(..) {
+            let r = &mut self.ranges[dst.index()];
+            self.arena[r.1 as usize] = (src, msg);
+            r.1 += 1;
         }
     }
 
-    /// Moves node `v`'s freshly delivered inbox to the front (leaving
-    /// the back slot empty for the next round's delivery).
+    /// Node `v`'s inbox for the current round (empty slice if nothing
+    /// was delivered to it).
+    #[inline]
     #[must_use]
-    pub fn take_inbox(&mut self, v: NodeId) -> Vec<(NodeId, Msg)> {
-        std::mem::take(&mut self.back[v.index()])
+    pub fn inbox(&self, v: NodeId) -> &[(NodeId, Msg)] {
+        let (start, end) = self.ranges[v.index()];
+        &self.arena[start as usize..end as usize]
     }
 
-    /// Returns a front buffer to the allocation pool.
-    pub fn recycle(&mut self, mut inbox: Vec<(NodeId, Msg)>) {
-        if inbox.capacity() > 0 {
-            inbox.clear();
-            self.spare.push(inbox);
-        }
+    /// Node `v`'s `[start, end)` arena range (for executors that ship
+    /// ranges across threads instead of borrowing slices).
+    #[inline]
+    #[must_use]
+    pub fn range(&self, v: NodeId) -> InboxRange {
+        self.ranges[v.index()]
+    }
+
+    /// The whole delivery arena of the current round.
+    #[inline]
+    #[must_use]
+    pub fn arena(&self) -> &[(NodeId, Msg)] {
+        &self.arena
     }
 }
 
@@ -105,16 +153,11 @@ mod tests {
         assert_eq!(report.words, 2);
         // Node 1 activates once despite two messages.
         assert_eq!(active, vec![node(1)]);
-        let inbox = boxes.take_inbox(node(1));
         assert_eq!(
-            inbox,
-            vec![(node(0), Msg::words(&[7, 8])), (node(2), Msg::ping())]
+            boxes.inbox(node(1)),
+            &[(node(0), Msg::words(&[7, 8])), (node(2), Msg::ping())]
         );
-        assert!(
-            boxes.take_inbox(node(1)).is_empty(),
-            "taking empties the slot"
-        );
-        boxes.recycle(inbox);
+        assert!(boxes.inbox(node(0)).is_empty());
     }
 
     #[test]
@@ -127,11 +170,38 @@ mod tests {
         boxes.deliver(&mut staged, &woken, &mut active, &mut report);
         assert!(active.is_empty(), "wake list owns node 1's activation");
         // Its inbox still holds the message.
-        assert_eq!(boxes.take_inbox(node(1)).len(), 1);
+        assert_eq!(boxes.inbox(node(1)).len(), 1);
     }
 
     #[test]
-    fn recycled_buffers_are_reused() {
+    fn interleaved_destinations_grouped_stably() {
+        let mut boxes = Mailboxes::new(4);
+        // Sends to 3 and 1 interleave; each inbox must keep staged order.
+        let mut staged: Vec<Staged> = vec![
+            (node(0), node(3), Msg::words(&[10])),
+            (node(0), node(1), Msg::words(&[20])),
+            (node(2), node(3), Msg::words(&[11])),
+            (node(2), node(1), Msg::words(&[21])),
+        ];
+        let woken = vec![false; 4];
+        let mut active = Vec::new();
+        let mut report = RunReport::default();
+        boxes.deliver(&mut staged, &woken, &mut active, &mut report);
+        assert_eq!(active, vec![node(3), node(1)], "first-message order");
+        assert_eq!(
+            boxes.inbox(node(3)),
+            &[(node(0), Msg::words(&[10])), (node(2), Msg::words(&[11]))]
+        );
+        assert_eq!(
+            boxes.inbox(node(1)),
+            &[(node(0), Msg::words(&[20])), (node(2), Msg::words(&[21]))]
+        );
+        let (s, e) = boxes.range(node(3));
+        assert_eq!(&boxes.arena()[s as usize..e as usize], boxes.inbox(node(3)));
+    }
+
+    #[test]
+    fn arena_is_recycled_across_rounds() {
         let mut boxes = Mailboxes::new(3);
         let mut ptrs = Vec::new();
         for round in 0..4u64 {
@@ -140,10 +210,10 @@ mod tests {
             let mut active = Vec::new();
             let mut report = RunReport::default();
             boxes.deliver(&mut staged, &woken, &mut active, &mut report);
-            let inbox = boxes.take_inbox(node(2));
-            assert_eq!(inbox, vec![(node(0), Msg::words(&[round]))]);
-            ptrs.push(inbox.as_ptr() as usize);
-            boxes.recycle(inbox);
+            assert_eq!(boxes.inbox(node(2)), &[(node(0), Msg::words(&[round]))]);
+            ptrs.push(boxes.arena().as_ptr() as usize);
+            // The previous round's inbox is gone.
+            assert!(boxes.inbox(node(0)).is_empty());
         }
         // After the first round the same allocation cycles through.
         assert_eq!(ptrs[1], ptrs[2]);

@@ -15,18 +15,18 @@
 //!
 //! The parallel backend is **bit-for-bit equivalent** to the serial
 //! [`Engine`](crate::Engine): for the same graph, logic and seed it
-//! produces the same [`RunReport`](crate::RunReport), the same
-//! [`SimStats`](crate::SimStats), the same per-round message sequences
+//! produces the same [`RunReport`], the same
+//! [`SimStats`], the same per-round message sequences
 //! (delivered in the same stable `(src, dst)` order) and the same final
 //! node states, regardless of worker count or scheduling. This holds
 //! because each round's sends are collected into per-worker buffers and
 //! merged in active-node order — exactly the order the serial loop
-//! produces — before the next round's double-buffered mailbox delivery
-//! (see [`mailbox`]). The `runtime_equivalence` proptest suite enforces
-//! the guarantee on random graphs and protocols.
+//! produces — before the next round's stable flat-arena mailbox
+//! delivery (see [`mailbox`]). The `runtime_equivalence` proptest suite
+//! enforces the guarantee on random graphs and protocols.
 //!
 //! One scoping note: the guarantee as stated is for runs that end in
-//! `Ok`. A run that ends in a [`SimError`](crate::SimError) returns the
+//! `Ok`. A run that ends in a [`SimError`] returns the
 //! *same error value* on every backend (the one the serial engine hits
 //! first), but caller-owned node states may reflect different partial
 //! progress past the failing node — the serial loop aborts mid-round
@@ -36,14 +36,14 @@
 //!
 //! # Why a second logic trait?
 //!
-//! [`NodeLogic`](crate::NodeLogic) hands every node the *same* `&mut
+//! [`NodeLogic`] hands every node the *same* `&mut
 //! self`, which is inherently sequential: the borrow checker is right
 //! that concurrent `round` calls on one aggregate object would race.
 //! [`ParallelNodeLogic`] splits the protocol into an immutable shared
 //! part (`&self`: the graph, parameters, lookup tables) and an owned
 //! per-node [`State`](ParallelNodeLogic::State), which is what makes the
 //! node sweep safely — and deterministically — parallel. Aggregate-state
-//! [`NodeLogic`](crate::NodeLogic) protocols still run on any backend
+//! [`NodeLogic`] protocols still run on any backend
 //! through [`EngineCore::run_logic`]; they just stay on one thread.
 
 pub mod mailbox;
@@ -60,13 +60,12 @@ use crate::stats::SimStats;
 
 /// Which execution backend drives a simulation's rounds.
 ///
-/// Both backends implement identical CONGEST semantics; the choice only
+/// All backends implement identical CONGEST semantics; the choice only
 /// affects wall-clock time (see the [module docs](self) for the
 /// determinism guarantee).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
     /// Single-threaded reference engine.
-    #[default]
     Serial,
     /// Worker-pool engine: per-node `round` calls fan out across
     /// `threads` OS threads (`0` = one per available core, overridden
@@ -75,16 +74,64 @@ pub enum Backend {
         /// Worker count; `0` picks the hardware parallelism.
         threads: usize,
     },
+    /// Per-run choice between the two: a run stays serial unless the
+    /// network is at least [`Backend::AUTO_MIN_NODES`] wide *and* the
+    /// `n × max_rounds` work product reaches
+    /// [`Backend::AUTO_WORK_THRESHOLD`] (small or short runs lose to
+    /// worker-pool coordination overhead — see `BENCH_runtime.json`);
+    /// otherwise it fans out across the hardware. The resolved choice
+    /// is recorded per run in
+    /// [`RunReport::backend`](crate::RunReport::backend).
+    #[default]
+    Auto,
 }
 
 impl Backend {
-    /// The number of worker threads this backend resolves to (≥ 1).
+    /// `Auto` work threshold: runs with `n × max_rounds` below this stay
+    /// serial — a round budget too short to amortize spinning up the
+    /// pool, no matter how wide the network.
+    pub const AUTO_WORK_THRESHOLD: u64 = 1 << 22;
+
+    /// `Auto` width threshold: networks narrower than this stay serial
+    /// regardless of the round budget. The pool's win is per-round (the
+    /// node sweep divides across workers, the channel barrier does
+    /// not), so a small `n` loses at *every* round count — and round
+    /// budgets are routinely loose upper bounds (the tester passes
+    /// `max_rounds` in the hundreds of millions), so the work product
+    /// alone must never be allowed to force a tiny graph onto the pool.
+    /// Calibrated from `BENCH_runtime.json`, where pooled execution
+    /// loses on small instances.
+    pub const AUTO_MIN_NODES: usize = 1 << 11;
+
+    /// The number of worker threads this backend resolves to (≥ 1)
+    /// independent of any workload (`Auto` resolves to the hardware
+    /// parallelism — its ceiling; use [`Backend::threads_for`] for the
+    /// per-run decision).
     #[must_use]
     pub fn effective_threads(self) -> usize {
         match self {
             Backend::Serial => 1,
-            Backend::Parallel { threads: 0 } => auto_threads(),
+            Backend::Parallel { threads: 0 } | Backend::Auto => auto_threads(),
             Backend::Parallel { threads } => threads.max(1),
+        }
+    }
+
+    /// The worker count for one run over `n` nodes with a round budget
+    /// of `max_rounds` — this is where `Auto` applies its thresholds.
+    #[must_use]
+    pub fn threads_for(self, n: usize, max_rounds: u64) -> usize {
+        match self {
+            Backend::Auto => {
+                let too_narrow = n < Backend::AUTO_MIN_NODES;
+                let too_short =
+                    (n as u64).saturating_mul(max_rounds) < Backend::AUTO_WORK_THRESHOLD;
+                if too_narrow || too_short {
+                    1
+                } else {
+                    auto_threads()
+                }
+            }
+            other => other.effective_threads(),
         }
     }
 }
@@ -207,6 +254,31 @@ mod tests {
         assert_eq!(Backend::Serial.effective_threads(), 1);
         assert_eq!(Backend::Parallel { threads: 3 }.effective_threads(), 3);
         assert!(Backend::Parallel { threads: 0 }.effective_threads() >= 1);
-        assert_eq!(Backend::default(), Backend::Serial);
+        assert_eq!(Backend::default(), Backend::Auto);
+    }
+
+    #[test]
+    fn auto_backend_applies_work_threshold() {
+        // Tiny run: stays serial.
+        assert_eq!(Backend::Auto.threads_for(100, 10), 1);
+        // Small graph stays serial even under the tester's default
+        // loose round budget (the budget is a bound, not the work).
+        assert_eq!(Backend::Auto.threads_for(64, 100_000_000), 1);
+        assert_eq!(
+            Backend::Auto.threads_for(Backend::AUTO_MIN_NODES - 1, u64::MAX),
+            1
+        );
+        // Wide graph with a trivial budget: nothing to amortize.
+        assert_eq!(Backend::Auto.threads_for(1 << 20, 2), 1);
+        // Wide *and* long: fans out to the hardware.
+        assert_eq!(Backend::Auto.threads_for(1 << 20, 1 << 20), auto_threads());
+        assert_eq!(
+            Backend::Auto.threads_for(Backend::AUTO_MIN_NODES, 100_000_000),
+            auto_threads()
+        );
+        // Fixed backends ignore the workload.
+        assert_eq!(Backend::Serial.threads_for(1 << 20, 1 << 20), 1);
+        assert_eq!(Backend::Parallel { threads: 3 }.threads_for(2, 1), 3);
+        assert!(Backend::Auto.effective_threads() >= 1);
     }
 }

@@ -9,17 +9,19 @@
 //!
 //! One run spawns a scoped worker pool. Every round:
 //!
-//! 1. the coordinator delivers the previous round's merged sends through
-//!    the double-buffered [mailboxes](super::mailbox) and computes the
+//! 1. the coordinator delivers the previous round's merged sends into
+//!    the flat-arena [mailboxes](super::mailbox) and computes the
 //!    sorted active-node list (identical to the serial engine);
 //! 2. the active list is split into contiguous chunks, one per worker;
-//!    each worker runs its nodes' `round` hooks against worker-local
-//!    scratch (outbound buffer, edge stamps, wake flags) — a per-round
-//!    barrier is implicit in the task/result channel pair;
+//!    workers receive `(node, arena range)` pairs — inboxes stay in the
+//!    coordinator's arena, nothing is copied — and run their nodes'
+//!    `round` hooks against worker-local scratch (outbound buffer, edge
+//!    stamps, wake flags); a per-round barrier is implicit in the
+//!    task/result channel pair;
 //! 3. the coordinator merges the workers' outbound buffers *in worker
 //!    order* — which is ascending active-node order — restoring the
 //!    exact staging order of the serial loop, and folds message/word
-//!    counts into the [`RunReport`](crate::RunReport).
+//!    counts into the [`RunReport`].
 //!
 //! CONGEST validation (bandwidth, topology, one message per edge
 //! direction per round) runs inside the workers with zero shared state:
@@ -34,7 +36,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use planartest_graph::{Graph, NodeId};
 
 use crate::engine::{self, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError};
-use crate::runtime::mailbox::{Mailboxes, Staged};
+use crate::runtime::mailbox::{InboxRange, Mailboxes, Staged};
 use crate::runtime::EngineCore;
 use crate::stats::SimStats;
 
@@ -44,7 +46,7 @@ use crate::stats::SimStats;
 /// The implementor is the *shared* part — parameters, the graph, lookup
 /// tables — and must be [`Sync`]; everything a node mutates lives in its
 /// own [`State`](Self::State). The hooks mirror
-/// [`NodeLogic`](crate::NodeLogic) exactly otherwise.
+/// [`NodeLogic`] exactly otherwise.
 pub trait ParallelNodeLogic: Sync {
     /// A single node's mutable state.
     type State: Send;
@@ -102,19 +104,25 @@ pub trait ParallelNodeLogic: Sync {
 pub struct ParallelEngine<'g> {
     g: &'g Graph,
     cfg: SimConfig,
-    threads: usize,
+    /// Fixed worker count; `None` resolves per run from the backend's
+    /// work threshold (the `Auto` backend).
+    threads: Option<usize>,
     stats: SimStats,
 }
 
 impl<'g> ParallelEngine<'g> {
     /// Creates an engine over `g`; the worker count comes from
-    /// `cfg.backend` (a `Serial` backend degrades to one worker).
+    /// `cfg.backend` (a `Serial` backend degrades to one worker; an
+    /// `Auto` backend decides per run from the workload).
     #[must_use]
     pub fn new(g: &'g Graph, cfg: SimConfig) -> Self {
         ParallelEngine {
             g,
             cfg,
-            threads: cfg.backend.effective_threads(),
+            threads: match cfg.backend {
+                crate::runtime::Backend::Auto => None,
+                fixed => Some(fixed.effective_threads()),
+            },
             stats: SimStats::default(),
         }
     }
@@ -122,18 +130,19 @@ impl<'g> ParallelEngine<'g> {
     /// Overrides the worker count (`0` = hardware parallelism).
     #[must_use]
     pub fn with_threads(mut self, threads: usize) -> Self {
-        self.threads = if threads == 0 {
+        self.threads = Some(if threads == 0 {
             crate::runtime::auto_threads()
         } else {
             threads
-        };
+        });
         self
     }
 
-    /// The worker count used for `run` calls.
+    /// The fixed worker count used for `run` calls, or `0` when the
+    /// `Auto` backend resolves it per run.
     #[must_use]
     pub fn threads(&self) -> usize {
-        self.threads
+        self.threads.unwrap_or(0)
     }
 
     /// The underlying graph.
@@ -178,7 +187,10 @@ impl<'g> ParallelEngine<'g> {
         states: &mut [P::State],
         max_rounds: u64,
     ) -> Result<RunReport, SimError> {
-        let report = execute(self.g, self.cfg, logic, states, max_rounds, self.threads)?;
+        let threads = self
+            .threads
+            .unwrap_or_else(|| self.cfg.backend.threads_for(self.g.n(), max_rounds));
+        let report = execute(self.g, self.cfg, logic, states, max_rounds, threads)?;
         self.stats.absorb(report);
         Ok(report)
     }
@@ -313,17 +325,31 @@ struct Batch {
     error: Option<SimError>,
 }
 
-/// A round's work for one worker: `(node, inbox)` pairs in active-list
-/// order (`inbox == None` encodes the round-0 `init` sweep), plus the
-/// local position of the first failing node if any.
+/// A round's work for one worker: `(node, inbox range)` pairs in
+/// active-list order, plus the base pointer of the round's delivery
+/// arena the ranges index into.
 struct WorkItem {
     round: u64,
+    arena: ArenaPtr,
     nodes: Vec<NodeWork>,
 }
 
-/// One node's work: `(node, inbox)`, where `inbox == None` encodes the
-/// round-0 `init` sweep.
-type NodeWork = (NodeId, Option<Vec<(NodeId, Msg)>>);
+/// One node's work: `(node, inbox range)`, where `None` encodes the
+/// round-0 `init` sweep. Shipping `[start, end)` ranges instead of owned
+/// message vectors keeps the channel traffic flat and allocation-free.
+type NodeWork = (NodeId, Option<InboxRange>);
+
+/// Shared read-only access to the coordinator's delivery arena for one
+/// round.
+///
+/// Safety protocol: the coordinator sends a fresh pointer each round and
+/// blocks on every worker's result before touching the mailboxes again,
+/// so the pointed-to arena is immutable and alive whenever a worker
+/// reconstructs an inbox slice from it.
+#[derive(Clone, Copy)]
+struct ArenaPtr(*const (NodeId, Msg));
+
+unsafe impl Send for ArenaPtr {}
 
 struct WorkResult {
     batch: Batch,
@@ -405,15 +431,20 @@ fn execute_inline<P: ParallelNodeLogic>(
         boxes.deliver(&mut scratch.staged, &woken, &mut active, &mut report);
         finish_active(&mut active, &mut wake, &mut woken);
         for &v in &active {
-            let inbox = boxes.take_inbox(v);
-            if !scratch.drive(logic, v, &mut states[v.index()], Some(&inbox), round) {
+            if !scratch.drive(
+                logic,
+                v,
+                &mut states[v.index()],
+                Some(boxes.inbox(v)),
+                round,
+            ) {
                 return Err(scratch.error.take().expect("drive reported an error"));
             }
-            boxes.recycle(inbox);
         }
         scratch.flush_wake(&mut woken, &mut wake);
     }
     report.rounds = round;
+    report.backend = crate::runtime::Backend::Serial;
     Ok(report)
 }
 
@@ -441,6 +472,7 @@ fn execute_pool<P: ParallelNodeLogic>(
         }
 
         let dispatch = |round: u64,
+                        arena: ArenaPtr,
                         work: Vec<NodeWork>,
                         staged: &mut Vec<Staged>,
                         woken: &mut Vec<bool>,
@@ -456,7 +488,12 @@ fn execute_pool<P: ParallelNodeLogic>(
             }
             let bases: Vec<usize> = (0..threads).map(|w| w * chunk).collect();
             for (tx, nodes) in task_txs.iter().zip(chunks) {
-                tx.send(WorkItem { round, nodes }).expect("worker alive");
+                tx.send(WorkItem {
+                    round,
+                    arena,
+                    nodes,
+                })
+                .expect("worker alive");
             }
             let mut first_error: Option<(usize, SimError)> = None;
             for (w, rx) in result_rxs.iter().enumerate() {
@@ -482,11 +519,18 @@ fn execute_pool<P: ParallelNodeLogic>(
         let mut woken = vec![false; n];
         let mut wake: Vec<NodeId> = Vec::new();
         let mut report = RunReport::default();
+        let mut boxes = Mailboxes::new(n);
 
         let init_work: Vec<_> = g.nodes().map(|v| (v, None)).collect();
-        dispatch(0, init_work, &mut staged, &mut woken, &mut wake)?;
+        dispatch(
+            0,
+            ArenaPtr(boxes.arena().as_ptr()),
+            init_work,
+            &mut staged,
+            &mut woken,
+            &mut wake,
+        )?;
 
-        let mut boxes = Mailboxes::new(n);
         let mut round: u64 = 0;
         while !staged.is_empty() || !wake.is_empty() {
             round += 1;
@@ -496,13 +540,18 @@ fn execute_pool<P: ParallelNodeLogic>(
             let mut active: Vec<NodeId> = Vec::new();
             boxes.deliver(&mut staged, &woken, &mut active, &mut report);
             finish_active(&mut active, &mut wake, &mut woken);
-            let work: Vec<_> = active
-                .iter()
-                .map(|&v| (v, Some(boxes.take_inbox(v))))
-                .collect();
-            dispatch(round, work, &mut staged, &mut woken, &mut wake)?;
+            let work: Vec<_> = active.iter().map(|&v| (v, Some(boxes.range(v)))).collect();
+            dispatch(
+                round,
+                ArenaPtr(boxes.arena().as_ptr()),
+                work,
+                &mut staged,
+                &mut woken,
+                &mut wake,
+            )?;
         }
         report.rounds = round;
+        report.backend = crate::runtime::Backend::Parallel { threads };
         Ok(report)
     })
 }
@@ -516,14 +565,25 @@ fn worker_loop<P: ParallelNodeLogic>(
     results: &Sender<WorkResult>,
 ) {
     let mut scratch = Scratch::new(g, cfg);
-    while let Ok(WorkItem { round, nodes }) = tasks.recv() {
+    while let Ok(WorkItem {
+        round,
+        arena,
+        nodes,
+    }) = tasks.recv()
+    {
         let mut error_at = 0;
-        for (i, (node, inbox)) in nodes.into_iter().enumerate() {
+        for (i, (node, range)) in nodes.into_iter().enumerate() {
             // SAFETY: see `StatesPtr` — node ids are unique across all
             // workers' items this round, and the coordinator blocks on
             // our result before touching `states` again.
             let state = unsafe { &mut *states.0.add(node.index()) };
-            let ok = scratch.drive(logic, node, state, inbox.as_deref(), round);
+            // SAFETY: see `ArenaPtr` — the arena is immutable and alive
+            // until the coordinator has received this round's result,
+            // and ranges partition its initialized length.
+            let inbox = range.map(|(start, end)| unsafe {
+                std::slice::from_raw_parts(arena.0.add(start as usize), (end - start) as usize)
+            });
+            let ok = scratch.drive(logic, node, state, inbox, round);
             if !ok {
                 error_at = i;
                 break;
@@ -730,7 +790,32 @@ mod tests {
         let g = grid(2, 2);
         let cfg = SimConfig::default().with_backend(Backend::Parallel { threads: 6 });
         assert_eq!(ParallelEngine::new(&g, cfg).threads(), 6);
-        assert_eq!(ParallelEngine::new(&g, SimConfig::default()).threads(), 1);
+        let serial = SimConfig::default().with_backend(Backend::Serial);
+        assert_eq!(ParallelEngine::new(&g, serial).threads(), 1);
+        // The default Auto backend resolves per run: threads() reports 0.
+        assert_eq!(ParallelEngine::new(&g, SimConfig::default()).threads(), 0);
+    }
+
+    #[test]
+    fn run_report_records_resolved_backend() {
+        let g = grid(3, 4);
+        // Tiny workload under Auto: resolves to the serial path.
+        let mut auto_engine = ParallelEngine::new(&g, SimConfig::default());
+        let report = auto_engine
+            .run(&Levels, &mut vec![None; g.n()], 50)
+            .unwrap();
+        assert_eq!(report.backend, Backend::Serial);
+        // Forced pool: records the worker count actually used.
+        let mut pooled = ParallelEngine::new(&g, SimConfig::default()).with_threads(3);
+        let report = pooled.run(&Levels, &mut vec![None; g.n()], 50).unwrap();
+        assert_eq!(report.backend, Backend::Parallel { threads: 3 });
+        // Backend is telemetry: the reports still compare equal.
+        assert_eq!(
+            auto_engine
+                .run(&Levels, &mut vec![None; g.n()], 50)
+                .unwrap(),
+            report
+        );
     }
 
     #[test]

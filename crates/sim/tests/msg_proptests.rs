@@ -1,0 +1,83 @@
+//! Property tests for the inline/spill `Msg` representation.
+//!
+//! Payloads of up to [`MSG_INLINE_WORDS`] words live inline in the
+//! value; longer ones spill to the heap. These tests pin the contract
+//! that the boundary is unobservable: round-trips, accessors, equality
+//! and hashing behave identically on both sides of it.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+
+use planartest_sim::{Msg, MSG_INLINE_WORDS};
+use proptest::prelude::*;
+
+fn hash_of(m: &Msg) -> u64 {
+    let mut h = DefaultHasher::new();
+    m.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Construction round-trips through every accessor, on both sides
+    /// of the inline boundary (lengths 0..=2×cap).
+    #[test]
+    fn words_round_trip(ws in prop::collection::vec(0u64..u64::MAX, 0..(2 * MSG_INLINE_WORDS + 1))) {
+        let m = Msg::words(&ws);
+        prop_assert_eq!(m.as_words(), ws.as_slice());
+        prop_assert_eq!(m.len(), ws.len());
+        prop_assert_eq!(m.is_empty(), ws.is_empty());
+        prop_assert_eq!(m.is_inline(), ws.len() <= MSG_INLINE_WORDS);
+        for (i, &w) in ws.iter().enumerate() {
+            prop_assert_eq!(m.word(i), w);
+        }
+        // The two construction paths agree.
+        let via_vec: Msg = ws.clone().into();
+        prop_assert_eq!(&via_vec, &m);
+        prop_assert_eq!(hash_of(&via_vec), hash_of(&m));
+        // Clones are payload-equal (and cheap for inline payloads).
+        #[allow(clippy::redundant_clone)]
+        let c = m.clone();
+        prop_assert_eq!(c, m);
+    }
+
+    /// Equality and hashing are functions of the payload words alone:
+    /// equal payloads agree, and any prefix/extension pair straddling
+    /// the inline boundary differs.
+    #[test]
+    fn eq_and_hash_across_inline_boundary(
+        ws in prop::collection::vec(0u64..u64::MAX, 0..(2 * MSG_INLINE_WORDS + 1)),
+        extra in 0u64..u64::MAX,
+    ) {
+        let m = Msg::words(&ws);
+        let same = Msg::words(&ws);
+        prop_assert_eq!(&same, &m);
+        prop_assert_eq!(hash_of(&same), hash_of(&m));
+
+        // Extending by one word — possibly crossing the boundary —
+        // always breaks equality.
+        let mut longer_words = ws.clone();
+        longer_words.push(extra);
+        let longer = Msg::words(&longer_words);
+        prop_assert_ne!(&longer, &m);
+        prop_assert_eq!(longer.is_inline(), longer_words.len() <= MSG_INLINE_WORDS);
+    }
+}
+
+#[test]
+fn ping_is_inline_and_empty() {
+    let p = Msg::ping();
+    assert!(p.is_inline());
+    assert!(p.is_empty());
+    assert_eq!(p, Msg::words(&[]));
+    assert_eq!(hash_of(&p), hash_of(&Msg::words(&[])));
+}
+
+#[test]
+fn boundary_lengths_pin_inline_flag() {
+    let at_cap = Msg::words(&[7; MSG_INLINE_WORDS]);
+    assert!(at_cap.is_inline(), "cap-sized payload must not allocate");
+    let over_cap = Msg::words(&[7; MSG_INLINE_WORDS + 1]);
+    assert!(!over_cap.is_inline());
+    assert_ne!(at_cap, over_cap);
+}

@@ -185,6 +185,21 @@ fn assert_equivalent(g: &Graph, seed: u64, violations: bool) {
     let serial = run_serial(g, &chaos, max_rounds);
     for threads in [1usize, 2, 3, 8] {
         let par = run_parallel(g, &chaos, max_rounds, threads);
+        check_against_serial(&serial, &par, threads, seed);
+    }
+    // The default `Auto` backend resolves its own worker count per run;
+    // whatever it picks must observe the same run.
+    let auto = {
+        let mut engine = ParallelEngine::new(g, SimConfig::default());
+        let mut states = vec![ChaosState::default(); g.n()];
+        let result = engine.run(&chaos, &mut states, max_rounds);
+        (result, *engine.stats(), states)
+    };
+    check_against_serial(&serial, &auto, usize::MAX, seed);
+}
+
+fn check_against_serial(serial: &Observation, par: &Observation, threads: usize, seed: u64) {
+    {
         match (&serial.0, &par.0) {
             (Ok(_), Ok(_)) => {
                 assert_eq!(par, serial, "threads={threads} seed={seed}");
