@@ -1,25 +1,30 @@
-//! Serial-vs-parallel runtime benchmark; writes `BENCH_runtime.json`.
-//! Set `PLANARTEST_QUICK=1` for CI-sized runs, `PLANARTEST_THREADS=k`
-//! to cap the worker pools.
+//! Serial-vs-parallel-vs-batched runtime benchmark; writes
+//! `BENCH_runtime.json`. Set `PLANARTEST_QUICK=1` for CI-sized runs,
+//! `PLANARTEST_THREADS=k` to cap the worker pools.
 //!
-//! With `--check`, exits non-zero when the regression gate fails
-//! (parallel at max threads losing to serial on the largest tester
-//! workload) — this is the CI performance gate.
+//! With `--check`, exits non-zero when the regression gate fails —
+//! parallel at max threads losing to serial on the largest tester
+//! workload, or the instance-multiplexed Monte-Carlo acceptance sweep
+//! losing to the sequential-per-instance path. This is the CI
+//! performance gate.
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let gate = planartest_bench::runtime_bench();
     if check && !gate.pass() {
         eprintln!(
-            "benchmark gate FAILED: parallel speedup {:.3}x < 1.0 on the largest \
-             tester workload (n={})",
-            gate.speedup, gate.largest_n
+            "benchmark gate FAILED: parallel speedup {:.3}x on the largest tester \
+             workload (n={}), batched sweep speedup {:.3}x over sequential \
+             ({} trials) — both must be >= 1.0 (parallel clause vacuous on 1 \
+             hardware thread)",
+            gate.speedup, gate.largest_n, gate.batch_speedup, gate.batch_trials
         );
         std::process::exit(1);
     }
     if check {
         println!(
-            "benchmark gate passed: parallel speedup {:.3}x on n={}",
-            gate.speedup, gate.largest_n
+            "benchmark gate passed: parallel speedup {:.3}x on n={}, batched sweep \
+             {:.3}x over sequential ({} trials)",
+            gate.speedup, gate.largest_n, gate.batch_speedup, gate.batch_trials
         );
     }
 }

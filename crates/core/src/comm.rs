@@ -8,16 +8,19 @@
 //! * [`census`] — a capped, streaming convergecast of `(key, value)` items
 //!   up part trees (the paper's "at most `3α+1` distinct root ids, else
 //!   overflow" aggregation from §2.1.5);
-//! * [`stream_broadcast`] / [`up_stream`] — pipelined multi-message
-//!   movement down/up part trees (used for candidate lists, labels and
-//!   sampled edges, which exceed one message of bandwidth).
+//! * [`stream_broadcast_batch`] / [`up_stream_batch`] — pipelined
+//!   multi-message movement down/up part trees (used for candidate
+//!   lists, labels and sampled edges, which exceed one message of
+//!   bandwidth), serving any number of independent instances through
+//!   the instance-multiplexed executor (a batch of one is a plain
+//!   single run).
 
 use std::collections::VecDeque;
 
 use planartest_graph::NodeId;
 use planartest_sim::tree::TreeTopology;
 use planartest_sim::EngineCore;
-use planartest_sim::{Msg, NodeLogic, Outbox, SimError};
+use planartest_sim::{Msg, NodeLogic, Outbox, RunReport, SimError};
 
 /// One round in which every node sends `msg_for(v, w)` to each neighbour
 /// `w` (skipping `None`s); returns what each node received as
@@ -71,6 +74,15 @@ fn engine_neighbors(out: &Outbox<'_>, node: NodeId) -> Vec<NodeId> {
         .map(|&(w, _)| w)
         .collect()
 }
+
+/// One instance's result in a [`stream_broadcast_batch`]: the messages
+/// received per node, plus the instance's own [`RunReport`].
+pub type BroadcastLane = (Vec<Vec<Msg>>, RunReport);
+
+/// One instance's result in an [`up_stream_batch`]: the
+/// `(relay, message)` lists collected per node, plus the instance's own
+/// [`RunReport`].
+pub type UpStreamLane = (Vec<Vec<(NodeId, Msg)>>, RunReport);
 
 /// How [`census`] merges two values of the same key.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -268,34 +280,47 @@ impl NodeLogic for StreamBroadcastLogic<'_> {
     }
 }
 
-/// Pipelined multi-message broadcast: each root's message list flows down
-/// its tree in FIFO order, one message per edge per round. Returns the
-/// messages received by every node (roots' own payloads are *not* echoed
-/// back to themselves).
+/// Batched pipelined multi-message broadcast: per instance, each root's
+/// message list flows down its tree in FIFO order, one message per edge
+/// per round; every node receives its root's list (roots' own payloads
+/// are *not* echoed back to themselves). The instances execute through
+/// the instance-multiplexed executor
+/// ([`EngineCore::run_logic_batch`]); each returned [`RunReport`] is
+/// bit-for-bit what that instance's sequential run would report.
 ///
-/// Cost: `height + k` rounds for `k` messages.
+/// Cost per instance: `height + k` rounds for `k` messages.
 ///
 /// # Errors
 ///
-/// Propagates engine [`SimError`]s.
-pub fn stream_broadcast<'g, E: EngineCore<'g>>(
+/// Propagates the first instance's engine [`SimError`] (instances are
+/// independent; an error is a protocol/infrastructure bug, not data).
+pub fn stream_broadcast_batch<'g, E: EngineCore<'g>>(
     engine: &mut E,
     tree: &TreeTopology,
-    payload: Vec<Vec<Msg>>,
+    payloads: Vec<Vec<Vec<Msg>>>,
     max_rounds: u64,
-) -> Result<Vec<Vec<Msg>>, SimError> {
+) -> Result<Vec<BroadcastLane>, SimError> {
     let n = engine.graph().n();
-    debug_assert!(payload
-        .iter()
-        .enumerate()
-        .all(|(v, p)| p.is_empty() || tree.is_root(NodeId::new(v))));
-    let mut logic = StreamBroadcastLogic {
-        tree,
-        queue: payload.into_iter().map(VecDeque::from).collect(),
-        received: vec![Vec::new(); n],
-    };
-    engine.run_logic(&mut logic, max_rounds)?;
-    Ok(logic.received)
+    let mut logics: Vec<StreamBroadcastLogic<'_>> = payloads
+        .into_iter()
+        .map(|payload| {
+            debug_assert!(payload
+                .iter()
+                .enumerate()
+                .all(|(v, p)| p.is_empty() || tree.is_root(NodeId::new(v))));
+            StreamBroadcastLogic {
+                tree,
+                queue: payload.into_iter().map(VecDeque::from).collect(),
+                received: vec![Vec::new(); n],
+            }
+        })
+        .collect();
+    let results = engine.run_logic_batch(&mut logics, max_rounds);
+    results
+        .into_iter()
+        .zip(logics)
+        .map(|(result, logic)| result.map(|report| (logic.received, report)))
+        .collect()
 }
 
 struct UpStreamLogic<'t> {
@@ -348,31 +373,46 @@ impl NodeLogic for UpStreamLogic<'_> {
     }
 }
 
-/// Moves every node's message list up its part tree to the root (FIFO,
-/// one message per edge per round, store-and-forward through internal
-/// nodes). Returns, per root, the collected `(origin-or-relay, msg)` list
-/// — senders along the path are the *relaying* children, so protocols that
-/// need origins must encode them in the payload.
+/// Batched up-stream collection: per instance, every node's message
+/// list moves up its part tree to the root (FIFO, one message per edge
+/// per round, store-and-forward through internal nodes). Returns, per
+/// instance, the collected `(origin-or-relay, msg)` list at every root
+/// — senders along the path are the *relaying* children, so protocols
+/// that need origins must encode them in the payload — and the
+/// instance's own [`RunReport`].
 ///
-/// Cost: `O(height + total items through the busiest edge)` rounds.
+/// This is the Stage-II hot path for serving many Monte-Carlo seeds at
+/// once: the per-seed sample streams are the only seed-dependent engine
+/// runs of the tester, and here they ride one multiplexed executor
+/// ([`EngineCore::run_logic_batch`]).
+///
+/// Cost per instance: `O(height + total items through the busiest
+/// edge)` rounds.
 ///
 /// # Errors
 ///
-/// Propagates engine [`SimError`]s.
-pub fn up_stream<'g, E: EngineCore<'g>>(
+/// Propagates the first instance's engine [`SimError`].
+pub fn up_stream_batch<'g, E: EngineCore<'g>>(
     engine: &mut E,
     tree: &TreeTopology,
-    items: Vec<Vec<Msg>>,
+    items: Vec<Vec<Vec<Msg>>>,
     max_rounds: u64,
-) -> Result<Vec<Vec<(NodeId, Msg)>>, SimError> {
+) -> Result<Vec<UpStreamLane>, SimError> {
     let n = engine.graph().n();
-    let mut logic = UpStreamLogic {
-        tree,
-        queue: items.into_iter().map(VecDeque::from).collect(),
-        collected: vec![Vec::new(); n],
-    };
-    engine.run_logic(&mut logic, max_rounds)?;
-    Ok(logic.collected)
+    let mut logics: Vec<UpStreamLogic<'_>> = items
+        .into_iter()
+        .map(|item| UpStreamLogic {
+            tree,
+            queue: item.into_iter().map(VecDeque::from).collect(),
+            collected: vec![Vec::new(); n],
+        })
+        .collect();
+    let results = engine.run_logic_batch(&mut logics, max_rounds);
+    results
+        .into_iter()
+        .zip(logics)
+        .map(|(result, logic)| result.map(|report| (logic.collected, report)))
+        .collect()
 }
 
 #[cfg(test)]
@@ -489,18 +529,16 @@ mod tests {
         let mut engine = Engine::new(&g, SimConfig::default());
         let mut payload = vec![Vec::new(); 6];
         payload[0] = vec![Msg::words(&[1]), Msg::words(&[2]), Msg::words(&[3])];
-        let got = stream_broadcast(&mut engine, &tree, payload, 1000).unwrap();
+        let lanes = stream_broadcast_batch(&mut engine, &tree, vec![payload], 1000).unwrap();
+        let (got, report) = &lanes[0];
         for (v, msgs) in got.iter().enumerate().take(5).skip(1) {
             let words: Vec<u64> = msgs.iter().map(|m| m.word(0)).collect();
             assert_eq!(words, vec![1, 2, 3], "node {v}");
         }
         assert!(got[5].is_empty());
         // Pipelined: depth 4 + 3 messages - 1 = 6-ish rounds, not 12.
-        assert!(
-            engine.stats().rounds <= 8,
-            "rounds {}",
-            engine.stats().rounds
-        );
+        assert!(report.rounds <= 8, "rounds {}", report.rounds);
+        assert_eq!(engine.stats().rounds, report.rounds);
     }
 
     #[test]
@@ -510,11 +548,18 @@ mod tests {
         let items: Vec<Vec<Msg>> = (0..6)
             .map(|v| vec![Msg::words(&[v as u64]), Msg::words(&[100 + v as u64])])
             .collect();
-        let got = up_stream(&mut engine, &tree, items, 1000).unwrap();
-        let mut words: Vec<u64> = got[0].iter().map(|(_, m)| m.word(0)).collect();
+        // Two lanes with distinct payloads: each collects only its own.
+        let shifted: Vec<Vec<Msg>> = (0..6)
+            .map(|v| vec![Msg::words(&[200 + v as u64])])
+            .collect();
+        let lanes = up_stream_batch(&mut engine, &tree, vec![items, shifted], 1000).unwrap();
+        let mut words: Vec<u64> = lanes[0].0[0].iter().map(|(_, m)| m.word(0)).collect();
         words.sort_unstable();
         assert_eq!(words, vec![0, 1, 2, 3, 4, 100, 101, 102, 103, 104]);
-        let w5: Vec<u64> = got[5].iter().map(|(_, m)| m.word(0)).collect();
+        let w5: Vec<u64> = lanes[0].0[5].iter().map(|(_, m)| m.word(0)).collect();
         assert_eq!(w5, vec![5, 105]);
+        let mut words2: Vec<u64> = lanes[1].0[0].iter().map(|(_, m)| m.word(0)).collect();
+        words2.sort_unstable();
+        assert_eq!(words2, vec![200, 201, 202, 203, 204]);
     }
 }

@@ -75,6 +75,53 @@ impl LabeledEdge {
     }
 }
 
+/// Appends the packed wire encoding of a label to `out`: a header word
+/// `(len << 2) | width_class` followed by the digits packed 16, 4 or 2
+/// per word (width classes 0, 1, 2 = 4-, 16- and 32-bit digits, chosen
+/// from the label's largest digit).
+///
+/// One `u64` word models one `O(log n)`-bit message unit, so shipping
+/// one child digit (almost always < 16) per word under-uses every
+/// message by an order of magnitude. The sample-interval streams —
+/// the tester's dominant message volume — ride this encoding.
+pub(crate) fn pack_label(digits: &[u32], out: &mut Vec<u64>) {
+    let max = digits.iter().copied().max().unwrap_or(0);
+    let (width, bits, per): (u64, u32, usize) = if max < 1 << 4 {
+        (0, 4, 16)
+    } else if max < 1 << 16 {
+        (1, 16, 4)
+    } else {
+        (2, 32, 2)
+    };
+    out.push(((digits.len() as u64) << 2) | width);
+    for chunk in digits.chunks(per) {
+        let mut word = 0u64;
+        for (i, &d) in chunk.iter().enumerate() {
+            word |= u64::from(d) << (i as u32 * bits);
+        }
+        out.push(word);
+    }
+}
+
+/// Decodes one packed label starting at `words[0]`; returns the digits
+/// and the number of words consumed (header + packed digits).
+pub(crate) fn unpack_label(words: &[u64]) -> (Vec<u32>, usize) {
+    let header = words[0];
+    let len = (header >> 2) as usize;
+    let (bits, per): (u32, usize) = match header & 3 {
+        0 => (4, 16),
+        1 => (16, 4),
+        2 => (32, 2),
+        other => unreachable!("unknown label width class {other}"),
+    };
+    let mut digits = Vec::with_capacity(len);
+    for i in 0..len {
+        let word = words[1 + i / per];
+        digits.push(((word >> ((i % per) as u32 * bits)) & ((1u64 << bits) - 1)) as u32);
+    }
+    (digits, 1 + len.div_ceil(per))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -136,6 +183,45 @@ mod tests {
         assert!(!g.intersects(&h));
         // Self-comparison is not a violation.
         assert!(!a.intersects(&a));
+    }
+
+    #[test]
+    fn pack_roundtrip_across_width_classes() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![0],
+            vec![1, 2, 3],
+            (0..40).map(|i| i % 16).collect(), // 4-bit, multi-word
+            vec![15, 16],                      // forces 16-bit
+            vec![1, 65_535],                   // 16-bit boundary
+            vec![65_536],                      // forces 32-bit
+            vec![u32::MAX, 0, 7],              // 32-bit, padding
+            (0..9).map(|i| i * 10_000).collect(), // mixed magnitudes
+        ];
+        for digits in cases {
+            let mut words = Vec::new();
+            pack_label(&digits, &mut words);
+            // Sanity: small digits pack an order of magnitude denser
+            // than one-word-per-digit.
+            assert!(words.len() <= 1 + digits.len());
+            let (got, used) = unpack_label(&words);
+            assert_eq!(got, digits);
+            assert_eq!(used, words.len());
+        }
+    }
+
+    #[test]
+    fn pack_streams_concatenate() {
+        // Two labels back to back — the interval wire format.
+        let a = vec![1u32, 2, 3];
+        let b = vec![70_000u32];
+        let mut words = Vec::new();
+        pack_label(&a, &mut words);
+        pack_label(&b, &mut words);
+        let (got_a, used) = unpack_label(&words);
+        let (got_b, used_b) = unpack_label(&words[used..]);
+        assert_eq!((got_a, got_b), (a, b));
+        assert_eq!(used + used_b, words.len());
     }
 
     #[test]

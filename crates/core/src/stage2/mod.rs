@@ -38,6 +38,8 @@ use crate::error::CoreError;
 use crate::partition::PartitionState;
 use crate::tester::RejectReason;
 
+use planartest_sim::SimStats;
+
 pub(crate) use self::protocols::{distribute_labels, exchange_edge_labels};
 
 /// Per-part summary recorded by Stage II (experiment inputs).
@@ -79,7 +81,22 @@ impl Stage2Outcome {
     }
 }
 
-/// Runs Stage II over the Stage-I partition.
+/// The outcome of a batched Stage II: one verdict and one stats ledger
+/// per Monte-Carlo instance (seed).
+#[derive(Debug, Clone)]
+pub struct Stage2Batch {
+    /// Per-instance outcomes, in seed order.
+    pub outcomes: Vec<Stage2Outcome>,
+    /// Per-instance Stage-II statistics: each instance is credited with
+    /// the full cost of the seed-independent shared sub-runs (they are
+    /// identical for every seed, so running them once is bit-for-bit
+    /// equivalent to running them per seed) plus its *own* batched
+    /// sample-stream runs.
+    pub stats: Vec<SimStats>,
+}
+
+/// Runs Stage II over the Stage-I partition (a batch of one seed —
+/// `cfg.seed`).
 ///
 /// # Errors
 ///
@@ -90,6 +107,35 @@ pub fn run_stage2<'g, E: EngineCore<'g>>(
     cfg: &TesterConfig,
     state: &PartitionState,
 ) -> Result<Stage2Outcome, CoreError> {
+    let mut batch = run_stage2_many(engine, cfg, &[cfg.seed], state)?;
+    Ok(batch.outcomes.pop().expect("one instance"))
+}
+
+/// Runs Stage II once per seed over the same Stage-I partition, serving
+/// the whole batch of Monte-Carlo instances through one pass.
+///
+/// Everything before the sampling step — BFS trees, counting,
+/// embedding, label distribution and label exchange — is
+/// seed-independent and runs **once**, with every instance credited its
+/// full cost. The seed-dependent sample streams (ship sampled intervals
+/// to the roots, broadcast them back down) run as lockstep lanes of the
+/// instance-multiplexed executor
+/// ([`planartest_sim::runtime::batch`]), so each instance's verdict and
+/// statistics are bit-for-bit what a sequential `run_stage2` with that
+/// seed produces.
+///
+/// # Errors
+///
+/// Infrastructure errors only ([`CoreError`]); fails fast if any
+/// instance errs (e.g. a `1/poly(n)` sample overflow — rerun with other
+/// seeds).
+pub fn run_stage2_many<'g, E: EngineCore<'g>>(
+    engine: &mut E,
+    cfg: &TesterConfig,
+    seeds: &[u64],
+    state: &PartitionState,
+) -> Result<Stage2Batch, CoreError> {
+    let baseline = *engine.stats();
     let g = engine.graph();
     let n = g.n();
     let max_rounds = cfg.max_rounds;
@@ -243,95 +289,132 @@ pub fn run_stage2<'g, E: EngineCore<'g>>(
         }
     }
 
-    // --- 6. Sampling and violation detection. ---
+    // Everything up to here is seed-independent: credit the shared cost
+    // to every instance in full (the runs are identical per seed, so
+    // executing them once is bit-for-bit equivalent).
+    let shared_stats = engine.stats().delta_since(&baseline);
+    let shared_rejections = rejections;
+
+    // --- 6. Sampling and violation detection (per seed). ---
     let s_target = cfg.sample_size(n) as f64;
-    let mut sample_items: Vec<Vec<Msg>> = vec![Vec::new(); n];
-    let mut sampled_per_part: HashMap<u32, usize> = HashMap::new();
-    for v in 0..n {
-        if assigned[v].is_empty() {
-            continue;
-        }
-        let root = state.root[v].raw();
-        let nt = counts_bcast[v].as_ref().expect("counts broadcast").word(2);
-        if nt == 0 {
-            continue;
-        }
-        let p = (s_target / nt as f64).min(1.0);
-        let mut rng = sample_rng(cfg.seed, v as u64);
-        for iv in &intervals[v] {
-            if rng.random_bool(p) {
-                *sampled_per_part.entry(root).or_insert(0) += 1;
-                sample_items[v].extend(encode_interval(v as u64, iv));
+    let mut all_sample_items: Vec<Vec<Vec<Msg>>> = Vec::with_capacity(seeds.len());
+    let mut all_sampled_per_part: Vec<HashMap<u32, usize>> = Vec::with_capacity(seeds.len());
+    for &seed in seeds {
+        let mut sample_items: Vec<Vec<Msg>> = vec![Vec::new(); n];
+        let mut sampled_per_part: HashMap<u32, usize> = HashMap::new();
+        for v in 0..n {
+            if assigned[v].is_empty() {
+                continue;
             }
-        }
-    }
-    // Overflow guard (1/poly(n) event): the root would abort; we surface
-    // it as an error so callers can rerun with another seed.
-    for (&root, &count) in &sampled_per_part {
-        let budget = (4.0 * s_target).ceil() as usize + 8;
-        if count > budget {
-            let _ = root;
-            return Err(CoreError::SampleOverflow {
-                drawn: count,
-                budget,
-            });
-        }
-    }
-    for rep in &mut reports {
-        rep.sampled = sampled_per_part.get(&rep.root.raw()).copied().unwrap_or(0);
-    }
-
-    // Ship samples to the roots, then broadcast them back down.
-    let collected = crate::comm::up_stream(engine, &tree, sample_items, max_rounds)?;
-    let mut down_payload: Vec<Vec<Msg>> = vec![Vec::new(); n];
-    let mut sampled_intervals_at_root: HashMap<u32, Vec<LabeledEdge>> = HashMap::new();
-    for &r in &roots {
-        let words = decode_streams(&collected[r.index()]);
-        sampled_intervals_at_root.insert(r.raw(), words.clone());
-        down_payload[r.index()] = words
-            .iter()
-            .flat_map(|iv| encode_interval(r.raw() as u64, iv))
-            .collect();
-    }
-    let received = crate::comm::stream_broadcast(engine, &tree, down_payload, max_rounds)?;
-
-    // Local violation checks.
-    let mut violation_witnesses = Vec::new();
-    let paper_mode = matches!(cfg.embedding, EmbeddingMode::Demoucron);
-    for v in 0..n {
-        if intervals[v].is_empty() {
-            continue;
-        }
-        let sample: Vec<LabeledEdge> = if state.root[v].index() == v {
-            sampled_intervals_at_root[&state.root[v].raw()].clone()
-        } else {
-            decode_streams(
-                &received[v]
-                    .iter()
-                    .map(|m| (NodeId::new(0), m.clone()))
-                    .collect::<Vec<_>>(),
-            )
-        };
-        'outer: for iv in &intervals[v] {
-            for s in &sample {
-                if iv.intersects(s) {
-                    violation_witnesses.push(NodeId::new(v));
-                    if paper_mode {
-                        rejections.push((NodeId::new(v), RejectReason::ViolatingEdge));
-                    }
-                    break 'outer;
+            let root = state.root[v].raw();
+            let nt = counts_bcast[v].as_ref().expect("counts broadcast").word(2);
+            if nt == 0 {
+                continue;
+            }
+            let p = (s_target / nt as f64).min(1.0);
+            let mut rng = sample_rng(seed, v as u64);
+            for iv in &intervals[v] {
+                if rng.random_bool(p) {
+                    *sampled_per_part.entry(root).or_insert(0) += 1;
+                    sample_items[v].extend(encode_interval(v as u64, iv));
                 }
             }
         }
+        // Overflow guard (1/poly(n) event per instance): the root would
+        // abort; we fail the batch fast so callers can rerun with other
+        // seeds.
+        for (&root, &count) in &sampled_per_part {
+            let budget = (4.0 * s_target).ceil() as usize + 8;
+            if count > budget {
+                let _ = root;
+                return Err(CoreError::SampleOverflow {
+                    drawn: count,
+                    budget,
+                });
+            }
+        }
+        all_sample_items.push(sample_items);
+        all_sampled_per_part.push(sampled_per_part);
     }
 
-    rejections.sort_by_key(|&(v, _)| v);
-    rejections.dedup_by_key(|&mut (v, _)| v);
-    Ok(Stage2Outcome {
-        rejections,
-        violation_witnesses,
-        parts: reports,
-    })
+    // Ship every instance's samples to the roots in lockstep, then
+    // broadcast each sample set back down — the only seed-dependent
+    // engine runs, multiplexed through the batch executor.
+    let collected = crate::comm::up_stream_batch(engine, &tree, all_sample_items, max_rounds)?;
+    let mut all_down_payloads: Vec<Vec<Vec<Msg>>> = Vec::with_capacity(seeds.len());
+    let mut all_root_samples: Vec<HashMap<u32, Vec<LabeledEdge>>> = Vec::with_capacity(seeds.len());
+    for (collected_k, _) in &collected {
+        let mut down_payload: Vec<Vec<Msg>> = vec![Vec::new(); n];
+        let mut sampled_intervals_at_root: HashMap<u32, Vec<LabeledEdge>> = HashMap::new();
+        for &r in &roots {
+            let words = decode_streams(&collected_k[r.index()]);
+            sampled_intervals_at_root.insert(r.raw(), words.clone());
+            down_payload[r.index()] = words
+                .iter()
+                .flat_map(|iv| encode_interval(r.raw() as u64, iv))
+                .collect();
+        }
+        all_down_payloads.push(down_payload);
+        all_root_samples.push(sampled_intervals_at_root);
+    }
+    let received =
+        crate::comm::stream_broadcast_batch(engine, &tree, all_down_payloads, max_rounds)?;
+
+    // Local violation checks, per instance.
+    let paper_mode = matches!(cfg.embedding, EmbeddingMode::Demoucron);
+    let mut outcomes = Vec::with_capacity(seeds.len());
+    let mut stats = Vec::with_capacity(seeds.len());
+    for (k, ((_, up_report), (received_k, down_report))) in
+        collected.iter().zip(&received).enumerate()
+    {
+        let mut rejections = shared_rejections.clone();
+        let mut violation_witnesses = Vec::new();
+        for v in 0..n {
+            if intervals[v].is_empty() {
+                continue;
+            }
+            let sample: Vec<LabeledEdge> = if state.root[v].index() == v {
+                all_root_samples[k][&state.root[v].raw()].clone()
+            } else {
+                decode_streams(
+                    &received_k[v]
+                        .iter()
+                        .map(|m| (NodeId::new(0), m.clone()))
+                        .collect::<Vec<_>>(),
+                )
+            };
+            'outer: for iv in &intervals[v] {
+                for s in &sample {
+                    if iv.intersects(s) {
+                        violation_witnesses.push(NodeId::new(v));
+                        if paper_mode {
+                            rejections.push((NodeId::new(v), RejectReason::ViolatingEdge));
+                        }
+                        break 'outer;
+                    }
+                }
+            }
+        }
+        rejections.sort_by_key(|&(v, _)| v);
+        rejections.dedup_by_key(|&mut (v, _)| v);
+        let mut parts = reports.clone();
+        for rep in &mut parts {
+            rep.sampled = all_sampled_per_part[k]
+                .get(&rep.root.raw())
+                .copied()
+                .unwrap_or(0);
+        }
+        let mut instance_stats = shared_stats;
+        instance_stats.absorb(*up_report);
+        instance_stats.absorb(*down_report);
+        outcomes.push(Stage2Outcome {
+            rejections,
+            violation_witnesses,
+            parts,
+        });
+        stats.push(instance_stats);
+    }
+    Ok(Stage2Batch { outcomes, stats })
 }
 
 /// Assigns each intra-part non-tree edge to its higher `(level, id)`
@@ -407,15 +490,16 @@ fn embed_part(
     }
 }
 
-/// Encodes `(origin, interval)` into bandwidth-sized chunks:
-/// payload words are `[len_lo, lo..., len_hi, hi...]`, each message is
-/// `[origin, w1, w2, w3]`.
+/// Encodes `(origin, interval)` into bandwidth-sized chunks: payload
+/// words are the two packed labels
+/// ([`labels::pack_label`] — digits ride 16/4/2 to a word instead of
+/// one per word), each message is `[origin, w1, w2, w3]`. Packing is
+/// what keeps the sample broadcast — the tester's dominant message
+/// volume — at the model's `O(log n)`-bits-per-message density.
 fn encode_interval(origin: u64, iv: &LabeledEdge) -> Vec<Msg> {
     let mut words: Vec<u64> = Vec::new();
-    words.push(iv.lo.0.len() as u64);
-    words.extend(iv.lo.0.iter().map(|&d| d as u64));
-    words.push(iv.hi.0.len() as u64);
-    words.extend(iv.hi.0.iter().map(|&d| d as u64));
+    labels::pack_label(&iv.lo.0, &mut words);
+    labels::pack_label(&iv.hi.0, &mut words);
     // Prefix with the total word count so the decoder can frame it.
     let mut framed = vec![words.len() as u64];
     framed.extend(words);
@@ -453,16 +537,13 @@ fn decode_streams(msgs: &[(NodeId, Msg)]) -> Vec<LabeledEdge> {
             let total = words[i] as usize;
             let body = &words[i + 1..i + 1 + total];
             i += 1 + total;
-            let len_lo = body[0] as usize;
-            let lo = Label(body[1..1 + len_lo].iter().map(|&w| w as u32).collect());
-            let len_hi = body[1 + len_lo] as usize;
-            let hi = Label(
-                body[2 + len_lo..2 + len_lo + len_hi]
-                    .iter()
-                    .map(|&w| w as u32)
-                    .collect(),
-            );
-            out.push(LabeledEdge { lo, hi });
+            let (lo, used_lo) = labels::unpack_label(body);
+            let (hi, used_hi) = labels::unpack_label(&body[used_lo..]);
+            debug_assert_eq!(used_lo + used_hi, total, "interval framing corrupted");
+            out.push(LabeledEdge {
+                lo: Label(lo),
+                hi: Label(hi),
+            });
         }
     }
     out

@@ -114,7 +114,8 @@ impl PlanarityTester {
         &self.cfg
     }
 
-    /// Runs the two-stage tester on `g`.
+    /// Runs the two-stage tester on `g` (a batch of one instance with
+    /// the configured seed — see [`PlanarityTester::run_many`]).
     ///
     /// Completeness: if `g` is planar, the outcome always accepts.
     /// Soundness: if `g` is `ε`-far from planar, some node rejects with
@@ -124,40 +125,89 @@ impl PlanarityTester {
     ///
     /// Infrastructure errors only (model violations, sample overflow).
     pub fn run(&self, g: &Graph) -> Result<TestOutcome, CoreError> {
+        let mut outcomes = self.run_many(g, std::slice::from_ref(&self.cfg.seed))?;
+        Ok(outcomes.pop().expect("one instance"))
+    }
+
+    /// Serves a whole batch of Monte-Carlo queries on `g` — one
+    /// independent tester instance per seed — through a single
+    /// instance-multiplexed pass.
+    ///
+    /// The Stage-I partition and the seed-independent Stage-II prefix
+    /// (BFS trees, counting, embedding, label distribution/exchange)
+    /// run **once**; every instance is credited their full round cost.
+    /// The seed-dependent Stage-II sample streams execute as lockstep
+    /// lanes of the batch engine
+    /// ([`planartest_sim::runtime::batch`]). Each returned
+    /// [`TestOutcome`] — verdict, witnesses *and* statistics — is
+    /// bit-for-bit identical to what [`PlanarityTester::run`] with that
+    /// seed produces; only the wall-clock collapses.
+    ///
+    /// # Errors
+    ///
+    /// Infrastructure errors only; fails fast if any instance errs
+    /// (e.g. a `1/poly(n)` sample overflow — rerun with other seeds).
+    pub fn run_many(&self, g: &Graph, seeds: &[u64]) -> Result<Vec<TestOutcome>, CoreError> {
         match self.sim.backend {
-            Backend::Serial => self.run_on(&mut Engine::new(g, self.sim)),
+            Backend::Serial => self.run_many_on(&mut Engine::new(g, self.sim), seeds),
             // `Auto` rides the parallel engine, which resolves the
             // worker count per run from the backend's work threshold.
             Backend::Parallel { .. } | Backend::Auto => {
-                self.run_on(&mut ParallelEngine::new(g, self.sim))
+                self.run_many_on(&mut ParallelEngine::new(g, self.sim), seeds)
             }
         }
     }
 
-    /// Runs the two stages on an already-constructed engine (any
-    /// backend).
-    fn run_on<'g, E: EngineCore<'g>>(&self, engine: &mut E) -> Result<TestOutcome, CoreError> {
+    /// Runs the two stages for every seed on an already-constructed
+    /// engine (any backend).
+    fn run_many_on<'g, E: EngineCore<'g>>(
+        &self,
+        engine: &mut E,
+        seeds: &[u64],
+    ) -> Result<Vec<TestOutcome>, CoreError> {
+        if seeds.is_empty() {
+            return Ok(Vec::new());
+        }
+        // Stage I is deterministic and seed-independent: one run serves
+        // the whole batch, each instance paying its cost in full.
         let partition = partition::run_partition(engine, &self.cfg)?;
-        let mut rejections: Vec<(NodeId, RejectReason)> = partition
+        let stage1_stats = *engine.stats();
+        let stage1_rejections: Vec<(NodeId, RejectReason)> = partition
             .rejected
             .iter()
             .map(|&v| (v, RejectReason::ArboricityEvidence))
             .collect();
-        let mut parts = Vec::new();
-        let mut violation_witnesses = Vec::new();
-        if rejections.is_empty() {
-            let s2 = stage2::run_stage2(engine, &self.cfg, &partition.state)?;
-            rejections.extend(s2.rejections);
-            parts = s2.parts;
-            violation_witnesses = s2.violation_witnesses;
+        if !stage1_rejections.is_empty() {
+            // Stage II never runs: every instance observes the same
+            // Stage-I evidence.
+            return Ok(seeds
+                .iter()
+                .map(|_| TestOutcome {
+                    rejections: stage1_rejections.clone(),
+                    stats: stage1_stats,
+                    phases: partition.phases.clone(),
+                    parts: Vec::new(),
+                    violation_witnesses: Vec::new(),
+                })
+                .collect());
         }
-        Ok(TestOutcome {
-            rejections,
-            stats: *engine.stats(),
-            phases: partition.phases,
-            parts,
-            violation_witnesses,
-        })
+        let batch = stage2::run_stage2_many(engine, &self.cfg, seeds, &partition.state)?;
+        Ok(batch
+            .outcomes
+            .into_iter()
+            .zip(batch.stats)
+            .map(|(s2, s2_stats)| {
+                let mut stats = stage1_stats;
+                stats.merge(&s2_stats);
+                TestOutcome {
+                    rejections: s2.rejections,
+                    stats,
+                    phases: partition.phases.clone(),
+                    parts: s2.parts,
+                    violation_witnesses: s2.violation_witnesses,
+                }
+            })
+            .collect())
     }
 }
 
@@ -277,6 +327,74 @@ mod tests {
                 assert_eq!(par.stats, serial.stats, "threads={threads}");
                 assert_eq!(par.violation_witnesses, serial.violation_witnesses);
             }
+        }
+    }
+
+    #[test]
+    fn run_many_matches_sequential_runs() {
+        // Batched Monte-Carlo service must be bit-for-bit the sequential
+        // per-seed runs: verdicts, witnesses, per-part sample counts and
+        // the full statistics ledger.
+        let mut rng = StdRng::seed_from_u64(7);
+        let graphs = vec![
+            planar::triangulated_grid(6, 6).graph,
+            planar::random_planar(50, 0.7, &mut rng).graph,
+            nonplanar::k5_chain(6).graph,
+        ];
+        let seeds: Vec<u64> = (0..5).collect();
+        for g in &graphs {
+            let batched = PlanarityTester::new(quick_cfg(0.1))
+                .run_many(g, &seeds)
+                .unwrap();
+            assert_eq!(batched.len(), seeds.len());
+            for (&seed, out) in seeds.iter().zip(&batched) {
+                let solo = PlanarityTester::new(quick_cfg(0.1).with_seed(seed))
+                    .run(g)
+                    .unwrap();
+                assert_eq!(out.rejections, solo.rejections, "seed {seed}");
+                assert_eq!(out.stats, solo.stats, "seed {seed}");
+                assert_eq!(
+                    out.violation_witnesses, solo.violation_witnesses,
+                    "seed {seed}"
+                );
+                let sampled: Vec<usize> = out.parts.iter().map(|p| p.sampled).collect();
+                let solo_sampled: Vec<usize> = solo.parts.iter().map(|p| p.sampled).collect();
+                assert_eq!(sampled, solo_sampled, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn run_many_matches_sequential_in_paper_mode() {
+        // In the paper-faithful mode the verdict itself depends on the
+        // seed (violating edges reject), so per-instance divergence is
+        // observable — the batch must reproduce it exactly.
+        let far = nonplanar::complete_bipartite(3, 3);
+        let seeds: Vec<u64> = (0..6).collect();
+        let cfg = quick_cfg(0.1).with_embedding(EmbeddingMode::Demoucron);
+        let batched = PlanarityTester::new(cfg.clone())
+            .run_many(&far.graph, &seeds)
+            .unwrap();
+        for (&seed, out) in seeds.iter().zip(&batched) {
+            let solo = PlanarityTester::new(cfg.clone().with_seed(seed))
+                .run(&far.graph)
+                .unwrap();
+            assert_eq!(out.rejections, solo.rejections, "seed {seed}");
+            assert_eq!(out.stats, solo.stats, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn run_many_on_stage1_rejection_and_empty_seeds() {
+        let far = nonplanar::complete(16);
+        let tester = PlanarityTester::new(quick_cfg(0.1));
+        assert!(tester.run_many(&far.graph, &[]).unwrap().is_empty());
+        let outs = tester.run_many(&far.graph, &[1, 2, 3]).unwrap();
+        let solo = tester.run(&far.graph).unwrap();
+        for out in &outs {
+            // Stage I rejects before any sampling: seeds are irrelevant.
+            assert_eq!(out.rejections, solo.rejections);
+            assert_eq!(out.stats, solo.stats);
         }
     }
 

@@ -304,6 +304,11 @@ pub struct Outbox<'a> {
     g: &'a Graph,
     limit: usize,
     round: u64,
+    /// Virtual-lane base for batched execution: staged destinations and
+    /// wake entries are offset by this amount, mapping this instance's
+    /// node `v` to the shared mailbox lane `vbase + v`. Zero for
+    /// single-instance runs (see [`crate::runtime::batch`]).
+    vbase: u32,
     staged: &'a mut Vec<(NodeId, NodeId, Msg)>,
     /// `edge_stamp[2e + dir] = round` of the last send on that direction.
     edge_stamp: &'a mut [u64],
@@ -313,14 +318,16 @@ pub struct Outbox<'a> {
 }
 
 impl<'a> Outbox<'a> {
-    /// Assembles an outbox over caller-owned buffers (used by both the
-    /// serial loop and the parallel runtime's per-worker scratch).
+    /// Assembles an outbox over caller-owned buffers (used by the serial
+    /// loop, the parallel runtime's per-worker scratch, and the batch
+    /// executor's per-instance lanes).
     #[allow(clippy::too_many_arguments)]
     pub(crate) fn assemble(
         src: NodeId,
         g: &'a Graph,
         limit: usize,
         round: u64,
+        vbase: u32,
         staged: &'a mut Vec<(NodeId, NodeId, Msg)>,
         edge_stamp: &'a mut [u64],
         wake: &'a mut Vec<NodeId>,
@@ -332,12 +339,30 @@ impl<'a> Outbox<'a> {
             g,
             limit,
             round,
+            vbase,
             staged,
             edge_stamp,
             wake,
             woken,
             error,
         }
+    }
+
+    /// Stages `msg` on the already-validated edge `e` toward neighbour
+    /// `to`, enforcing the one-message-per-edge-direction rule — the
+    /// single home of the staging semantics behind [`Outbox::send`] and
+    /// [`Outbox::send_all`].
+    fn stage_on_edge(&mut self, to: NodeId, e: planartest_graph::EdgeId, msg: Msg) {
+        let (u, _) = self.g.endpoints(e);
+        let dir = usize::from(self.src != u);
+        let slot = 2 * e.index() + dir;
+        if self.edge_stamp[slot] == self.round + 1 {
+            *self.error = Some(SimError::DuplicateMessage { from: self.src, to });
+            return;
+        }
+        self.edge_stamp[slot] = self.round + 1;
+        self.staged
+            .push((self.src, NodeId::new(self.vbase as usize + to.index()), msg));
     }
 
     /// Sends `msg` to neighbour `to`, to be delivered next round.
@@ -358,22 +383,39 @@ impl<'a> Outbox<'a> {
             *self.error = Some(SimError::NotANeighbor { from: self.src, to });
             return;
         };
-        let (u, _) = self.g.endpoints(e);
-        let dir = usize::from(self.src != u);
-        let slot = 2 * e.index() + dir;
-        if self.edge_stamp[slot] == self.round + 1 {
-            *self.error = Some(SimError::DuplicateMessage { from: self.src, to });
-            return;
-        }
-        self.edge_stamp[slot] = self.round + 1;
-        self.staged.push((self.src, to, msg));
+        self.stage_on_edge(to, e, msg);
     }
 
     /// Sends a copy of `msg` to every neighbour.
+    ///
+    /// Iterates the CSR neighbour slice directly — no per-call allocation
+    /// and no per-neighbour edge lookup (the slice already carries the
+    /// edge ids). This is the hottest primitive in flood workloads.
     pub fn send_all(&mut self, msg: Msg) {
-        let neighbors: Vec<NodeId> = self.g.neighbors(self.src).iter().map(|&(w, _)| w).collect();
-        for w in neighbors {
-            self.send(w, msg.clone());
+        if self.error.is_some() {
+            return;
+        }
+        let g = self.g;
+        let deg = g.neighbors(self.src).len();
+        if deg == 0 {
+            return;
+        }
+        if msg.len() > self.limit {
+            // Same error a `send` loop would raise on the first neighbour.
+            *self.error = Some(SimError::MessageTooLarge {
+                from: self.src,
+                to: g.neighbors(self.src)[0].0,
+                words: msg.len(),
+                limit: self.limit,
+            });
+            return;
+        }
+        for i in 0..deg {
+            let (w, e) = g.neighbors(self.src)[i];
+            self.stage_on_edge(w, e, msg.clone());
+            if self.error.is_some() {
+                return;
+            }
         }
     }
 
@@ -383,7 +425,8 @@ impl<'a> Outbox<'a> {
     pub fn wake(&mut self) {
         if !self.woken[self.src.index()] {
             self.woken[self.src.index()] = true;
-            self.wake.push(self.src);
+            self.wake
+                .push(NodeId::new(self.vbase as usize + self.src.index()));
         }
     }
 
@@ -482,56 +525,79 @@ pub(crate) fn run_serial<L: NodeLogic>(
     logic: &mut L,
     max_rounds: u64,
 ) -> Result<RunReport, SimError> {
-    let n = g.n();
     let mut staged: Vec<(NodeId, NodeId, Msg)> = Vec::new();
     // `edge_stamp[2e + dir] = round + 1` of the last send; 0 = never.
     let mut edge_stamp = vec![0u64; 2 * g.m()];
     let mut wake: Vec<NodeId> = Vec::new();
-    let mut woken = vec![false; n];
+    let mut woken = vec![false; g.n()];
+    let mut active: Vec<NodeId> = Vec::new();
+    let mut boxes = crate::runtime::mailbox::Mailboxes::new(g.n());
+    run_serial_recycled(
+        g,
+        cfg,
+        logic,
+        max_rounds,
+        &mut edge_stamp,
+        &mut woken,
+        &mut staged,
+        &mut wake,
+        &mut active,
+        &mut boxes,
+    )
+}
+
+/// The reference round loop over caller-owned buffers: the batch
+/// executor's consecutive path ([`crate::runtime::batch`]) re-enters it
+/// with one set of recycled arenas per batch, so a batch of one is
+/// *structurally* the same run as [`Engine::run`] — not a copy kept in
+/// sync.
+///
+/// All buffers must arrive in their reset state (zero stamps, clear
+/// flags, empty vectors); the mailbox arena recycles itself per
+/// delivery.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_serial_recycled<L: NodeLogic>(
+    g: &Graph,
+    cfg: SimConfig,
+    logic: &mut L,
+    max_rounds: u64,
+    edge_stamp: &mut [u64],
+    woken: &mut [bool],
+    staged: &mut Vec<(NodeId, NodeId, Msg)>,
+    wake: &mut Vec<NodeId>,
+    active: &mut Vec<NodeId>,
+    boxes: &mut crate::runtime::mailbox::Mailboxes,
+) -> Result<RunReport, SimError> {
+    let limit = cfg.max_words_per_message;
     let mut error: Option<SimError> = None;
     let mut report = RunReport::default();
 
     // Round 0: init.
     for v in g.nodes() {
-        let mut out = Outbox {
-            src: v,
-            g,
-            limit: cfg.max_words_per_message,
-            round: 0,
-            staged: &mut staged,
-            edge_stamp: &mut edge_stamp,
-            wake: &mut wake,
-            woken: &mut woken,
-            error: &mut error,
-        };
+        let mut out = Outbox::assemble(
+            v, g, limit, 0, 0, staged, edge_stamp, wake, woken, &mut error,
+        );
         logic.init(v, &mut out);
         if let Some(e) = error {
             return Err(e);
         }
     }
 
-    let mut boxes = crate::runtime::mailbox::Mailboxes::new(n);
     let mut round: u64 = 0;
     while !staged.is_empty() || !wake.is_empty() {
         round += 1;
         if round > max_rounds {
             return Err(SimError::RoundLimitExceeded { limit: max_rounds });
         }
-        let mut active: Vec<NodeId> = Vec::new();
-        boxes.deliver(&mut staged, &woken, &mut active, &mut report);
-        crate::runtime::parallel::finish_active(&mut active, &mut wake, &mut woken);
-        for &v in &active {
-            let mut out = Outbox {
-                src: v,
-                g,
-                limit: cfg.max_words_per_message,
-                round,
-                staged: &mut staged,
-                edge_stamp: &mut edge_stamp,
-                wake: &mut wake,
-                woken: &mut woken,
-                error: &mut error,
-            };
+        // `active` is recycled across rounds: cleared, never
+        // re-allocated at steady state.
+        active.clear();
+        boxes.deliver(staged, woken, active, &mut report);
+        crate::runtime::parallel::finish_active(active, wake, woken);
+        for &v in active.iter() {
+            let mut out = Outbox::assemble(
+                v, g, limit, round, 0, staged, edge_stamp, wake, woken, &mut error,
+            );
             logic.round(v, boxes.inbox(v), &mut out);
             if let Some(e) = error {
                 return Err(e);

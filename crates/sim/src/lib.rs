@@ -65,5 +65,7 @@ pub mod tree;
 pub use crate::engine::{
     Engine, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError, MSG_INLINE_WORDS,
 };
-pub use crate::runtime::{Backend, EngineCore, ParallelEngine, ParallelNodeLogic, TrialRunner};
+pub use crate::runtime::{
+    run_batch, Backend, BatchEngine, EngineCore, ParallelEngine, ParallelNodeLogic, TrialRunner,
+};
 pub use crate::stats::SimStats;

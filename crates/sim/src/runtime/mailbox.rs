@@ -65,6 +65,36 @@ impl Mailboxes {
         active: &mut Vec<NodeId>,
         report: &mut RunReport,
     ) {
+        // One lane spanning every destination: all counts land in the
+        // single report (`usize::MAX` lane width keeps the index at 0).
+        self.deliver_lanes(
+            staged,
+            woken,
+            active,
+            std::slice::from_mut(report),
+            usize::MAX,
+        );
+    }
+
+    /// Lane-aware [`deliver`](Mailboxes::deliver): destinations are
+    /// grouped into lanes of `lane_width` consecutive node ids and each
+    /// message's counts are attributed to `reports[dst / lane_width]`.
+    ///
+    /// This is the delivery primitive behind instance-multiplexed
+    /// execution ([`crate::runtime::batch`]): a batch of `B` instances
+    /// over an `n`-node graph maps instance `i`'s node `v` to the virtual
+    /// destination `i·n + v`, so the same stable counting sort keys by
+    /// `(instance, dst)` and per-instance message accounting falls out of
+    /// the lane index. Activation, ordering and arena recycling semantics
+    /// are identical to `deliver`.
+    pub fn deliver_lanes(
+        &mut self,
+        staged: &mut Vec<Staged>,
+        woken: &[bool],
+        active: &mut Vec<NodeId>,
+        reports: &mut [RunReport],
+        lane_width: usize,
+    ) {
         for v in self.touched.drain(..) {
             self.ranges[v.index()] = (0, 0);
         }
@@ -72,6 +102,7 @@ impl Mailboxes {
         // Pass 1: count per destination (`end` temporarily holds the
         // count), recording activations in first-message order.
         for &(_, dst, ref msg) in staged.iter() {
+            let report = &mut reports[dst.index() / lane_width];
             report.messages += 1;
             report.words += msg.len() as u64;
             let r = &mut self.ranges[dst.index()];

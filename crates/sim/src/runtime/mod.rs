@@ -46,10 +46,12 @@
 //! [`NodeLogic`] protocols still run on any backend
 //! through [`EngineCore::run_logic`]; they just stay on one thread.
 
+pub mod batch;
 pub mod mailbox;
 pub mod parallel;
 pub mod trials;
 
+pub use batch::{run_batch, BatchEngine};
 pub use parallel::{ParallelEngine, ParallelNodeLogic};
 pub use trials::TrialRunner;
 
@@ -134,6 +136,42 @@ impl Backend {
             other => other.effective_threads(),
         }
     }
+
+    /// The worker count for one *batched* run of `instances` lockstep
+    /// protocol instances over an `n`-node network
+    /// (see [`batch`]).
+    ///
+    /// Batching changes the `Auto` arithmetic: the unit of parallel work
+    /// is a whole instance (never split across workers), and every
+    /// barrier carries the combined `instances × n` width of the batch.
+    /// `Auto` therefore picks **batched-parallel** when that combined
+    /// width reaches [`Backend::AUTO_MIN_NODES`] *and* the combined work
+    /// product `instances × n × max_rounds` reaches
+    /// [`Backend::AUTO_WORK_THRESHOLD`] — so many small instances
+    /// together can justify a pool that each alone would not. The count
+    /// is capped at `instances` (extra workers would idle), and a batch
+    /// of one degrades to the single-run rule
+    /// ([`Backend::threads_for`]).
+    #[must_use]
+    pub fn threads_for_batch(self, instances: usize, n: usize, max_rounds: u64) -> usize {
+        if instances <= 1 {
+            return self.threads_for(n, max_rounds);
+        }
+        match self {
+            Backend::Auto => {
+                let width = instances.saturating_mul(n);
+                let too_narrow = width < Backend::AUTO_MIN_NODES;
+                let too_short =
+                    (width as u64).saturating_mul(max_rounds) < Backend::AUTO_WORK_THRESHOLD;
+                if too_narrow || too_short {
+                    1
+                } else {
+                    auto_threads().min(instances)
+                }
+            }
+            other => other.effective_threads().min(instances),
+        }
+    }
 }
 
 /// Hardware parallelism, overridden by `PLANARTEST_THREADS` when it
@@ -188,6 +226,25 @@ pub trait EngineCore<'g> {
         max_rounds: u64,
     ) -> Result<RunReport, SimError>;
 
+    /// Runs a batch of independent [`NodeLogic`] instances to quiescence
+    /// in lockstep — one shared round loop over per-instance mailbox
+    /// lanes (see [`batch`]) — returning one result per instance,
+    /// bit-for-bit identical to that many sequential
+    /// [`run_logic`](EngineCore::run_logic) calls. Successful instances'
+    /// reports are folded into [`stats`](EngineCore::stats) (one run
+    /// each).
+    ///
+    /// Instance-level parallelism is backend-dependent: the serial
+    /// engine steps the batch on one thread; the parallel engine fans
+    /// whole instances across workers. `L: Send` is required because
+    /// instances may migrate to worker threads (each stays on one
+    /// thread for its entire run).
+    fn run_logic_batch<L: NodeLogic + Send>(
+        &mut self,
+        logics: &mut [L],
+        max_rounds: u64,
+    ) -> Vec<Result<RunReport, SimError>>;
+
     /// Runs per-node-state [`ParallelNodeLogic`] to quiescence, in
     /// parallel when the backend allows it.
     ///
@@ -229,6 +286,19 @@ impl<'g> EngineCore<'g> for crate::Engine<'g> {
         max_rounds: u64,
     ) -> Result<RunReport, SimError> {
         self.run(logic, max_rounds)
+    }
+
+    fn run_logic_batch<L: NodeLogic + Send>(
+        &mut self,
+        logics: &mut [L],
+        max_rounds: u64,
+    ) -> Vec<Result<RunReport, SimError>> {
+        // The serial engine steps the whole batch on one thread.
+        let results = batch::execute_batch(self.graph(), self.config(), logics, max_rounds, 1);
+        for report in results.iter().flatten() {
+            self.absorb(*report);
+        }
+        results
     }
 
     fn run_program<P: ParallelNodeLogic>(
@@ -280,5 +350,32 @@ mod tests {
         assert_eq!(Backend::Serial.threads_for(1 << 20, 1 << 20), 1);
         assert_eq!(Backend::Parallel { threads: 3 }.threads_for(2, 1), 3);
         assert!(Backend::Auto.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn auto_backend_batch_thresholds_use_combined_width() {
+        // One instance degrades to the single-run rule.
+        assert_eq!(
+            Backend::Auto.threads_for_batch(1, 64, 100_000_000),
+            Backend::Auto.threads_for(64, 100_000_000)
+        );
+        // Many narrow instances together clear the width threshold that
+        // each alone misses.
+        let b = Backend::AUTO_MIN_NODES / 64;
+        assert_eq!(Backend::Auto.threads_for(64, 100_000_000), 1);
+        assert_eq!(
+            Backend::Auto.threads_for_batch(b, 64, 100_000_000),
+            auto_threads().min(b)
+        );
+        // A batch still too narrow or too short stays serial.
+        assert_eq!(Backend::Auto.threads_for_batch(2, 64, 100_000_000), 1);
+        assert_eq!(Backend::Auto.threads_for_batch(1 << 12, 1 << 12, 2), 1);
+        // Fixed backends cap at the instance count (whole instances are
+        // the unit of work).
+        assert_eq!(
+            Backend::Parallel { threads: 8 }.threads_for_batch(3, 2, 1),
+            3
+        );
+        assert_eq!(Backend::Serial.threads_for_batch(5, 1 << 20, 1 << 20), 1);
     }
 }

@@ -225,6 +225,27 @@ impl<'g> EngineCore<'g> for ParallelEngine<'g> {
         Ok(report)
     }
 
+    fn run_logic_batch<L: NodeLogic + Send>(
+        &mut self,
+        logics: &mut [L],
+        max_rounds: u64,
+    ) -> Vec<Result<RunReport, SimError>> {
+        // A batch of aggregate-state instances *does* parallelize: the
+        // instance, not the node, is the unit of work (see
+        // [`crate::runtime::batch`]).
+        let threads = self.threads.unwrap_or_else(|| {
+            self.cfg
+                .backend
+                .threads_for_batch(logics.len(), self.g.n(), max_rounds)
+        });
+        let results =
+            crate::runtime::batch::execute_batch(self.g, self.cfg, logics, max_rounds, threads);
+        for report in results.iter().flatten() {
+            self.stats.absorb(*report);
+        }
+        results
+    }
+
     fn run_program<P: ParallelNodeLogic>(
         &mut self,
         program: &P,
@@ -279,6 +300,7 @@ impl<'g> Scratch<'g> {
             self.g,
             self.limit,
             round,
+            0,
             &mut self.staged,
             &mut self.edge_stamp,
             &mut self.wake,
@@ -340,14 +362,14 @@ struct WorkItem {
 type NodeWork = (NodeId, Option<InboxRange>);
 
 /// Shared read-only access to the coordinator's delivery arena for one
-/// round.
+/// round (also used by the batch executor, [`crate::runtime::batch`]).
 ///
 /// Safety protocol: the coordinator sends a fresh pointer each round and
 /// blocks on every worker's result before touching the mailboxes again,
 /// so the pointed-to arena is immutable and alive whenever a worker
 /// reconstructs an inbox slice from it.
 #[derive(Clone, Copy)]
-struct ArenaPtr(*const (NodeId, Msg));
+pub(crate) struct ArenaPtr(pub(crate) *const (NodeId, Msg));
 
 unsafe impl Send for ArenaPtr {}
 
@@ -421,13 +443,15 @@ fn execute_inline<P: ParallelNodeLogic>(
     }
     scratch.flush_wake(&mut woken, &mut wake);
 
+    // Recycled across rounds: cleared, never re-allocated at steady state.
+    let mut active: Vec<NodeId> = Vec::new();
     let mut round: u64 = 0;
     while !scratch.staged.is_empty() || !wake.is_empty() {
         round += 1;
         if round > max_rounds {
             return Err(SimError::RoundLimitExceeded { limit: max_rounds });
         }
-        let mut active: Vec<NodeId> = Vec::new();
+        active.clear();
         boxes.deliver(&mut scratch.staged, &woken, &mut active, &mut report);
         finish_active(&mut active, &mut wake, &mut woken);
         for &v in &active {
@@ -531,13 +555,16 @@ fn execute_pool<P: ParallelNodeLogic>(
             &mut wake,
         )?;
 
+        // Recycled across rounds: cleared, never re-allocated at
+        // steady state.
+        let mut active: Vec<NodeId> = Vec::new();
         let mut round: u64 = 0;
         while !staged.is_empty() || !wake.is_empty() {
             round += 1;
             if round > max_rounds {
                 return Err(SimError::RoundLimitExceeded { limit: max_rounds });
             }
-            let mut active: Vec<NodeId> = Vec::new();
+            active.clear();
             boxes.deliver(&mut staged, &woken, &mut active, &mut report);
             finish_active(&mut active, &mut wake, &mut woken);
             let work: Vec<_> = active.iter().map(|&v| (v, Some(boxes.range(v)))).collect();
@@ -602,7 +629,7 @@ fn worker_loop<P: ParallelNodeLogic>(
 }
 
 /// Applies one batch's wake requests to the global wake state.
-fn merge_wake(batch_wake: &mut Vec<NodeId>, woken: &mut [bool], wake: &mut Vec<NodeId>) {
+pub(crate) fn merge_wake(batch_wake: &mut Vec<NodeId>, woken: &mut [bool], wake: &mut Vec<NodeId>) {
     for v in batch_wake.drain(..) {
         // Only `v` itself can request `v`'s wake-up and each node runs
         // once per round, so no dedup check is needed here; the flag

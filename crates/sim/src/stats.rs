@@ -35,6 +35,25 @@ impl SimStats {
         self.rounds + self.charged_rounds
     }
 
+    /// The accounting accumulated since `baseline` was captured from the
+    /// same engine (field-wise difference). Used by batched drivers to
+    /// attribute a shared sub-run section to every instance of a batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds, via arithmetic overflow checks) if
+    /// `baseline` is not an earlier snapshot of this statistics object.
+    #[must_use]
+    pub fn delta_since(&self, baseline: &SimStats) -> SimStats {
+        SimStats {
+            rounds: self.rounds - baseline.rounds,
+            charged_rounds: self.charged_rounds - baseline.charged_rounds,
+            messages: self.messages - baseline.messages,
+            words: self.words - baseline.words,
+            runs: self.runs - baseline.runs,
+        }
+    }
+
     /// Merges another stats object (e.g. from a sub-protocol engine).
     pub fn merge(&mut self, other: &SimStats) {
         self.rounds += other.rounds;

@@ -12,8 +12,8 @@
 
 use planartest_graph::{Graph, GraphBuilder, NodeId};
 use planartest_sim::{
-    Engine, Msg, NodeLogic, Outbox, ParallelEngine, ParallelNodeLogic, RunReport, SimConfig,
-    SimError, SimStats,
+    run_batch, BatchEngine, Engine, Msg, NodeLogic, Outbox, ParallelEngine, ParallelNodeLogic,
+    RunReport, SimConfig, SimError, SimStats,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -215,6 +215,65 @@ fn check_against_serial(serial: &Observation, par: &Observation, threads: usize,
     }
 }
 
+/// Batch-executor assertion: `run_batch` over one instance per seed —
+/// on the serial path and across pooled worker counts — must yield
+/// per-instance reports, errors and final states bit-identical to that
+/// many sequential [`Engine`] runs.
+fn assert_batch_equivalent(g: &Graph, seeds: &[u64], violations: bool) {
+    let max_rounds = 400;
+    let chaoses: Vec<Chaos> = seeds
+        .iter()
+        .map(|&seed| Chaos {
+            seed,
+            budget: 6,
+            violations,
+        })
+        .collect();
+    let sequential: Vec<Observation> = chaoses
+        .iter()
+        .map(|c| run_serial(g, c, max_rounds))
+        .collect();
+
+    let make_logics = || -> Vec<ChaosLogic> {
+        chaoses
+            .iter()
+            .map(|c| ChaosLogic {
+                chaos: c.clone(),
+                states: vec![ChaosState::default(); g.n()],
+            })
+            .collect()
+    };
+    let check = |results: &[Result<RunReport, SimError>], logics: &[ChaosLogic], tag: &str| {
+        assert_eq!(results.len(), seeds.len());
+        for (k, (result, logic)) in results.iter().zip(logics).enumerate() {
+            match (&sequential[k].0, result) {
+                (Ok(sr), Ok(br)) => {
+                    assert_eq!(br, sr, "{tag} instance {k}");
+                    assert_eq!(logic.states, sequential[k].2, "{tag} instance {k}");
+                }
+                // Error-path states are protocol-bug debris on every
+                // backend; only the error value must agree.
+                (Err(se), Err(be)) => assert_eq!(be, se, "{tag} instance {k}"),
+                (s, b) => panic!("verdict diverged ({tag} instance {k}): {s:?} vs {b:?}"),
+            }
+        }
+    };
+
+    for threads in [1usize, 2, 3, 8] {
+        let mut logics = make_logics();
+        let mut batch = BatchEngine::new(g, SimConfig::default()).with_threads(threads);
+        let results = batch.run(&mut logics, max_rounds);
+        check(&results, &logics, &format!("threads={threads}"));
+        // Cumulative stats absorb exactly the successful instances.
+        let expect_runs = results.iter().filter(|r| r.is_ok()).count() as u64;
+        assert_eq!(batch.stats().runs, expect_runs);
+    }
+    // The backend-resolved entry point must observe the same batch.
+    let mut logics = make_logics();
+    let results = run_batch(g, SimConfig::default(), &mut logics, max_rounds);
+    check(&results, &logics, "auto");
+}
+
 fn arb_graph() -> impl Strategy<Value = Graph> {
     (
         2usize..40,
@@ -246,6 +305,26 @@ proptest! {
     #[test]
     fn equivalent_under_violations(g in arb_graph(), seed in 0u64..1_000_000) {
         assert_equivalent(&g, seed, true);
+    }
+
+    /// Batched instances (one per seed) match that many sequential runs
+    /// bit for bit, on the serial and pooled batch paths alike.
+    #[test]
+    fn batch_equivalent_on_random_graphs(
+        g in arb_graph(),
+        seeds in prop::collection::vec(0u64..1_000_000, 1..6),
+    ) {
+        assert_batch_equivalent(&g, &seeds, false);
+    }
+
+    /// Same, with deliberate CONGEST violations: each failing instance
+    /// reports its own sequential error and leaves the rest untouched.
+    #[test]
+    fn batch_equivalent_under_violations(
+        g in arb_graph(),
+        seeds in prop::collection::vec(0u64..1_000_000, 1..6),
+    ) {
+        assert_batch_equivalent(&g, &seeds, true);
     }
 
     /// Planar and far-from-planar generator families (the tester's
