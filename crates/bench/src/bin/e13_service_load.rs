@@ -1,0 +1,20 @@
+//! E13 — service-layer load benchmark; writes `BENCH_service.json`.
+//!
+//! `--check` turns the gate into an exit code for CI: warm-cache p50
+//! must beat cold by at least 10×, and the coalesced same-graph sweep
+//! must not lose to sequential per-query drains.
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let gate = planartest_bench::service_load();
+    if check && !gate.pass() {
+        eprintln!(
+            "service gate FAILED: warm p50 speedup {:.2}x (need >= {:.0}x), \
+             coalesced speedup {:.2}x (need >= 1.0x)",
+            gate.warm_p50_speedup,
+            planartest_bench::ServiceGate::WARM_SPEEDUP_FLOOR,
+            gate.coalesced_speedup,
+        );
+        std::process::exit(1);
+    }
+}

@@ -1,167 +1,12 @@
-//! A minimal JSON document builder (the workspace is offline, so no
-//! serde): insertion-ordered objects, arrays, numbers, strings — enough
-//! for machine-readable benchmark artifacts.
+//! JSON document building for benchmark artifacts.
+//!
+//! The value type lives in [`planartest_service::wire`] (the service's
+//! offline JSON implementation — parser, compact writer, and the
+//! [`Json::pretty`] form the `BENCH_*.json` artifacts use); this module
+//! just re-exports it under the name the bench writers grew up with, so
+//! there is exactly one JSON implementation in the workspace.
 
-use std::fmt;
-
-/// A JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Integer (emitted without decimal point).
-    Int(i64),
-    /// Unsigned integer.
-    UInt(u64),
-    /// Float (non-finite values are emitted as `null`).
-    Float(f64),
-    /// String (escaped on output).
-    Str(String),
-    /// Array.
-    Arr(Vec<Json>),
-    /// Object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// An empty object.
-    #[must_use]
-    pub fn obj() -> Json {
-        Json::Obj(Vec::new())
-    }
-
-    /// Adds/overwrites `key` in an object (panics on non-objects —
-    /// builder misuse, not data-dependent).
-    #[must_use]
-    pub fn field(mut self, key: &str, value: impl Into<Json>) -> Json {
-        match &mut self {
-            Json::Obj(fields) => {
-                fields.retain(|(k, _)| k != key);
-                fields.push((key.to_string(), value.into()));
-                self
-            }
-            other => panic!("field() on non-object {other:?}"),
-        }
-    }
-
-    /// Serializes with 2-space indentation and a trailing newline.
-    #[must_use]
-    pub fn pretty(&self) -> String {
-        let mut out = String::new();
-        self.write(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn write(&self, out: &mut String, depth: usize) {
-        use fmt::Write as _;
-        let pad = "  ".repeat(depth + 1);
-        let close = "  ".repeat(depth);
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => {
-                let _ = write!(out, "{b}");
-            }
-            Json::Int(x) => {
-                let _ = write!(out, "{x}");
-            }
-            Json::UInt(x) => {
-                let _ = write!(out, "{x}");
-            }
-            Json::Float(x) if x.is_finite() => {
-                let _ = write!(out, "{x}");
-            }
-            Json::Float(_) => out.push_str("null"),
-            Json::Str(s) => write_escaped(out, s),
-            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
-            Json::Arr(items) => {
-                out.push_str("[\n");
-                for (i, item) in items.iter().enumerate() {
-                    out.push_str(&pad);
-                    item.write(out, depth + 1);
-                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&close);
-                out.push(']');
-            }
-            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
-            Json::Obj(fields) => {
-                out.push_str("{\n");
-                for (i, (k, v)) in fields.iter().enumerate() {
-                    out.push_str(&pad);
-                    write_escaped(out, k);
-                    out.push_str(": ");
-                    v.write(out, depth + 1);
-                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
-                }
-                out.push_str(&close);
-                out.push('}');
-            }
-        }
-    }
-}
-
-fn write_escaped(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                use fmt::Write as _;
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-impl From<bool> for Json {
-    fn from(b: bool) -> Json {
-        Json::Bool(b)
-    }
-}
-impl From<u64> for Json {
-    fn from(x: u64) -> Json {
-        Json::UInt(x)
-    }
-}
-impl From<usize> for Json {
-    fn from(x: usize) -> Json {
-        Json::UInt(x as u64)
-    }
-}
-impl From<i64> for Json {
-    fn from(x: i64) -> Json {
-        Json::Int(x)
-    }
-}
-impl From<f64> for Json {
-    fn from(x: f64) -> Json {
-        Json::Float(x)
-    }
-}
-impl From<&str> for Json {
-    fn from(s: &str) -> Json {
-        Json::Str(s.to_string())
-    }
-}
-impl From<String> for Json {
-    fn from(s: String) -> Json {
-        Json::Str(s)
-    }
-}
-impl From<Vec<Json>> for Json {
-    fn from(items: Vec<Json>) -> Json {
-        Json::Arr(items)
-    }
-}
+pub use planartest_service::wire::Value as Json;
 
 #[cfg(test)]
 mod tests {

@@ -1,10 +1,17 @@
 //! Experiment harness for `EXPERIMENTS.md`: workload construction,
-//! sweeps, and the table printers behind the `e1`–`e12` binaries.
+//! sweeps, and the table printers behind the `e1`–`e13` binaries.
 //!
 //! Every experiment is a plain function so the `all_experiments` binary
 //! (and tests) can run them programmatically; binaries are thin wrappers.
 //! Sizes respect the `PLANARTEST_QUICK` environment variable (any value →
 //! smaller sweeps) so CI stays fast while full runs remain one command.
+//!
+//! Two experiments double as CI performance gates, each writing a
+//! machine-readable artifact: [`runtime_bench`] (`BENCH_runtime.json`,
+//! engine/tester/batching speedups) and [`service_load`]
+//! (`BENCH_service.json`, the query service's cold/warm latency and
+//! coalescing throughput). Their `--check` binaries fail the build on
+//! regression.
 
 use planartest_core::applications::{build_spanner, test_bipartiteness, test_cycle_freeness};
 use planartest_core::baselines::{random_shift_partition, shift_spanner, RandomShiftConfig};
@@ -22,8 +29,10 @@ use rand::SeedableRng;
 
 pub mod json;
 mod runtime_bench;
+mod service_load;
 
 pub use runtime_bench::{runtime_bench, runtime_bench_document, BenchGate};
+pub use service_load::{service_load, service_load_document, ServiceGate};
 
 /// Whether quick (CI-sized) sweeps were requested.
 pub fn quick() -> bool {

@@ -1,0 +1,324 @@
+//! E13 — closed-loop load driver for the query service layer, written
+//! both as tables and as machine-readable `BENCH_service.json`.
+//!
+//! Three measurements, mirroring the service's three cost levers:
+//!
+//! * **cold** — every query pays an engine pass (distinct graph ×
+//!   config × seed combinations, issued one at a time);
+//! * **warm** — the identical queries replayed against the populated
+//!   cache (one-sided-error retention: accepts per seed, rejects as
+//!   permanent certificates);
+//! * **coalesced vs serial** — the same same-graph Monte-Carlo fan-out
+//!   issued one query per drain (serial) vs one coalesced drain riding
+//!   a single `run_many` engine pass.
+//!
+//! The `--check` gate enforces the service-layer contract: warm-cache
+//! p50 latency at least [`ServiceGate::WARM_SPEEDUP_FLOOR`]× better
+//! than cold, and coalesced throughput at least the serial baseline.
+
+use std::time::Instant;
+
+use planartest_core::TesterConfig;
+use planartest_service::{CacheStatus, GraphRef, Outcome, Property, Query, Service};
+
+use crate::json::Json;
+use crate::quick;
+
+/// Latency percentile over a sample of per-query wall-clocks.
+fn percentile_micros(sorted: &[u64], q: f64) -> u64 {
+    assert!(!sorted.is_empty());
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn latency_row(label: &str, micros: &mut [u64], wall_secs: f64) -> (Json, u64) {
+    micros.sort_unstable();
+    let (p50, p95, p99) = (
+        percentile_micros(micros, 0.50),
+        percentile_micros(micros, 0.95),
+        percentile_micros(micros, 0.99),
+    );
+    let qps = micros.len() as f64 / wall_secs;
+    println!(
+        "{label:<10} {:>5} queries {qps:>10.1} q/s   p50 {p50:>8}us  p95 {p95:>8}us  p99 {p99:>8}us",
+        micros.len(),
+    );
+    let row = Json::obj()
+        .field("queries", micros.len())
+        .field("wall_seconds", wall_secs)
+        .field("throughput_qps", qps)
+        .field("p50_micros", p50)
+        .field("p95_micros", p95)
+        .field("p99_micros", p99);
+    (row, p50)
+}
+
+/// The graph mix: planar (accepts, cached per seed), certified-far
+/// (rejects, cached as permanent certificates), and a denser planar
+/// instance — all ingested once, resident thereafter.
+fn corpus() -> Vec<(&'static str, String)> {
+    let side = if quick() { 14 } else { 24 };
+    let tiles = if quick() { 16 } else { 40 };
+    let n = if quick() { 150 } else { 400 };
+    vec![
+        ("tri", format!("tri_grid({side},{side})")),
+        ("far", format!("k5_chain({tiles})")),
+        ("rp", format!("random_planar({n}, 0.7, seed=3)")),
+    ]
+}
+
+fn query_mix(service: &Service) -> Vec<Query> {
+    let seeds = if quick() { 4u64 } else { 8 };
+    let mut queries = Vec::new();
+    for entry in service.registry().entries() {
+        let name = entry.names[0].clone();
+        for &eps in &[0.1, 0.2] {
+            for seed in 0..seeds {
+                queries.push(Query::planarity(
+                    GraphRef::Name(name.clone()),
+                    TesterConfig::new(eps).with_phases(8).with_seed(seed),
+                ));
+            }
+        }
+        // The deterministic Corollary 16 properties ride the same
+        // service (one cache stripe each).
+        for property in [Property::CycleFreeness, Property::Bipartiteness] {
+            queries.push(
+                Query::planarity(
+                    GraphRef::Name(name.clone()),
+                    TesterConfig::new(0.1).with_phases(8),
+                )
+                .with_property(property),
+            );
+        }
+    }
+    queries
+}
+
+/// Cold pass: every query issued alone, each timed individually.
+fn run_pass(
+    service: &mut Service,
+    queries: &[Query],
+    expect: Option<&[bool]>,
+) -> (Vec<u64>, f64, Vec<bool>) {
+    let mut micros = Vec::with_capacity(queries.len());
+    let mut verdicts = Vec::with_capacity(queries.len());
+    let started = Instant::now();
+    for (i, q) in queries.iter().enumerate() {
+        let one = Instant::now();
+        let r = service.query(q.clone()).expect("query");
+        micros.push(one.elapsed().as_micros() as u64);
+        verdicts.push(r.outcome.accepted());
+        if let Some(expect) = expect {
+            assert_eq!(
+                verdicts[i], expect[i],
+                "cache replay changed a verdict (query {i})"
+            );
+            assert_ne!(r.cache, CacheStatus::Cold, "warm pass hit the engine");
+        }
+    }
+    (micros, started.elapsed().as_secs_f64(), verdicts)
+}
+
+/// Serial vs coalesced fan-out of one graph's Monte-Carlo sweep.
+fn coalesce_section(service: &mut Service) -> (Json, f64) {
+    let trials = 16u64;
+    let make = |seed: u64| {
+        Query::planarity(
+            GraphRef::Name("tri".into()),
+            TesterConfig::new(0.2).with_seed(seed),
+        )
+    };
+
+    // Serial: one query per drain — one engine pass each.
+    service.clear_cache();
+    let started = Instant::now();
+    let serial: Vec<Outcome> = (0..trials)
+        .map(|seed| service.query(make(seed)).expect("query").outcome)
+        .collect();
+    let serial_secs = started.elapsed().as_secs_f64();
+
+    // Coalesced: one drain — one engine pass for the whole sweep.
+    service.clear_cache();
+    let passes_before = service.engine_passes();
+    let started = Instant::now();
+    for seed in 0..trials {
+        service.submit(make(seed));
+    }
+    let drained = service.drain();
+    let coalesced_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        service.engine_passes() - passes_before,
+        1,
+        "coalesced sweep must ride one engine pass"
+    );
+    for ((_, result), solo) in drained.iter().zip(&serial) {
+        let outcome = &result.as_ref().expect("drained").outcome;
+        assert_eq!(
+            outcome.accepted(),
+            solo.accepted(),
+            "coalesced verdict diverged from serial"
+        );
+        assert_eq!(outcome.stats(), solo.stats(), "coalesced stats diverged");
+    }
+
+    let serial_qps = trials as f64 / serial_secs;
+    let coalesced_qps = trials as f64 / coalesced_secs;
+    let speedup = serial_secs / coalesced_secs;
+    println!(
+        "coalesce   {trials:>5} queries serial {serial_qps:>8.1} q/s   coalesced {coalesced_qps:>8.1} q/s   speedup {speedup:.2}x",
+    );
+    let row = Json::obj()
+        .field("workload", "same_graph_monte_carlo_fanout")
+        .field("trials", trials)
+        .field("serial_seconds", serial_secs)
+        .field("serial_qps", serial_qps)
+        .field("coalesced_seconds", coalesced_secs)
+        .field("coalesced_qps", coalesced_qps)
+        .field("speedup_vs_serial", speedup);
+    (row, speedup)
+}
+
+/// The CI gate over `BENCH_service.json`.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceGate {
+    /// Cold p50 over warm p50.
+    pub warm_p50_speedup: f64,
+    /// Serial wall over coalesced wall on the same-graph fan-out.
+    pub coalesced_speedup: f64,
+}
+
+impl ServiceGate {
+    /// Minimum accepted cold-p50 / warm-p50 ratio: a cache hit must be
+    /// at least an order of magnitude cheaper than an engine pass.
+    pub const WARM_SPEEDUP_FLOOR: f64 = 10.0;
+
+    /// Whether the gate passes: warm replay ≥ 10× cheaper at the
+    /// median, and coalescing at least breaks even with serial drains
+    /// (the shared Stage-I pass is the win; no pool required, so this
+    /// clause is never vacuous — same stance as the batch gate).
+    #[must_use]
+    pub fn pass(&self) -> bool {
+        self.warm_p50_speedup >= Self::WARM_SPEEDUP_FLOOR && self.coalesced_speedup >= 1.0
+    }
+}
+
+/// Builds the benchmark document (also printed as tables) plus the gate.
+#[must_use]
+pub fn service_load_document() -> (Json, ServiceGate) {
+    println!("\n## service load benchmark (cold vs warm vs coalesced)");
+    let mut service = Service::new();
+    let mut ingest_rows = Vec::new();
+    let ingest_started = Instant::now();
+    for (name, spec_text) in corpus() {
+        let entry = service
+            .registry_mut()
+            .ingest_spec(name, &spec_text)
+            .expect("corpus spec");
+        ingest_rows.push(
+            Json::obj()
+                .field("name", name)
+                .field("spec", spec_text.as_str())
+                .field("fingerprint", entry.fingerprint.to_string())
+                .field("n", entry.graph.n())
+                .field("m", entry.graph.m()),
+        );
+    }
+    let ingest_secs = ingest_started.elapsed().as_secs_f64();
+
+    let queries = query_mix(&service);
+    let (mut cold_micros, cold_wall, cold_verdicts) = run_pass(&mut service, &queries, None);
+    let (cold_row, cold_p50) = latency_row("cold", &mut cold_micros, cold_wall);
+    let passes_after_cold = service.engine_passes();
+
+    let (mut warm_micros, warm_wall, _) = run_pass(&mut service, &queries, Some(&cold_verdicts));
+    let (warm_row, warm_p50) = latency_row("warm", &mut warm_micros, warm_wall);
+    assert_eq!(
+        service.engine_passes(),
+        passes_after_cold,
+        "warm pass must be engine-free"
+    );
+
+    let (coalesce_row, coalesced_speedup) = coalesce_section(&mut service);
+
+    let warm_p50_speedup = cold_p50 as f64 / (warm_p50.max(1)) as f64;
+    println!("warm p50 speedup {warm_p50_speedup:.1}x (cold {cold_p50}us / warm {warm_p50}us)");
+    let gate = ServiceGate {
+        warm_p50_speedup,
+        coalesced_speedup,
+    };
+    let stats = service.stats();
+    let doc = Json::obj()
+        .field("schema", "planartest-bench/service/v1")
+        .field("quick_mode", quick())
+        .field(
+            "registry",
+            Json::obj()
+                .field("graphs", ingest_rows)
+                .field("ingest_seconds", ingest_secs),
+        )
+        .field("cold", cold_row)
+        .field("warm", warm_row)
+        .field("coalesce", coalesce_row)
+        .field(
+            "cache",
+            Json::obj()
+                .field("slots", stats.cache_slots)
+                .field("stored_outcomes", stats.cached_outcomes)
+                .field("warm_hits", stats.cache.warm_hits)
+                .field("certificate_hits", stats.cache.certificate_hits)
+                .field("misses", stats.cache.misses),
+        )
+        .field(
+            "gate",
+            Json::obj()
+                .field("warm_p50_speedup", warm_p50_speedup)
+                .field("warm_p50_speedup_floor", ServiceGate::WARM_SPEEDUP_FLOOR)
+                .field("coalesced_speedup", coalesced_speedup)
+                .field("coalesced_speedup_floor", 1.0)
+                .field("pass", gate.pass()),
+        );
+    (doc, gate)
+}
+
+/// Runs the benchmark and writes `BENCH_service.json` into the current
+/// directory (the repo root under `cargo run`); returns the CI gate.
+pub fn service_load() -> ServiceGate {
+    let (doc, gate) = service_load_document();
+    let path = "BENCH_service.json";
+    std::fs::write(path, doc.pretty()).expect("write BENCH_service.json");
+    println!("wrote {path}");
+    gate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_pick_ranks() {
+        let sorted = vec![1, 2, 3, 4, 100];
+        assert_eq!(percentile_micros(&sorted, 0.0), 1);
+        assert_eq!(percentile_micros(&sorted, 0.5), 3);
+        assert_eq!(percentile_micros(&sorted, 1.0), 100);
+    }
+
+    #[test]
+    fn gate_thresholds() {
+        let gate = |warm: f64, coalesce: f64| ServiceGate {
+            warm_p50_speedup: warm,
+            coalesced_speedup: coalesce,
+        };
+        assert!(gate(10.0, 1.0).pass());
+        assert!(!gate(9.9, 1.0).pass());
+        assert!(!gate(10.0, 0.99).pass());
+        assert!(gate(500.0, 3.0).pass());
+    }
+
+    #[test]
+    fn corpus_specs_parse() {
+        for (_, spec_text) in corpus() {
+            planartest_graph::generators::spec::parse(&spec_text).expect("corpus spec");
+        }
+    }
+}

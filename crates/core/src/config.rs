@@ -1,6 +1,7 @@
 //! Tester configuration: the explicit constants behind the paper's `Θ(·)`s.
 
 use planartest_embed::RotationSystem;
+use planartest_graph::fingerprint::{Digest, Fingerprint};
 
 /// How Stage II obtains the per-part combinatorial embedding (the
 /// Ghaffari–Haeupler substitution; `DESIGN.md` §3).
@@ -133,6 +134,42 @@ impl TesterConfig {
     pub fn peel_threshold(&self) -> usize {
         3 * self.alpha
     }
+
+    /// Stable 128-bit fingerprint of every *outcome-determining* field
+    /// **except the seed**: ε, α, the phase/peeling/sampling constants,
+    /// the round cap, and the embedding mode (hints fold in their full
+    /// rotation-system content — different hints can change Stage-II
+    /// verdicts).
+    ///
+    /// This is the configuration axis of the query service's result
+    /// cache key. The seed is deliberately excluded: it is the
+    /// Monte-Carlo axis, which the cache tracks separately — rejects are
+    /// certificates valid for every seed (one-sided error), accepts are
+    /// evidence only for the seeds actually run.
+    #[must_use]
+    pub fn fingerprint(&self) -> Fingerprint {
+        let mut d = Digest::new();
+        d.str("TesterConfig/v1")
+            .f64(self.epsilon)
+            .word(self.alpha as u64)
+            .f64(self.peel_rounds_factor)
+            .word(match self.phase_override {
+                None => u64::MAX,
+                Some(t) => t as u64,
+            })
+            .f64(self.sample_factor)
+            .word(self.max_rounds);
+        match &self.embedding {
+            EmbeddingMode::Demoucron => d.str("demoucron"),
+            EmbeddingMode::DemoucronStrict => d.str("demoucron_strict"),
+            EmbeddingMode::Hint(rot) => {
+                // Fold the full 128-bit rotation digest in as two words.
+                let fp = rot.fingerprint().0;
+                d.str("hint").word(fp as u64).word((fp >> 64) as u64)
+            }
+        };
+        d.finish()
+    }
 }
 
 #[cfg(test)]
@@ -162,6 +199,44 @@ mod tests {
     #[should_panic(expected = "epsilon must be in (0,1)")]
     fn zero_epsilon_panics() {
         let _ = TesterConfig::new(0.0);
+    }
+
+    #[test]
+    fn fingerprint_ignores_seed_and_sees_everything_else() {
+        let base = TesterConfig::new(0.1);
+        assert_eq!(
+            base.fingerprint(),
+            base.clone().with_seed(99).fingerprint(),
+            "the seed is the cache's Monte-Carlo axis, not a config axis"
+        );
+        let variants = [
+            TesterConfig::new(0.2),
+            TesterConfig::new(0.1).with_phases(7),
+            TesterConfig::new(0.1).with_embedding(EmbeddingMode::Demoucron),
+            {
+                let mut c = TesterConfig::new(0.1);
+                c.alpha = 4;
+                c
+            },
+            {
+                let mut c = TesterConfig::new(0.1);
+                c.max_rounds = 1;
+                c
+            },
+            {
+                let mut c = TesterConfig::new(0.1);
+                c.sample_factor = 3.0;
+                c
+            },
+        ];
+        for v in &variants {
+            assert_ne!(base.fingerprint(), v.fingerprint(), "{v:?}");
+        }
+        // Hints key on rotation content.
+        let g = planartest_graph::Graph::from_edges(3, [(0, 1), (1, 2), (0, 2)]).unwrap();
+        let rot = RotationSystem::from_adjacency(&g);
+        let hinted = TesterConfig::new(0.1).with_embedding(EmbeddingMode::Hint(rot));
+        assert_ne!(base.fingerprint(), hinted.fingerprint());
     }
 
     #[test]

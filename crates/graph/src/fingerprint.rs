@@ -1,0 +1,189 @@
+//! Stable 128-bit content fingerprints.
+//!
+//! The query service layer (`planartest-service`) keys its graph
+//! registry and result cache on *content*: two ingests of the same graph
+//! must collide, across processes and across releases. `std`'s `Hash` is
+//! explicitly unstable across releases and randomized per process for
+//! `HashMap`, so the workspace uses this tiny fixed algorithm instead:
+//! FNV-1a over a 128-bit state, folding in `u64` words in little-endian
+//! byte order.
+//!
+//! The fingerprint is *not* cryptographic — it guards cache identity for
+//! cooperating clients, not integrity against adversaries — but 128 bits
+//! keep accidental collisions out of reach for any realistic registry
+//! size.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// An incremental FNV-1a 128-bit hasher over `u64` words.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::fingerprint::Digest;
+///
+/// let mut a = Digest::new();
+/// a.word(1).word(2);
+/// let mut b = Digest::new();
+/// b.word(1).word(2);
+/// assert_eq!(a.finish(), b.finish());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Digest {
+    state: u128,
+}
+
+impl Default for Digest {
+    fn default() -> Self {
+        Digest::new()
+    }
+}
+
+impl Digest {
+    /// Creates a fresh digest at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Digest { state: FNV_OFFSET }
+    }
+
+    /// Folds one `u64` word into the digest (little-endian bytes).
+    pub fn word(&mut self, w: u64) -> &mut Self {
+        for byte in w.to_le_bytes() {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds a string in, length-prefixed so concatenations can't collide.
+    pub fn str(&mut self, s: &str) -> &mut Self {
+        self.word(s.len() as u64);
+        for byte in s.bytes() {
+            self.state ^= u128::from(byte);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Folds an `f64` in by its IEEE-754 bit pattern.
+    ///
+    /// Bit-equality is the right notion for cache keys: two configs are
+    /// interchangeable iff every derived constant is identical, which
+    /// the bits guarantee and approximate equality does not.
+    pub fn f64(&mut self, x: f64) -> &mut Self {
+        self.word(x.to_bits())
+    }
+
+    /// The fingerprint of everything folded in so far.
+    #[must_use]
+    pub fn finish(&self) -> Fingerprint {
+        Fingerprint(self.state)
+    }
+}
+
+/// A stable 128-bit content fingerprint (see the [module docs](self)).
+///
+/// Displays as 32 lowercase hex digits and parses back via [`FromStr`],
+/// which is the form the service wire protocol uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl fmt::Debug for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fingerprint({:032x})", self.0)
+    }
+}
+
+/// Error parsing a [`Fingerprint`] from hex.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFingerprintError;
+
+impl fmt::Display for ParseFingerprintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("fingerprint must be 32 hex digits")
+    }
+}
+
+impl std::error::Error for ParseFingerprintError {}
+
+impl FromStr for Fingerprint {
+    type Err = ParseFingerprintError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(ParseFingerprintError);
+        }
+        u128::from_str_radix(s, 16)
+            .map(Fingerprint)
+            .map_err(|_| ParseFingerprintError)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let fp = |words: &[u64]| {
+            let mut d = Digest::new();
+            for &w in words {
+                d.word(w);
+            }
+            d.finish()
+        };
+        assert_eq!(fp(&[1, 2, 3]), fp(&[1, 2, 3]));
+        assert_ne!(fp(&[1, 2, 3]), fp(&[3, 2, 1]));
+        assert_ne!(fp(&[]), fp(&[0]));
+    }
+
+    #[test]
+    fn strings_are_length_prefixed() {
+        let fp = |parts: &[&str]| {
+            let mut d = Digest::new();
+            for p in parts {
+                d.str(p);
+            }
+            d.finish()
+        };
+        assert_ne!(fp(&["ab", "c"]), fp(&["a", "bc"]));
+        assert_eq!(fp(&["ab", "c"]), fp(&["ab", "c"]));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let mut d = Digest::new();
+        d.word(42).str("planartest").f64(0.1);
+        let fp = d.finish();
+        let text = fp.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(text.parse::<Fingerprint>().unwrap(), fp);
+        assert!(text.parse::<Fingerprint>().unwrap() == fp);
+        assert_eq!("xyz".parse::<Fingerprint>(), Err(ParseFingerprintError));
+        assert_eq!(
+            "zz".repeat(16).parse::<Fingerprint>(),
+            Err(ParseFingerprintError)
+        );
+    }
+
+    #[test]
+    fn known_vector_is_stable_across_releases() {
+        // Pinned output: if this changes, every persisted cache key
+        // changes meaning. Bump deliberately or not at all.
+        let mut d = Digest::new();
+        d.word(0);
+        assert_eq!(d.finish().to_string(), "9d30c1f78465995be47dda5e4e4e77ed");
+    }
+}

@@ -13,6 +13,7 @@
 
 pub mod nonplanar;
 pub mod planar;
+pub mod spec;
 
 use crate::Graph;
 

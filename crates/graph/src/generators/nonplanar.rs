@@ -25,6 +25,10 @@ fn with_euler_bound(graph: Graph, name: String) -> Certified {
 
 /// Complete graph `K_n`.
 ///
+/// Certified far via the Euler excess `m − (3n − 6)` for `n ≥ 5`
+/// (downgraded to [`PlanarityStatus::Planar`] below `K5`).
+/// Deterministic: fully determined by `n`.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
@@ -40,6 +44,11 @@ pub fn complete(n: usize) -> Certified {
 }
 
 /// Complete bipartite graph `K_{a,b}`.
+///
+/// Certified far via the Euler excess when positive; `K3,3`-like cases
+/// where the excess vanishes stay [`PlanarityStatus::Unknown`] (a
+/// one-sided tester may accept them). Deterministic: fully determined
+/// by `a` and `b`.
 ///
 /// # Panics
 ///
@@ -60,7 +69,9 @@ pub fn complete_bipartite(a: usize, b: usize) -> Certified {
 /// single edge (so the graph is connected).
 ///
 /// Since the `K5`s are vertex-disjoint and each needs at least one edge
-/// removed, the graph is at least `tiles / m`-far from planar.
+/// removed, the graph is at least `tiles / m`-far from planar — a
+/// *packing* certificate, sharper than the Euler bound here.
+/// Deterministic: fully determined by `tiles`.
 ///
 /// # Panics
 ///
@@ -93,6 +104,9 @@ pub fn k5_chain(tiles: usize) -> Certified {
 /// Erdős–Rényi `G(n, p)`.
 ///
 /// Uses geometric skipping so generation is `O(n + m)` in expectation.
+/// Certified far via the Euler excess when it is positive (dense `p`);
+/// sparse draws stay [`PlanarityStatus::Unknown`]. Randomized:
+/// deterministic given the seeded `rng`.
 ///
 /// # Panics
 ///
@@ -133,7 +147,9 @@ pub fn gnp<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Certified {
 /// and duplicate pairings are dropped, so a few nodes may have degree
 /// slightly below `d`).
 ///
-/// For `d ≥ 7` the Euler bound certifies constant far-ness.
+/// For `d ≥ 7` the Euler bound certifies constant far-ness; sparser
+/// degrees stay [`PlanarityStatus::Unknown`]. Randomized: deterministic
+/// given the seeded `rng`.
 ///
 /// # Panics
 ///
@@ -157,6 +173,8 @@ pub fn near_regular<R: Rng + ?Sized>(n: usize, d: usize, rng: &mut R) -> Certifi
 ///
 /// Since the base already has `3n − 6` edges, the Euler formula forces at
 /// least `k` removals: the result is exactly certified `k/(3n−6+k)`-far.
+/// Randomized: deterministic given the seeded `rng` (both the base
+/// triangulation and the chord choices draw from it).
 ///
 /// # Panics
 ///
@@ -197,8 +215,10 @@ pub fn planar_plus_chords<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> C
 }
 
 /// `rows × cols` torus grid (wrap-around in both dimensions): non-planar
-/// for `rows, cols ≥ 3` but *not* certified far — a useful "non-planar but
-/// possibly accepted" input for one-sided testers.
+/// for `rows, cols ≥ 3` but *not* certified far
+/// ([`PlanarityStatus::Unknown`]) — a useful "non-planar but possibly
+/// accepted" input for one-sided testers. Deterministic: fully
+/// determined by the dimensions.
 ///
 /// # Panics
 ///
@@ -222,8 +242,9 @@ pub fn torus(rows: usize, cols: usize) -> Certified {
     }
 }
 
-/// `d`-dimensional hypercube `Q_d` (`n = 2^d`); certified far via Euler for
-/// `d ≥ 7`.
+/// `d`-dimensional hypercube `Q_d` (`n = 2^d`); certified far via the
+/// Euler excess for `d ≥ 7`, [`PlanarityStatus::Unknown`] below.
+/// Deterministic: fully determined by `d`.
 ///
 /// # Panics
 ///
@@ -245,7 +266,15 @@ pub fn hypercube(d: u32) -> Certified {
 
 /// A "social overlay network": planar backbone (geometric-ish grid) plus
 /// many random long-range friendships. Heavily non-planar; used by the
-/// `social_overlay` example. Certified via the Euler bound when possible.
+/// `social_overlay` example.
+///
+/// Certified far via the Euler excess when the overlay is dense enough
+/// to push `m` past `3n − 6`; otherwise [`PlanarityStatus::Unknown`].
+/// Randomized: deterministic given the seeded `rng`.
+///
+/// # Panics
+///
+/// Panics if `n < 9`.
 pub fn social_overlay<R: Rng + ?Sized>(n: usize, extra_per_node: f64, rng: &mut R) -> Certified {
     assert!(n >= 9, "need n >= 9");
     let side = (n as f64).sqrt().ceil() as usize;

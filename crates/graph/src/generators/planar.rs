@@ -15,6 +15,9 @@ fn certified(graph: Graph, name: String) -> Certified {
 
 /// Path on `n` nodes.
 ///
+/// Certified [`PlanarityStatus::Planar`] (a tree). Deterministic:
+/// fully determined by `n`.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
@@ -27,6 +30,9 @@ pub fn path(n: usize) -> Certified {
 
 /// Cycle on `n ≥ 3` nodes.
 ///
+/// Certified [`PlanarityStatus::Planar`] (outerplanar). Deterministic:
+/// fully determined by `n`.
+///
 /// # Panics
 ///
 /// Panics if `n < 3`.
@@ -38,6 +44,9 @@ pub fn cycle(n: usize) -> Certified {
 
 /// Star with one hub and `n − 1` leaves.
 ///
+/// Certified [`PlanarityStatus::Planar`] (a tree). Deterministic:
+/// fully determined by `n`.
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
@@ -48,6 +57,9 @@ pub fn star(n: usize) -> Certified {
 }
 
 /// `rows × cols` grid.
+///
+/// Certified [`PlanarityStatus::Planar`] (grid drawing). Deterministic:
+/// fully determined by the dimensions.
 ///
 /// # Panics
 ///
@@ -71,6 +83,13 @@ pub fn grid(rows: usize, cols: usize) -> Certified {
 
 /// `rows × cols` grid with one diagonal per cell (still planar, denser,
 /// arboricity 3 — a good stress input for the forest-decomposition step).
+///
+/// Certified [`PlanarityStatus::Planar`] (each added diagonal stays
+/// inside its cell). Deterministic: fully determined by the dimensions.
+///
+/// # Panics
+///
+/// Panics if either dimension is 0.
 pub fn triangulated_grid(rows: usize, cols: usize) -> Certified {
     assert!(rows > 0 && cols > 0, "grid requires positive dimensions");
     let idx = |r: usize, c: usize| r * cols + c;
@@ -93,6 +112,11 @@ pub fn triangulated_grid(rows: usize, cols: usize) -> Certified {
 
 /// Random recursive tree: node `i ≥ 1` attaches to a uniform node `< i`.
 ///
+/// Certified [`PlanarityStatus::Planar`] (a tree). Randomized:
+/// consumes `n − 1` draws from `rng`; the same seeded RNG reproduces
+/// the same graph bit for bit (the contract `generators::spec` builds
+/// on).
+///
 /// # Panics
 ///
 /// Panics if `n == 0`.
@@ -109,6 +133,9 @@ pub fn random_tree<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Certified {
 /// Random Apollonian network (stacked triangulation): a *maximal* planar
 /// graph with `m = 3n − 6`, built by repeatedly subdividing a random
 /// triangular face with a new vertex.
+///
+/// Certified [`PlanarityStatus::Planar`] (face subdivision preserves
+/// planarity). Randomized: deterministic given the seeded `rng`.
 ///
 /// # Panics
 ///
@@ -149,6 +176,9 @@ pub fn apollonian_with_faces<R: Rng + ?Sized>(
 /// Random planar graph: an Apollonian network with each edge independently
 /// kept with probability `keep` (planarity is closed under edge deletion).
 ///
+/// Certified [`PlanarityStatus::Planar`] (subgraph of a planar graph).
+/// Randomized: deterministic given the seeded `rng`.
+///
 /// # Panics
 ///
 /// Panics if `n < 3` or `keep` is not in `[0, 1]`.
@@ -166,6 +196,9 @@ pub fn random_planar<R: Rng + ?Sized>(n: usize, keep: f64, rng: &mut R) -> Certi
 
 /// Maximal outerplanar graph: a fan/zig-zag triangulation of an `n`-gon
 /// with random diagonal choices (planar, even outerplanar).
+///
+/// Certified [`PlanarityStatus::Planar`] (all edges drawn inside one
+/// polygon). Randomized: deterministic given the seeded `rng`.
 ///
 /// # Panics
 ///
@@ -204,6 +237,13 @@ pub fn maximal_outerplanar<R: Rng + ?Sized>(n: usize, rng: &mut R) -> Certified 
 /// A "city road network" style graph: a grid with random diagonal streets
 /// and random road closures (still planar by construction). Used by the
 /// `road_network` example.
+///
+/// Certified [`PlanarityStatus::Planar`] (only one diagonal per cell is
+/// ever added). Randomized: deterministic given the seeded `rng`.
+///
+/// # Panics
+///
+/// Panics unless both dimensions are at least 2.
 pub fn road_network<R: Rng + ?Sized>(rows: usize, cols: usize, rng: &mut R) -> Certified {
     assert!(
         rows > 1 && cols > 1,

@@ -1,0 +1,580 @@
+//! Textual generator specs: `"tri_grid(24,24)"` → a [`Certified`] graph.
+//!
+//! The query service ingests graphs either as raw edge lists
+//! ([`crate::io`]) or as *generator specs* — compact strings naming a
+//! family from the certified corpus plus its parameters. A spec is
+//!
+//! ```text
+//! name                     e.g.  hypercube(7)
+//! name(arg, arg, ...)      e.g.  random_planar(400, 0.7, seed=3)
+//! ```
+//!
+//! with positional numeric arguments per family and an optional trailing
+//! `seed=K` for the randomized families (default seed 0).
+//!
+//! **Determinism contract:** parsing the same spec string always yields
+//! the same graph, bit for bit — randomized families draw from
+//! `StdRng::seed_from_u64(seed)` and nothing else — so a spec is as good
+//! a cache identity as the edge list it expands to. The service registry
+//! still fingerprints the *expanded* graph, making the two ingest routes
+//! collide when they describe the same graph.
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::generators::{nonplanar, planar, Certified};
+
+/// Error parsing or instantiating a generator spec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// The spec was not of the form `name` or `name(args)`.
+    Malformed,
+    /// The family name is not in the corpus.
+    UnknownFamily {
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Wrong number of positional arguments for the family.
+    WrongArity {
+        /// The family name.
+        name: &'static str,
+        /// Arguments the family takes (for the error message).
+        expected: &'static str,
+        /// Number of positional arguments found.
+        found: usize,
+    },
+    /// An argument failed to parse as a number.
+    BadArgument {
+        /// 1-based position of the offending argument.
+        position: usize,
+    },
+    /// The family's own validation rejected the parameters (the panic
+    /// message of the underlying generator, caught at parse time).
+    InvalidParameters {
+        /// The family name.
+        name: &'static str,
+        /// What the family requires.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Malformed => f.write_str("spec must be `name` or `name(args)`"),
+            SpecError::UnknownFamily { name } => write!(f, "unknown generator family `{name}`"),
+            SpecError::WrongArity {
+                name,
+                expected,
+                found,
+            } => write!(f, "`{name}` takes ({expected}), got {found} argument(s)"),
+            SpecError::BadArgument { position } => {
+                write!(f, "argument {position} is not a number")
+            }
+            SpecError::InvalidParameters { name, reason } => {
+                write!(f, "invalid parameters for `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// One corpus family: its spec shape and what the construction certifies.
+///
+/// [`families`] lists these for documentation, CLI discovery and the
+/// README corpus table.
+#[derive(Debug, Clone, Copy)]
+pub struct FamilyInfo {
+    /// Spec name.
+    pub name: &'static str,
+    /// Positional signature, e.g. `"n, keep"`.
+    pub args: &'static str,
+    /// Whether the family accepts a `seed=` argument (randomized).
+    pub randomized: bool,
+    /// `true` planar-by-construction, `false` non-planar corpus.
+    pub planar: bool,
+    /// Where the certified far-fraction (or planarity) comes from.
+    pub certification: &'static str,
+}
+
+/// The full spec-addressable corpus.
+#[must_use]
+pub fn families() -> &'static [FamilyInfo] {
+    const FAMILIES: &[FamilyInfo] = &[
+        FamilyInfo {
+            name: "path",
+            args: "n",
+            randomized: false,
+            planar: true,
+            certification: "planar by construction (tree)",
+        },
+        FamilyInfo {
+            name: "cycle",
+            args: "n",
+            randomized: false,
+            planar: true,
+            certification: "planar by construction (outerplanar)",
+        },
+        FamilyInfo {
+            name: "star",
+            args: "n",
+            randomized: false,
+            planar: true,
+            certification: "planar by construction (tree)",
+        },
+        FamilyInfo {
+            name: "grid",
+            args: "rows, cols",
+            randomized: false,
+            planar: true,
+            certification: "planar by construction (grid drawing)",
+        },
+        FamilyInfo {
+            name: "tri_grid",
+            args: "rows, cols",
+            randomized: false,
+            planar: true,
+            certification: "planar by construction (one diagonal per cell)",
+        },
+        FamilyInfo {
+            name: "random_tree",
+            args: "n",
+            randomized: true,
+            planar: true,
+            certification: "planar by construction (tree)",
+        },
+        FamilyInfo {
+            name: "apollonian",
+            args: "n",
+            randomized: true,
+            planar: true,
+            certification: "planar by construction (stacked triangulation)",
+        },
+        FamilyInfo {
+            name: "random_planar",
+            args: "n, keep",
+            randomized: true,
+            planar: true,
+            certification: "planar by construction (subgraph of apollonian)",
+        },
+        FamilyInfo {
+            name: "outerplanar",
+            args: "n",
+            randomized: true,
+            planar: true,
+            certification: "planar by construction (triangulated polygon)",
+        },
+        FamilyInfo {
+            name: "road_network",
+            args: "rows, cols",
+            randomized: true,
+            planar: true,
+            certification: "planar by construction (grid + safe diagonals)",
+        },
+        FamilyInfo {
+            name: "complete",
+            args: "n",
+            randomized: false,
+            planar: false,
+            certification: "Euler excess m − (3n − 6)",
+        },
+        FamilyInfo {
+            name: "complete_bipartite",
+            args: "a, b",
+            randomized: false,
+            planar: false,
+            certification: "Euler excess (Unknown when it vanishes, e.g. K3,3)",
+        },
+        FamilyInfo {
+            name: "k5_chain",
+            args: "tiles",
+            randomized: false,
+            planar: false,
+            certification: "packing bound: one removal per disjoint K5 tile",
+        },
+        FamilyInfo {
+            name: "gnp",
+            args: "n, p",
+            randomized: true,
+            planar: false,
+            certification: "Euler excess (vanishes for sparse p)",
+        },
+        FamilyInfo {
+            name: "near_regular",
+            args: "n, d",
+            randomized: true,
+            planar: false,
+            certification: "Euler excess (constant fraction for d ≥ 7)",
+        },
+        FamilyInfo {
+            name: "planar_plus_chords",
+            args: "n, k",
+            randomized: true,
+            planar: false,
+            certification: "exact: k chords over a maximal planar base",
+        },
+        FamilyInfo {
+            name: "torus",
+            args: "rows, cols",
+            randomized: false,
+            planar: false,
+            certification: "none (non-planar but Unknown distance)",
+        },
+        FamilyInfo {
+            name: "hypercube",
+            args: "d",
+            randomized: false,
+            planar: false,
+            certification: "Euler excess (positive for d ≥ 7)",
+        },
+        FamilyInfo {
+            name: "social_overlay",
+            args: "n, extra_per_node",
+            randomized: true,
+            planar: false,
+            certification: "Euler excess (grows with the overlay density)",
+        },
+    ];
+    FAMILIES
+}
+
+/// One parsed argument: every number is carried as `f64` and narrowed
+/// per family (usize parameters must be non-negative integers).
+fn parse_args(inner: &str) -> Result<(Vec<f64>, u64), SpecError> {
+    let mut positional = Vec::new();
+    let mut seed = 0u64;
+    if inner.trim().is_empty() {
+        return Ok((positional, seed));
+    }
+    for (i, raw) in inner.split(',').enumerate() {
+        let raw = raw.trim();
+        if let Some(rest) = raw.strip_prefix("seed") {
+            let rest = rest.trim_start();
+            if let Some(v) = rest.strip_prefix('=') {
+                seed = v
+                    .trim()
+                    .parse::<u64>()
+                    .map_err(|_| SpecError::BadArgument { position: i + 1 })?;
+                continue;
+            }
+        }
+        positional.push(
+            raw.parse::<f64>()
+                .map_err(|_| SpecError::BadArgument { position: i + 1 })?,
+        );
+    }
+    Ok((positional, seed))
+}
+
+fn as_usize(x: f64, position: usize) -> Result<usize, SpecError> {
+    if x.fract() == 0.0 && x >= 0.0 && x <= usize::MAX as f64 {
+        Ok(x as usize)
+    } else {
+        Err(SpecError::BadArgument { position })
+    }
+}
+
+/// Validates family preconditions up front so [`parse`] returns errors
+/// instead of panicking inside the generator.
+fn require(ok: bool, name: &'static str, reason: &'static str) -> Result<(), SpecError> {
+    if ok {
+        Ok(())
+    } else {
+        Err(SpecError::InvalidParameters { name, reason })
+    }
+}
+
+/// Parses and instantiates a generator spec (see the [module docs](self)
+/// for the grammar and the determinism contract).
+///
+/// # Errors
+///
+/// Returns a [`SpecError`] on unknown families, malformed or invalid
+/// arguments; never panics on untrusted input.
+///
+/// # Example
+///
+/// ```
+/// use planartest_graph::generators::spec;
+///
+/// let c = spec::parse("k5_chain(4)").unwrap();
+/// assert_eq!(c.graph.n(), 20);
+/// assert!(c.far_fraction() > 0.0);
+/// // Same spec, same graph — specs are cache identities.
+/// assert_eq!(
+///     spec::parse("gnp(50, 0.1, seed=7)").unwrap().graph,
+///     spec::parse("gnp(50, 0.1, seed=7)").unwrap().graph,
+/// );
+/// ```
+pub fn parse(spec: &str) -> Result<Certified, SpecError> {
+    let spec = spec.trim();
+    let (name, inner) = match spec.find('(') {
+        Some(open) => {
+            let close = spec.rfind(')').ok_or(SpecError::Malformed)?;
+            if close != spec.len() - 1 || close < open {
+                return Err(SpecError::Malformed);
+            }
+            (spec[..open].trim(), &spec[open + 1..close])
+        }
+        None => (spec, ""),
+    };
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+        return Err(SpecError::Malformed);
+    }
+    let (args, seed) = parse_args(inner)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let arity = |expected: &'static str, want: usize| -> Result<(), SpecError> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(SpecError::WrongArity {
+                name: families()
+                    .iter()
+                    .map(|f| f.name)
+                    .find(|&n| n == name)
+                    .unwrap_or("?"),
+                expected,
+                found: args.len(),
+            })
+        }
+    };
+    let u = |i: usize| as_usize(args[i], i + 1);
+
+    match name {
+        "path" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "path", "n > 0")?;
+            Ok(planar::path(n))
+        }
+        "cycle" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n >= 3, "cycle", "n >= 3")?;
+            Ok(planar::cycle(n))
+        }
+        "star" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "star", "n > 0")?;
+            Ok(planar::star(n))
+        }
+        "grid" => {
+            arity("rows, cols", 2)?;
+            let (r, c) = (u(0)?, u(1)?);
+            require(r > 0 && c > 0, "grid", "positive dimensions")?;
+            Ok(planar::grid(r, c))
+        }
+        "tri_grid" => {
+            arity("rows, cols", 2)?;
+            let (r, c) = (u(0)?, u(1)?);
+            require(r > 0 && c > 0, "tri_grid", "positive dimensions")?;
+            Ok(planar::triangulated_grid(r, c))
+        }
+        "random_tree" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "random_tree", "n > 0")?;
+            Ok(planar::random_tree(n, &mut rng))
+        }
+        "apollonian" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n >= 3, "apollonian", "n >= 3")?;
+            Ok(planar::apollonian(n, &mut rng))
+        }
+        "random_planar" => {
+            arity("n, keep", 2)?;
+            let n = u(0)?;
+            let keep = args[1];
+            require(n >= 3, "random_planar", "n >= 3")?;
+            require(
+                (0.0..=1.0).contains(&keep),
+                "random_planar",
+                "keep in [0, 1]",
+            )?;
+            Ok(planar::random_planar(n, keep, &mut rng))
+        }
+        "outerplanar" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n >= 3, "outerplanar", "n >= 3")?;
+            Ok(planar::maximal_outerplanar(n, &mut rng))
+        }
+        "road_network" => {
+            arity("rows, cols", 2)?;
+            let (r, c) = (u(0)?, u(1)?);
+            require(r > 1 && c > 1, "road_network", "at least a 2x2 grid")?;
+            Ok(planar::road_network(r, c, &mut rng))
+        }
+        "complete" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "complete", "n > 0")?;
+            Ok(nonplanar::complete(n))
+        }
+        "complete_bipartite" => {
+            arity("a, b", 2)?;
+            let (a, b) = (u(0)?, u(1)?);
+            require(a > 0 && b > 0, "complete_bipartite", "non-empty sides")?;
+            Ok(nonplanar::complete_bipartite(a, b))
+        }
+        "k5_chain" => {
+            arity("tiles", 1)?;
+            let t = u(0)?;
+            require(t > 0, "k5_chain", "at least one tile")?;
+            Ok(nonplanar::k5_chain(t))
+        }
+        "gnp" => {
+            arity("n, p", 2)?;
+            let n = u(0)?;
+            let p = args[1];
+            require((0.0..=1.0).contains(&p), "gnp", "p in [0, 1]")?;
+            Ok(nonplanar::gnp(n, p, &mut rng))
+        }
+        "near_regular" => {
+            arity("n, d", 2)?;
+            let (n, d) = (u(0)?, u(1)?);
+            require(
+                (n * d) % 2 == 0 && d < n,
+                "near_regular",
+                "n*d even and d < n",
+            )?;
+            Ok(nonplanar::near_regular(n, d, &mut rng))
+        }
+        "planar_plus_chords" => {
+            arity("n, k", 2)?;
+            let (n, k) = (u(0)?, u(1)?);
+            require(n >= 5, "planar_plus_chords", "n >= 5")?;
+            require(
+                k <= n * (n - 1) / 2 - (3 * n - 6),
+                "planar_plus_chords",
+                "k at most the number of non-edges",
+            )?;
+            Ok(nonplanar::planar_plus_chords(n, k, &mut rng))
+        }
+        "torus" => {
+            arity("rows, cols", 2)?;
+            let (r, c) = (u(0)?, u(1)?);
+            require(r >= 3 && c >= 3, "torus", "both dims >= 3")?;
+            Ok(nonplanar::torus(r, c))
+        }
+        "hypercube" => {
+            arity("d", 1)?;
+            let d = u(0)?;
+            require(d > 0 && d <= 20, "hypercube", "1 <= d <= 20")?;
+            Ok(nonplanar::hypercube(d as u32))
+        }
+        "social_overlay" => {
+            arity("n, extra_per_node", 2)?;
+            let n = u(0)?;
+            let x = args[1];
+            require(n >= 9, "social_overlay", "n >= 9")?;
+            require(x >= 0.0, "social_overlay", "non-negative overlay density")?;
+            Ok(nonplanar::social_overlay(n, x, &mut rng))
+        }
+        other => Err(SpecError::UnknownFamily {
+            name: other.to_string(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_family_parses_with_a_small_instance() {
+        let samples = [
+            "path(8)",
+            "cycle(8)",
+            "star(8)",
+            "grid(3,4)",
+            "tri_grid(3, 4)",
+            "random_tree(16, seed=1)",
+            "apollonian(12)",
+            "random_planar(20, 0.7, seed=2)",
+            "outerplanar(10)",
+            "road_network(4, 4, seed=3)",
+            "complete(6)",
+            "complete_bipartite(3,3)",
+            "k5_chain(3)",
+            "gnp(30, 0.2, seed=4)",
+            "near_regular(20, 4, seed=5)",
+            "planar_plus_chords(12, 5, seed=6)",
+            "torus(3,4)",
+            "hypercube(4)",
+            "social_overlay(16, 1.5, seed=7)",
+        ];
+        assert_eq!(samples.len(), families().len());
+        for s in samples {
+            let c = parse(s).unwrap_or_else(|e| panic!("{s}: {e}"));
+            assert!(c.graph.n() > 0, "{s}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_spec() {
+        for s in ["gnp(40, 0.15, seed=9)", "apollonian(30, seed=2)"] {
+            assert_eq!(parse(s).unwrap().graph, parse(s).unwrap().graph, "{s}");
+        }
+        // Different seeds give different graphs (with overwhelming
+        // probability for these sizes — fixed seeds keep it exact).
+        assert_ne!(
+            parse("gnp(40, 0.5, seed=1)").unwrap().graph,
+            parse("gnp(40, 0.5, seed=2)").unwrap().graph,
+        );
+    }
+
+    #[test]
+    fn malformed_specs_error_not_panic() {
+        assert_eq!(parse("").unwrap_err(), SpecError::Malformed);
+        assert_eq!(parse("grid(3,4").unwrap_err(), SpecError::Malformed);
+        assert_eq!(parse("gr id(3,4)").unwrap_err(), SpecError::Malformed);
+        assert!(matches!(
+            parse("nope(3)"),
+            Err(SpecError::UnknownFamily { .. })
+        ));
+        assert!(matches!(parse("path()"), Err(SpecError::WrongArity { .. })));
+        assert!(matches!(
+            parse("path(2, 3)"),
+            Err(SpecError::WrongArity { .. })
+        ));
+        assert_eq!(
+            parse("path(x)").unwrap_err(),
+            SpecError::BadArgument { position: 1 }
+        );
+        assert_eq!(
+            parse("gnp(30, 0.2, seed=x)").unwrap_err(),
+            SpecError::BadArgument { position: 3 }
+        );
+        assert!(matches!(
+            parse("cycle(2)"),
+            Err(SpecError::InvalidParameters { .. })
+        ));
+        assert!(matches!(
+            parse("gnp(30, 1.5)"),
+            Err(SpecError::InvalidParameters { .. })
+        ));
+        // Fractional where an integer is required.
+        assert_eq!(
+            parse("path(2.5)").unwrap_err(),
+            SpecError::BadArgument { position: 1 }
+        );
+        // Error display is human-usable.
+        assert!(parse("path()").unwrap_err().to_string().contains("path"));
+    }
+
+    #[test]
+    fn family_table_is_consistent() {
+        for fam in families() {
+            assert!(!fam.name.is_empty());
+            assert!(!fam.args.is_empty());
+            assert!(!fam.certification.is_empty());
+        }
+    }
+}

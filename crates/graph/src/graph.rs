@@ -281,6 +281,24 @@ impl Graph {
         a.binary_search_by_key(&v, |&(w, _)| w).ok().map(|i| a[i].1)
     }
 
+    /// Stable 128-bit content fingerprint of the graph: `n` plus the
+    /// canonical edge list, folded through
+    /// [`fingerprint::Digest`](crate::fingerprint::Digest).
+    ///
+    /// Two graphs fingerprint equal iff they have the same node count
+    /// and the same edge set (the builder canonicalizes edge order, so
+    /// insertion order never matters). This is the identity the query
+    /// service's graph registry and result cache key on.
+    #[must_use]
+    pub fn fingerprint(&self) -> crate::fingerprint::Fingerprint {
+        let mut d = crate::fingerprint::Digest::new();
+        d.word(self.n as u64).word(self.m() as u64);
+        for &(u, v) in &self.edges {
+            d.word((u64::from(u.raw()) << 32) | u64::from(v.raw()));
+        }
+        d.finish()
+    }
+
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
         self.offsets

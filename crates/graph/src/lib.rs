@@ -13,6 +13,11 @@
 //!   to planarity (see [`generators::Certified`]).
 //! * [`algo`] — BFS/DFS, connected & biconnected components, union-find,
 //!   bipartiteness, girth, degeneracy/arboricity bounds.
+//! * [`fingerprint`] — stable 128-bit content digests
+//!   ([`Graph::fingerprint`]) keying the query service's graph registry
+//!   and result cache.
+//! * [`generators::spec`] — textual generator specs
+//!   (`"tri_grid(24,24)"`), the service's second ingest route.
 //!
 //! # Example
 //!
@@ -28,7 +33,10 @@
 //! # Ok::<(), planartest_graph::GraphError>(())
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod algo;
+pub mod fingerprint;
 pub mod generators;
 mod graph;
 pub mod io;

@@ -1,0 +1,172 @@
+//! The `planartest` CLI: a line-delimited JSON query service.
+//!
+//! ```text
+//! planartest serve                 # LDJSON protocol on stdin/stdout
+//! planartest query [FLAGS]         # one-shot: ingest + query + print
+//! planartest families              # list the generator corpus
+//! ```
+//!
+//! `query` flags: `--spec SPEC` or `--graph-file PATH` (edge list),
+//! `--property P`, `--epsilon E`, `--seed S`, `--phases T`,
+//! `--backend B` (`serial|parallel[:k]|auto`), `--embedding strict|paper`.
+
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+use planartest_service::protocol::{handle_line, handle_request};
+use planartest_service::wire::Value;
+use planartest_service::Service;
+
+const USAGE: &str = "\
+planartest — query service for distributed planarity testing
+
+USAGE:
+  planartest serve
+      Read one JSON request per line on stdin, write one JSON response
+      per line on stdout (ops: ingest, query, batch, stats, families).
+  planartest query (--spec SPEC | --graph-file PATH) [--property P]
+      [--epsilon E] [--seed S] [--phases T] [--backend B]
+      [--embedding strict|paper]
+      One-shot: ingest the graph, run one query, print the response.
+      Exit code: 0 = accept, 1 = reject, 2 = error.
+  planartest families
+      Print the spec-addressable generator corpus.
+";
+
+fn serve() -> ExitCode {
+    let mut service = Service::new();
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break, // stdin closed
+        };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = handle_line(&mut service, &line);
+        if writeln!(out, "{response}")
+            .and_then(|()| out.flush())
+            .is_err()
+        {
+            break; // stdout closed
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Parses `--flag value` pairs; returns `None` (with a message) on
+/// unknown or dangling flags.
+fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let Some(name) = flag.strip_prefix("--") else {
+            return Err(format!("unexpected argument `{flag}`"));
+        };
+        let Some(value) = it.next() else {
+            return Err(format!("flag `--{name}` needs a value"));
+        };
+        flags.push((name.to_string(), value.clone()));
+    }
+    Ok(flags)
+}
+
+fn one_shot(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut service = Service::new();
+    let mut ingest = Value::obj().field("op", "ingest").field("name", "g");
+    let mut query = Value::obj().field("op", "query").field("graph", "g");
+    let mut have_graph = false;
+    for (name, value) in flags {
+        match name.as_str() {
+            "spec" => {
+                ingest = ingest.field("spec", value.as_str());
+                have_graph = true;
+            }
+            "graph-file" => {
+                let text = match std::fs::read_to_string(&value) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("error: cannot read `{value}`: {e}");
+                        return ExitCode::from(2);
+                    }
+                };
+                ingest = ingest.field("edge_list", text);
+                have_graph = true;
+            }
+            "property" => query = query.field("property", value.as_str()),
+            "backend" => query = query.field("backend", value.as_str()),
+            "embedding" => query = query.field("embedding", value.as_str()),
+            "epsilon" => match value.parse::<f64>() {
+                Ok(e) => query = query.field("epsilon", e),
+                Err(_) => {
+                    eprintln!("error: `--epsilon` must be a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "seed" | "phases" => match value.parse::<u64>() {
+                Ok(x) => query = query.field(name.as_str(), x),
+                Err(_) => {
+                    eprintln!("error: `--{name}` must be a non-negative integer");
+                    return ExitCode::from(2);
+                }
+            },
+            other => {
+                eprintln!("error: unknown flag `--{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !have_graph {
+        eprintln!("error: `query` needs --spec or --graph-file\n\n{USAGE}");
+        return ExitCode::from(2);
+    }
+    let ingested = handle_request(&mut service, &ingest);
+    if ingested.get("ok").and_then(Value::as_bool) != Some(true) {
+        println!("{ingested}");
+        return ExitCode::from(2);
+    }
+    let response = handle_request(&mut service, &query);
+    println!("{response}");
+    match (
+        response.get("ok").and_then(Value::as_bool),
+        response.get("verdict").and_then(Value::as_str),
+    ) {
+        (Some(true), Some("accept")) => ExitCode::SUCCESS,
+        (Some(true), _) => ExitCode::from(1),
+        _ => ExitCode::from(2),
+    }
+}
+
+fn families() -> ExitCode {
+    let mut service = Service::new();
+    let r = handle_request(&mut service, &Value::obj().field("op", "families"));
+    println!("{r}");
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("serve") if args.len() == 1 => serve(),
+        Some("query") => one_shot(&args[1..]),
+        Some("families") if args.len() == 1 => families(),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

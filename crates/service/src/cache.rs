@@ -1,0 +1,275 @@
+//! The result cache and its one-sided-error retention policy.
+//!
+//! The tester's error model dictates what may be cached and for how
+//! long:
+//!
+//! * **Rejects are certificates.** The tester has one-sided error: a
+//!   planar graph is *never* rejected, so any reject proves the graph
+//!   non-planar — for every seed, forever. The first reject observed for
+//!   a `(graph, config, property)` is stored permanently and replayed
+//!   (witness included) for queries under seeds that were never run.
+//!   The one exception is the paper-faithful `Demoucron` embedding mode,
+//!   which is *not* one-sided (the Claim 10 refutation): its rejects
+//!   stay per-seed observations and are never promoted to certificates
+//!   (the scheduler passes `certifiable = false`).
+//! * **Accepts are per-seed Monte-Carlo evidence.** An accept only says
+//!   "this seed's samples found no violation"; a different seed is a
+//!   fresh experiment. Accepts are therefore striped per seed: a query
+//!   is a warm hit only for a seed that actually ran.
+//!
+//! Exact per-seed entries (accept *or* reject) always replay
+//! bit-identically — verdict, witnesses, and the full statistics ledger
+//! are the stored engine pass's. The execution backend is deliberately
+//! absent from the key: backends are bit-for-bit equivalent, so a
+//! serially-computed entry may serve a parallel query and vice versa.
+
+use std::collections::hash_map::Entry as MapEntry;
+use std::collections::{BTreeMap, HashMap};
+
+use planartest_graph::fingerprint::Fingerprint;
+
+use crate::query::{CacheStatus, Outcome, Property};
+
+/// Cache key: graph content × configuration (seed excluded) × property.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// [`Graph::fingerprint`](planartest_graph::Graph::fingerprint).
+    pub graph: Fingerprint,
+    /// [`TesterConfig::fingerprint`](planartest_core::TesterConfig::fingerprint)
+    /// — every outcome-determining field except the seed.
+    pub config: Fingerprint,
+    /// The property tested.
+    pub property: Property,
+}
+
+/// Stored results for one cache key.
+#[derive(Debug, Clone, Default)]
+struct CacheSlot {
+    /// Exact per-seed outcomes (accepts *and* rejects), replayed
+    /// bit-identically for repeat queries. For seed-independent
+    /// properties everything lives under seed 0.
+    by_seed: BTreeMap<u64, Outcome>,
+    /// The permanent reject certificate: `(certifying seed, outcome)`.
+    /// Set by the first reject; never evicted (one-sided error).
+    certificate: Option<(u64, Outcome)>,
+}
+
+/// Running hit/miss counters (service telemetry).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Exact per-seed hits.
+    pub warm_hits: u64,
+    /// Certificate replays for unseen seeds.
+    pub certificate_hits: u64,
+    /// Lookups that required an engine pass.
+    pub misses: u64,
+}
+
+/// The result cache (see the [module docs](self) for the policy).
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    slots: HashMap<(u128, u128, Property), CacheSlot>,
+    stats: CacheStats,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        ResultCache::default()
+    }
+
+    fn slot_key(key: &CacheKey) -> (u128, u128, Property) {
+        (key.graph.0, key.config.0, key.property)
+    }
+
+    /// The seed axis actually used for `property` (seed-independent
+    /// properties collapse onto one stripe).
+    fn seed_axis(property: Property, seed: u64) -> u64 {
+        if property.seed_dependent() {
+            seed
+        } else {
+            0
+        }
+    }
+
+    /// Looks up a query; counts the hit or miss.
+    ///
+    /// Priority: exact per-seed entry ([`CacheStatus::Warm`]), then the
+    /// permanent reject certificate ([`CacheStatus::Certificate`] —
+    /// returns the certifying seed alongside, since the replayed
+    /// statistics belong to that run).
+    pub fn lookup(&mut self, key: &CacheKey, seed: u64) -> Option<(Outcome, CacheStatus, u64)> {
+        let seed = Self::seed_axis(key.property, seed);
+        let slot = self.slots.get(&Self::slot_key(key));
+        if let Some(outcome) = slot.and_then(|s| s.by_seed.get(&seed)) {
+            self.stats.warm_hits += 1;
+            return Some((outcome.clone(), CacheStatus::Warm, seed));
+        }
+        if let Some((cert_seed, outcome)) = slot.and_then(|s| s.certificate.as_ref()) {
+            self.stats.certificate_hits += 1;
+            return Some((outcome.clone(), CacheStatus::Certificate, *cert_seed));
+        }
+        self.stats.misses += 1;
+        None
+    }
+
+    /// Records a freshly computed outcome; a reject additionally becomes
+    /// the key's permanent certificate (first reject wins, keeping
+    /// certificate replays deterministic regardless of later passes) —
+    /// but **only** when the caller vouches the configuration is
+    /// one-sided (`certifiable`). The paper-faithful `Demoucron` mode
+    /// can reject planar graphs (the Claim 10 refutation), so its
+    /// rejects are per-seed observations like accepts, never
+    /// seed-universal proofs.
+    pub fn insert(&mut self, key: &CacheKey, seed: u64, outcome: &Outcome, certifiable: bool) {
+        let seed = Self::seed_axis(key.property, seed);
+        let slot = match self.slots.entry(Self::slot_key(key)) {
+            MapEntry::Occupied(e) => e.into_mut(),
+            MapEntry::Vacant(e) => e.insert(CacheSlot::default()),
+        };
+        slot.by_seed.entry(seed).or_insert_with(|| outcome.clone());
+        if certifiable && !outcome.accepted() && slot.certificate.is_none() {
+            slot.certificate = Some((seed, outcome.clone()));
+        }
+    }
+
+    /// Hit/miss counters since construction (or the last [`clear`](Self::clear)).
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of `(graph, config, property)` slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Total stored per-seed outcomes across all slots.
+    #[must_use]
+    pub fn stored_outcomes(&self) -> usize {
+        self.slots.values().map(|s| s.by_seed.len()).sum()
+    }
+
+    /// Drops every entry and resets the counters (used by load drivers
+    /// to re-measure cold paths).
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use planartest_core::applications::HereditaryOutcome;
+    use planartest_graph::NodeId;
+    use planartest_sim::SimStats;
+
+    fn key(property: Property) -> CacheKey {
+        CacheKey {
+            graph: Fingerprint(1),
+            config: Fingerprint(2),
+            property,
+        }
+    }
+
+    fn outcome(accepted: bool) -> Outcome {
+        Outcome::Hereditary {
+            outcome: HereditaryOutcome {
+                rejecting: if accepted {
+                    Vec::new()
+                } else {
+                    vec![NodeId::new(3)]
+                },
+                parts: 1,
+            },
+            stats: SimStats::default(),
+        }
+    }
+
+    #[test]
+    fn accepts_are_per_seed_rejects_are_permanent() {
+        let mut cache = ResultCache::new();
+        let k = key(Property::Planarity);
+        assert!(cache.lookup(&k, 1).is_none());
+        cache.insert(&k, 1, &outcome(true), true);
+        // Same seed: warm. Different seed: miss (accepts don't transfer).
+        assert_eq!(cache.lookup(&k, 1).unwrap().1, CacheStatus::Warm);
+        assert!(cache.lookup(&k, 2).is_none());
+
+        cache.insert(&k, 2, &outcome(false), true);
+        // Unseen seed now rides the certificate, tagged with seed 2.
+        let (o, status, seed) = cache.lookup(&k, 77).unwrap();
+        assert_eq!(status, CacheStatus::Certificate);
+        assert_eq!(seed, 2);
+        assert!(!o.accepted());
+        // The exact reject seed is still a warm hit.
+        assert_eq!(cache.lookup(&k, 2).unwrap().1, CacheStatus::Warm);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                warm_hits: 2,
+                certificate_hits: 1,
+                misses: 2
+            }
+        );
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stored_outcomes(), 2);
+    }
+
+    #[test]
+    fn seed_independent_properties_share_one_stripe() {
+        let mut cache = ResultCache::new();
+        let k = key(Property::Bipartiteness);
+        cache.insert(&k, 123, &outcome(true), true);
+        // Any seed hits: the property never looked at it.
+        assert_eq!(cache.lookup(&k, 456).unwrap().1, CacheStatus::Warm);
+    }
+
+    #[test]
+    fn first_reject_wins_certificate() {
+        let mut cache = ResultCache::new();
+        let k = key(Property::Planarity);
+        let first = Outcome::Hereditary {
+            outcome: HereditaryOutcome {
+                rejecting: vec![NodeId::new(7)],
+                parts: 1,
+            },
+            stats: SimStats::default(),
+        };
+        cache.insert(&k, 5, &first, true);
+        cache.insert(&k, 6, &outcome(false), true);
+        let (o, _, seed) = cache.lookup(&k, 99).unwrap();
+        assert_eq!(seed, 5);
+        assert_eq!(o.rejecting_nodes(), vec![NodeId::new(7)]);
+    }
+
+    #[test]
+    fn uncertifiable_rejects_stay_per_seed() {
+        // Paper-mode rejects are observations, not proofs: exact-seed
+        // replay works, but no certificate forms for unseen seeds.
+        let mut cache = ResultCache::new();
+        let k = key(Property::Planarity);
+        cache.insert(&k, 1, &outcome(false), false);
+        assert_eq!(cache.lookup(&k, 1).unwrap().1, CacheStatus::Warm);
+        assert!(cache.lookup(&k, 2).is_none());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut cache = ResultCache::new();
+        let k = key(Property::Planarity);
+        cache.insert(&k, 1, &outcome(true), true);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats(), CacheStats::default());
+    }
+}

@@ -1,0 +1,71 @@
+//! Query service layer for the planarity tester: ingest graphs once,
+//! serve many property-testing queries cheaply.
+//!
+//! PRs 1–3 built an engine fit for heavy traffic — a parallel
+//! deterministic CONGEST runtime, flat CSR/arena memory, and
+//! instance-multiplexed batching — but every caller still paid full
+//! graph construction and Stage-I partition cost per query. This crate
+//! is the front door that amortizes all of it:
+//!
+//! * [`registry::GraphRegistry`] — ingests graphs (edge lists via
+//!   [`planartest_graph::io`], or generator specs via
+//!   [`planartest_graph::generators::spec`]), fingerprints them by
+//!   content, and keeps the built CSR resident. Names are aliases; the
+//!   fingerprint is the identity, so duplicate ingests cost nothing.
+//! * [`cache::ResultCache`] — keyed by `(graph fingerprint, config
+//!   fingerprint, property)`. The retention policy is the tester's
+//!   one-sided error model: **rejects are certificates** (stored
+//!   permanently, witness included, replayed for any seed), **accepts
+//!   are per-seed Monte-Carlo evidence** (warm hits only for seeds that
+//!   ran). Replays are bit-identical to the original engine pass.
+//! * [`service::Service`] — the batch-coalescing scheduler.
+//!   [`Service::drain`] groups concurrent same-graph queries and feeds
+//!   each group through **one**
+//!   [`PlanarityTester::run_many`](planartest_core::PlanarityTester::run_many)
+//!   pass, so independent users share a single Stage-I partition and one
+//!   batched Stage-II; responses attribute per-query latency from the
+//!   per-instance round accounting.
+//! * [`protocol`] / [`wire`] — a line-delimited JSON protocol served by
+//!   the `planartest` binary (`serve` over stdin/stdout, `query`
+//!   one-shots).
+//!
+//! # Example
+//!
+//! ```
+//! use planartest_core::TesterConfig;
+//! use planartest_service::{CacheStatus, GraphRef, Query, Service};
+//!
+//! let mut service = Service::new();
+//! service.registry_mut().ingest_spec("city", "tri_grid(5,5)")?;
+//!
+//! let cfg = TesterConfig::new(0.2).with_phases(5);
+//! let q = Query::planarity(GraphRef::Name("city".into()), cfg);
+//! let cold = service.query(q.clone())?;
+//! assert!(cold.outcome.accepted());
+//! assert_eq!(cold.cache, CacheStatus::Cold);
+//!
+//! // Same graph, config and seed: served from cache, bit-identical.
+//! let warm = service.query(q)?;
+//! assert_eq!(warm.cache, CacheStatus::Warm);
+//! assert_eq!(warm.outcome.stats(), cold.outcome.stats());
+//! assert_eq!(service.engine_passes(), 1);
+//! # Ok::<(), planartest_service::ServiceError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+mod error;
+pub mod protocol;
+mod query;
+pub mod registry;
+mod service;
+pub mod wire;
+
+pub use crate::cache::{CacheKey, CacheStats, ResultCache};
+pub use crate::error::ServiceError;
+pub use crate::query::{
+    CacheStatus, GraphRef, Outcome, ParsePropertyError, Property, Query, QueryId, QueryResponse,
+};
+pub use crate::registry::{GraphEntry, GraphRegistry};
+pub use crate::service::{DrainedQuery, Service, ServiceStats};

@@ -1,0 +1,218 @@
+//! The graph registry: ingest once, keep the built CSR resident.
+//!
+//! Every caller used to pay full graph construction per query; the
+//! registry makes ingestion a one-time cost. Graphs arrive as edge-list
+//! documents ([`planartest_graph::io`]) or generator specs
+//! ([`planartest_graph::generators::spec`]), are fingerprinted by
+//! content, and stay resident in CSR form. Ingesting the same content
+//! twice — under any name, via either route — lands on the same entry:
+//! names are aliases, the fingerprint is the identity.
+
+use std::collections::HashMap;
+
+use planartest_graph::fingerprint::Fingerprint;
+use planartest_graph::generators::{spec, PlanarityStatus};
+use planartest_graph::{io, Graph};
+
+use crate::error::ServiceError;
+use crate::query::GraphRef;
+
+/// One resident graph: the built CSR plus ingest metadata.
+#[derive(Debug, Clone)]
+pub struct GraphEntry {
+    /// The graph, in CSR form, built once at ingest.
+    pub graph: Graph,
+    /// Content fingerprint (the registry key).
+    pub fingerprint: Fingerprint,
+    /// Aliases this entry was ingested under, in first-seen order.
+    pub names: Vec<String>,
+    /// Human-readable provenance (`edge_list` or the generator spec).
+    pub source: String,
+    /// What the generator certified, when the graph came from a spec
+    /// (`None` for raw edge lists — nothing is known by construction).
+    pub certified: Option<PlanarityStatus>,
+}
+
+/// The graph registry (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub struct GraphRegistry {
+    entries: Vec<GraphEntry>,
+    by_fingerprint: HashMap<Fingerprint, usize>,
+    by_name: HashMap<String, usize>,
+}
+
+impl GraphRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        GraphRegistry::default()
+    }
+
+    /// Number of distinct resident graphs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no graph is resident.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over the resident entries in ingest order.
+    pub fn entries(&self) -> impl Iterator<Item = &GraphEntry> {
+        self.entries.iter()
+    }
+
+    /// Ingests an already-built graph under `name`.
+    ///
+    /// If a graph with the same fingerprint is already resident, the
+    /// name is attached as an alias and the existing entry is returned —
+    /// the build cost is paid at most once per content.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::NameTaken`] if `name` is already bound to a graph
+    /// with *different* content (silently rebinding an alias would make
+    /// subsequent queries answer about a different graph than the client
+    /// believes).
+    pub fn ingest_graph(
+        &mut self,
+        name: &str,
+        graph: Graph,
+        source: String,
+        certified: Option<PlanarityStatus>,
+    ) -> Result<&GraphEntry, ServiceError> {
+        let fingerprint = graph.fingerprint();
+        if let Some(&existing) = self.by_name.get(name) {
+            if self.entries[existing].fingerprint != fingerprint {
+                return Err(ServiceError::NameTaken {
+                    name: name.to_string(),
+                });
+            }
+        }
+        let index = match self.by_fingerprint.get(&fingerprint) {
+            Some(&i) => i,
+            None => {
+                self.entries.push(GraphEntry {
+                    graph,
+                    fingerprint,
+                    names: Vec::new(),
+                    source,
+                    certified,
+                });
+                let i = self.entries.len() - 1;
+                self.by_fingerprint.insert(fingerprint, i);
+                i
+            }
+        };
+        let entry = &mut self.entries[index];
+        if !entry.names.iter().any(|n| n == name) {
+            entry.names.push(name.to_string());
+            self.by_name.insert(name.to_string(), index);
+        }
+        Ok(&self.entries[index])
+    }
+
+    /// Ingests an edge-list document (see [`io::from_edge_list`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates parse failures and name conflicts.
+    pub fn ingest_edge_list(
+        &mut self,
+        name: &str,
+        text: &str,
+    ) -> Result<&GraphEntry, ServiceError> {
+        let graph = io::from_edge_list(text).map_err(ServiceError::EdgeList)?;
+        self.ingest_graph(name, graph, "edge_list".to_string(), None)
+    }
+
+    /// Ingests a generator spec (see [`spec::parse`]), keeping the
+    /// generator's certification alongside the graph.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec failures and name conflicts.
+    pub fn ingest_spec(&mut self, name: &str, text: &str) -> Result<&GraphEntry, ServiceError> {
+        let certified = spec::parse(text).map_err(ServiceError::Spec)?;
+        self.ingest_graph(
+            name,
+            certified.graph,
+            text.trim().to_string(),
+            Some(certified.status),
+        )
+    }
+
+    /// Resolves a query's graph reference to a resident entry.
+    ///
+    /// # Errors
+    ///
+    /// [`ServiceError::UnknownGraph`] when nothing matches.
+    pub fn resolve(&self, graph: &GraphRef) -> Result<&GraphEntry, ServiceError> {
+        let index = match graph {
+            GraphRef::Name(name) => self.by_name.get(name.as_str()),
+            GraphRef::Fingerprint(fp) => self.by_fingerprint.get(fp),
+        };
+        index
+            .map(|&i| &self.entries[i])
+            .ok_or_else(|| ServiceError::UnknownGraph {
+                graph: graph.to_string(),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_and_edge_list_routes_collide_on_content() {
+        let mut reg = GraphRegistry::new();
+        let fp1 = reg.ingest_spec("a", "grid(3,3)").unwrap().fingerprint;
+        let text = io::to_edge_list(&spec::parse("grid(3,3)").unwrap().graph);
+        let fp2 = reg.ingest_edge_list("b", &text).unwrap().fingerprint;
+        assert_eq!(fp1, fp2);
+        assert_eq!(reg.len(), 1, "one resident CSR serves both aliases");
+        let entry = reg.resolve(&GraphRef::Name("b".into())).unwrap();
+        assert_eq!(entry.names, vec!["a".to_string(), "b".to_string()]);
+        // Certification survives from the spec route.
+        assert_eq!(entry.certified, Some(PlanarityStatus::Planar));
+        assert_eq!(
+            reg.resolve(&GraphRef::Fingerprint(fp1))
+                .unwrap()
+                .fingerprint,
+            fp1
+        );
+    }
+
+    #[test]
+    fn rebinding_a_name_to_other_content_errors() {
+        let mut reg = GraphRegistry::new();
+        reg.ingest_spec("g", "grid(3,3)").unwrap();
+        // Same name, same content: fine (idempotent re-ingest).
+        reg.ingest_spec("g", "grid(3,3)").unwrap();
+        let err = reg.ingest_spec("g", "grid(4,4)").unwrap_err();
+        assert!(matches!(err, ServiceError::NameTaken { .. }));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn unknown_graphs_and_bad_input_error() {
+        let mut reg = GraphRegistry::new();
+        assert!(matches!(
+            reg.resolve(&GraphRef::Name("missing".into())),
+            Err(ServiceError::UnknownGraph { .. })
+        ));
+        assert!(matches!(
+            reg.ingest_edge_list("x", "not a graph"),
+            Err(ServiceError::EdgeList(_))
+        ));
+        assert!(matches!(
+            reg.ingest_spec("x", "nope(1)"),
+            Err(ServiceError::Spec(_))
+        ));
+        assert!(reg.is_empty());
+    }
+}

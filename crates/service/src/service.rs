@@ -1,0 +1,596 @@
+//! The service front object: submit queries, drain them coalesced.
+//!
+//! [`Service`] owns the [`GraphRegistry`], the [`ResultCache`] and a
+//! queue of pending queries. [`Service::drain`] is the batch-coalescing
+//! scheduler: it answers cache hits immediately, groups the remaining
+//! queries by `(graph, config, property)`, and feeds each planarity
+//! group through **one** instance-multiplexed
+//! [`PlanarityTester::run_many`] pass — independent users querying the
+//! same graph under different seeds amortize a single Stage-I partition
+//! and a single batched Stage-II — while deterministic Corollary 16
+//! groups collapse to one run each. Every response carries cache
+//! provenance, the wall-clock of its engine pass, and a per-query
+//! latency attribution proportional to its simulated rounds (which the
+//! batched drivers account per instance via
+//! [`SimStats::delta_since`](planartest_sim::SimStats::delta_since)).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use planartest_core::applications::{test_bipartiteness, test_cycle_freeness, HereditaryOutcome};
+use planartest_core::{CoreError, EmbeddingMode, PlanarityTester, TesterConfig};
+use planartest_graph::Graph;
+use planartest_sim::{Backend, Engine, EngineCore, ParallelEngine, SimConfig, SimStats};
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::error::ServiceError;
+use crate::query::{CacheStatus, GraphRef, Outcome, Property, Query, QueryId, QueryResponse};
+use crate::registry::GraphRegistry;
+
+/// One drained query: the id [`Service::submit`] handed out plus the
+/// response or the per-query failure.
+pub type DrainedQuery = (QueryId, Result<QueryResponse, ServiceError>);
+
+/// Aggregate service telemetry (the `stats` wire op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Distinct resident graphs.
+    pub graphs: usize,
+    /// `(graph, config, property)` cache slots.
+    pub cache_slots: usize,
+    /// Stored per-seed outcomes across all slots.
+    pub cached_outcomes: usize,
+    /// Cache hit/miss counters.
+    pub cache: crate::cache::CacheStats,
+    /// Engine passes executed (each pass may serve many queries).
+    pub engine_passes: u64,
+    /// Queries answered (from cache or engine).
+    pub queries_served: u64,
+}
+
+/// A pending query as the scheduler sees it after resolution.
+struct Resolved {
+    id: QueryId,
+    key: CacheKey,
+    seed: u64,
+    query: Query,
+}
+
+/// The long-running query service (see the crate-level docs for the
+/// full picture: registry + cache + coalescing scheduler).
+#[derive(Debug, Default)]
+pub struct Service {
+    registry: GraphRegistry,
+    cache: ResultCache,
+    queue: Vec<(QueryId, Query)>,
+    next_id: QueryId,
+    engine_passes: u64,
+    queries_served: u64,
+}
+
+impl Service {
+    /// An empty service.
+    #[must_use]
+    pub fn new() -> Self {
+        Service::default()
+    }
+
+    /// The graph registry (immutable view).
+    #[must_use]
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The graph registry, for ingestion.
+    pub fn registry_mut(&mut self) -> &mut GraphRegistry {
+        &mut self.registry
+    }
+
+    /// Engine passes executed so far. A warm or certificate hit does not
+    /// advance this counter — that is how tests *prove* a cached reject
+    /// replays its witness without re-running the partition.
+    #[must_use]
+    pub fn engine_passes(&self) -> u64 {
+        self.engine_passes
+    }
+
+    /// Aggregate telemetry.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            graphs: self.registry.len(),
+            cache_slots: self.cache.len(),
+            cached_outcomes: self.cache.stored_outcomes(),
+            cache: self.cache.stats(),
+            engine_passes: self.engine_passes,
+            queries_served: self.queries_served,
+        }
+    }
+
+    /// Drops all cached results (cold-path measurement hook for load
+    /// drivers; the registry stays resident).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Enqueues a query for the next [`drain`](Self::drain); returns its id.
+    pub fn submit(&mut self, query: Query) -> QueryId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.queue.push((id, query));
+        id
+    }
+
+    /// Number of queries waiting for the next drain.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Serves one query immediately (a drain of one). Queries already
+    /// [`submit`](Self::submit)ted stay queued for the next
+    /// [`drain`](Self::drain) — this serves *only* the given query.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or engine failures for this query.
+    pub fn query(&mut self, query: Query) -> Result<QueryResponse, ServiceError> {
+        let pending = std::mem::take(&mut self.queue);
+        let id = self.submit(query);
+        let mut drained = self.drain();
+        self.queue = pending;
+        debug_assert_eq!(drained.len(), 1);
+        let (got, result) = drained.pop().expect("one pending query");
+        debug_assert_eq!(got, id);
+        result
+    }
+
+    /// Drains the queue: the batch-coalescing scheduler.
+    ///
+    /// Responses come back in submission order. Per-query failures
+    /// (unknown graph, engine error) fail that query alone, not the
+    /// drain; an engine failure fails every query of its group (they
+    /// shared the pass).
+    pub fn drain(&mut self) -> Vec<DrainedQuery> {
+        let pending = std::mem::take(&mut self.queue);
+        let mut results: Vec<Option<DrainedQuery>> = Vec::new();
+        results.resize_with(pending.len(), || None);
+        self.queries_served += pending.len() as u64;
+
+        // Resolve + cache pass: answer hits immediately, keep misses.
+        let mut misses: Vec<(usize, Resolved)> = Vec::new();
+        for (slot, (id, query)) in pending.into_iter().enumerate() {
+            let entry = match self.registry.resolve(&query.graph) {
+                Ok(e) => e,
+                Err(err) => {
+                    results[slot] = Some((id, Err(err)));
+                    continue;
+                }
+            };
+            let key = CacheKey {
+                graph: entry.fingerprint,
+                config: query.cfg.fingerprint(),
+                property: query.property,
+            };
+            let seed = query.cfg.seed;
+            if let Some((outcome, status, stored_seed)) = self.cache.lookup(&key, seed) {
+                results[slot] = Some((
+                    id,
+                    Ok(QueryResponse {
+                        id,
+                        graph: key.graph,
+                        property: query.property,
+                        seed: stored_seed,
+                        outcome,
+                        cache: status,
+                        coalesced: 0,
+                        engine_micros: 0,
+                        attributed_micros: 0,
+                    }),
+                ));
+                continue;
+            }
+            misses.push((
+                slot,
+                Resolved {
+                    id,
+                    key,
+                    seed,
+                    query,
+                },
+            ));
+        }
+
+        // Group misses by cache key, preserving first-seen order.
+        let mut group_index: HashMap<(u128, u128, Property), usize> = HashMap::new();
+        let mut groups: Vec<Vec<(usize, Resolved)>> = Vec::new();
+        for (slot, resolved) in misses {
+            let gk = (
+                resolved.key.graph.0,
+                resolved.key.config.0,
+                resolved.key.property,
+            );
+            match group_index.get(&gk) {
+                Some(&g) => groups[g].push((slot, resolved)),
+                None => {
+                    group_index.insert(gk, groups.len());
+                    groups.push(vec![(slot, resolved)]);
+                }
+            }
+        }
+
+        for group in groups {
+            run_group(
+                &self.registry,
+                &mut self.cache,
+                &mut self.engine_passes,
+                group,
+                &mut results,
+            );
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every pending query answered"))
+            .collect()
+    }
+}
+
+/// Executes one coalesced group through a single engine pass and fills
+/// the group's response slots. A free function so the registry stays
+/// borrowed immutably (the pass runs on the *resident* CSR — no clone)
+/// while the cache and counters update.
+fn run_group(
+    registry: &GraphRegistry,
+    cache: &mut ResultCache,
+    engine_passes: &mut u64,
+    group: Vec<(usize, Resolved)>,
+    results: &mut [Option<DrainedQuery>],
+) {
+    let first = &group[0].1;
+    let key = first.key;
+    let property = key.property;
+    // The group shares one pass; the pass runs on the first query's
+    // backend (identical outcomes on every backend, so this is a
+    // wall-clock choice only).
+    let backend = first.query.backend;
+    let cfg = first.query.cfg.clone();
+    // Resolution already succeeded during the drain's cache pass (that
+    // is where `key.graph` came from) and the registry is immutable for
+    // the whole drain, so the lookup cannot fail here.
+    let graph = &registry
+        .resolve(&GraphRef::Fingerprint(key.graph))
+        .expect("resolved during the drain's cache pass")
+        .graph;
+
+    // Distinct seeds in first-seen order become the batch lanes
+    // (seed-independent properties collapse to a single lane).
+    let mut seeds: Vec<u64> = Vec::new();
+    for (_, r) in &group {
+        let lane = if property.seed_dependent() { r.seed } else { 0 };
+        if !seeds.contains(&lane) {
+            seeds.push(lane);
+        }
+    }
+
+    *engine_passes += 1;
+    let started = Instant::now();
+    let by_seed: Result<Vec<(u64, Outcome)>, CoreError> = match property {
+        Property::Planarity => PlanarityTester::new(cfg.clone())
+            .with_backend(backend)
+            .run_many(graph, &seeds)
+            .map(|outs| {
+                seeds
+                    .iter()
+                    .copied()
+                    .zip(outs.into_iter().map(Outcome::Planarity))
+                    .collect()
+            }),
+        Property::CycleFreeness | Property::Bipartiteness => {
+            run_hereditary(graph, &cfg, property, backend)
+                .map(|(outcome, stats)| vec![(0, Outcome::Hereditary { outcome, stats })])
+        }
+    };
+    let engine_micros = started.elapsed().as_micros() as u64;
+
+    let by_seed = match by_seed {
+        Ok(v) => v,
+        Err(e) => {
+            for (slot, r) in group {
+                results[slot] = Some((r.id, Err(ServiceError::Engine(e.clone()))));
+            }
+            return;
+        }
+    };
+
+    let coalesced = seeds.len();
+    let total_rounds: u64 = by_seed
+        .iter()
+        .map(|(_, o)| o.stats().total_rounds())
+        .sum::<u64>()
+        .max(1);
+    // The paper-faithful Demoucron mode is not one-sided (it can
+    // reject planar graphs — the Claim 10 refutation), so its
+    // rejects must not become seed-universal certificates.
+    let certifiable = !matches!(cfg.embedding, EmbeddingMode::Demoucron);
+    for (seed, outcome) in &by_seed {
+        cache.insert(&key, *seed, outcome, certifiable);
+    }
+    let outcome_of = |seed: u64| -> &Outcome {
+        by_seed
+            .iter()
+            .find(|(s, _)| *s == seed)
+            .map(|(_, o)| o)
+            .expect("every lane ran")
+    };
+    for (slot, r) in group {
+        let lane = if property.seed_dependent() { r.seed } else { 0 };
+        let outcome = outcome_of(lane).clone();
+        let attributed =
+            engine_micros.saturating_mul(outcome.stats().total_rounds()) / total_rounds;
+        results[slot] = Some((
+            r.id,
+            Ok(QueryResponse {
+                id: r.id,
+                graph: key.graph,
+                property,
+                seed: lane,
+                outcome,
+                cache: CacheStatus::Cold,
+                coalesced,
+                engine_micros,
+                attributed_micros: attributed,
+            }),
+        ));
+    }
+}
+
+/// Runs a Corollary 16 tester on the requested backend, returning the
+/// outcome plus the pass's statistics (accounted via
+/// [`SimStats::delta_since`] so engine reuse cannot double-charge).
+fn run_hereditary(
+    graph: &Graph,
+    cfg: &TesterConfig,
+    property: Property,
+    backend: Backend,
+) -> Result<(HereditaryOutcome, SimStats), CoreError> {
+    let sim = SimConfig::default().with_backend(backend);
+    match backend {
+        Backend::Serial => {
+            let mut engine = Engine::new(graph, sim);
+            run_hereditary_on(&mut engine, cfg, property)
+        }
+        Backend::Parallel { .. } | Backend::Auto => {
+            let mut engine = ParallelEngine::new(graph, sim);
+            run_hereditary_on(&mut engine, cfg, property)
+        }
+    }
+}
+
+fn run_hereditary_on<'g, E: EngineCore<'g>>(
+    engine: &mut E,
+    cfg: &TesterConfig,
+    property: Property,
+) -> Result<(HereditaryOutcome, SimStats), CoreError> {
+    let baseline = *engine.stats();
+    let outcome = match property {
+        Property::CycleFreeness => test_cycle_freeness(engine, cfg)?,
+        Property::Bipartiteness => test_bipartiteness(engine, cfg)?,
+        Property::Planarity => unreachable!("planarity rides run_many"),
+    };
+    let stats = engine.stats().delta_since(&baseline);
+    Ok((outcome, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::GraphRef;
+
+    fn cfg(eps: f64) -> TesterConfig {
+        TesterConfig::new(eps).with_phases(5)
+    }
+
+    fn service_with(name: &str, spec: &str) -> Service {
+        let mut s = Service::new();
+        s.registry_mut().ingest_spec(name, spec).unwrap();
+        s
+    }
+
+    #[test]
+    fn cold_then_warm_then_certificate() {
+        let mut s = service_with("far", "k5_chain(6)");
+        let q =
+            |seed: u64| Query::planarity(GraphRef::Name("far".into()), cfg(0.05).with_seed(seed));
+        let cold = s.query(q(1)).unwrap();
+        assert_eq!(cold.cache, CacheStatus::Cold);
+        assert!(!cold.outcome.accepted());
+        assert_eq!(s.engine_passes(), 1);
+
+        let warm = s.query(q(1)).unwrap();
+        assert_eq!(warm.cache, CacheStatus::Warm);
+        assert_eq!(s.engine_passes(), 1, "warm hit must not run the engine");
+        assert_eq!(
+            warm.outcome.rejecting_nodes(),
+            cold.outcome.rejecting_nodes()
+        );
+        assert_eq!(warm.outcome.stats(), cold.outcome.stats());
+
+        // Unseen seed on a known-rejected graph: certificate replay,
+        // stamped with the certifying seed, no engine pass.
+        let cert = s.query(q(2)).unwrap();
+        assert_eq!(cert.cache, CacheStatus::Certificate);
+        assert_eq!(cert.seed, 1);
+        assert!(!cert.outcome.accepted());
+        assert_eq!(s.engine_passes(), 1);
+    }
+
+    #[test]
+    fn accepts_do_not_transfer_across_seeds() {
+        let mut s = service_with("p", "tri_grid(5,5)");
+        let q = |seed: u64| Query::planarity(GraphRef::Name("p".into()), cfg(0.2).with_seed(seed));
+        assert!(s.query(q(1)).unwrap().outcome.accepted());
+        assert_eq!(s.engine_passes(), 1);
+        let other = s.query(q(2)).unwrap();
+        assert_eq!(other.cache, CacheStatus::Cold, "fresh seed, fresh run");
+        assert_eq!(s.engine_passes(), 2);
+    }
+
+    #[test]
+    fn same_graph_queries_coalesce_into_one_pass() {
+        let mut s = service_with("p", "tri_grid(5,5)");
+        let ids: Vec<QueryId> = (0..4)
+            .map(|seed| {
+                s.submit(Query::planarity(
+                    GraphRef::Name("p".into()),
+                    cfg(0.2).with_seed(seed),
+                ))
+            })
+            .collect();
+        assert_eq!(s.pending(), 4);
+        let drained = s.drain();
+        assert_eq!(s.engine_passes(), 1, "four seeds, one engine pass");
+        assert_eq!(drained.len(), 4);
+        for ((id, result), want) in drained.iter().zip(&ids) {
+            assert_eq!(id, want, "submission order preserved");
+            let r = result.as_ref().unwrap();
+            assert_eq!(r.coalesced, 4);
+            assert!(r.attributed_micros <= r.engine_micros);
+        }
+        // Attribution splits the pass: shares sum to ~the pass wall.
+        let total: u64 = drained
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().attributed_micros)
+            .sum();
+        let pass = drained[0].1.as_ref().unwrap().engine_micros;
+        assert!(total <= pass + 4);
+    }
+
+    #[test]
+    fn coalesced_outcomes_match_solo_runs_bit_for_bit() {
+        let mut s = service_with("p", "tri_grid(5,5)");
+        for seed in 0..3 {
+            s.submit(Query::planarity(
+                GraphRef::Name("p".into()),
+                cfg(0.2).with_seed(seed),
+            ));
+        }
+        let drained = s.drain();
+        let graph = planartest_graph::generators::spec::parse("tri_grid(5,5)")
+            .unwrap()
+            .graph;
+        for (seed, (_, result)) in (0..3u64).zip(&drained) {
+            let solo = PlanarityTester::new(cfg(0.2).with_seed(seed))
+                .run(&graph)
+                .unwrap();
+            match &result.as_ref().unwrap().outcome {
+                Outcome::Planarity(o) => {
+                    assert_eq!(o.rejections, solo.rejections, "seed {seed}");
+                    assert_eq!(o.stats, solo.stats, "seed {seed}");
+                    assert_eq!(o.violation_witnesses, solo.violation_witnesses);
+                }
+                other => panic!("wrong outcome shape {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hereditary_properties_are_seed_free_and_cached() {
+        let mut s = service_with("g", "grid(5,5)");
+        let q = |seed: u64, p: Property| {
+            Query::planarity(GraphRef::Name("g".into()), cfg(0.2).with_seed(seed)).with_property(p)
+        };
+        let a = s.query(q(1, Property::Bipartiteness)).unwrap();
+        assert!(a.outcome.accepted(), "grids are bipartite");
+        assert_eq!(s.engine_passes(), 1);
+        // Different seed, same property: warm (verdict is seed-free).
+        let b = s.query(q(2, Property::Bipartiteness)).unwrap();
+        assert_eq!(b.cache, CacheStatus::Warm);
+        assert_eq!(s.engine_passes(), 1);
+        // Different property: its own pass.
+        let c = s.query(q(1, Property::CycleFreeness)).unwrap();
+        assert!(!c.outcome.accepted(), "grids have cycles");
+        assert_eq!(s.engine_passes(), 2);
+    }
+
+    #[test]
+    fn paper_mode_rejects_never_become_certificates() {
+        // Demoucron (paper) mode is not one-sided — the Claim 10
+        // refutation shows it can reject planar graphs — so a reject
+        // under one seed proves nothing about other seeds and must not
+        // be replayed for them.
+        let mut s = service_with("k33", "complete_bipartite(3,3)");
+        let q = |seed: u64| {
+            Query::planarity(
+                GraphRef::Name("k33".into()),
+                cfg(0.1)
+                    .with_seed(seed)
+                    .with_embedding(planartest_core::EmbeddingMode::Demoucron),
+            )
+        };
+        let first = s.query(q(1)).unwrap();
+        assert!(!first.outcome.accepted());
+        // Fresh seed: its own engine pass, not a certificate replay.
+        let second = s.query(q(2)).unwrap();
+        assert_eq!(second.cache, CacheStatus::Cold);
+        assert_eq!(s.engine_passes(), 2);
+        // Exact-seed replay still works (it is an observation, and the
+        // observation is deterministic per seed).
+        assert_eq!(s.query(q(1)).unwrap().cache, CacheStatus::Warm);
+        assert_eq!(s.engine_passes(), 2);
+    }
+
+    #[test]
+    fn query_preserves_previously_submitted_queue() {
+        let mut s = service_with("p", "tri_grid(4,4)");
+        let pending_id = s.submit(Query::planarity(
+            GraphRef::Name("p".into()),
+            cfg(0.2).with_seed(11),
+        ));
+        // A one-shot in between must serve only itself...
+        let one_shot = s
+            .query(Query::planarity(
+                GraphRef::Name("p".into()),
+                cfg(0.2).with_seed(22),
+            ))
+            .unwrap();
+        assert_eq!(one_shot.coalesced, 1);
+        // ...and the earlier submission is still pending and drainable.
+        assert_eq!(s.pending(), 1);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, pending_id);
+        assert!(drained[0].1.is_ok());
+    }
+
+    #[test]
+    fn unknown_graph_fails_only_that_query() {
+        let mut s = service_with("p", "tri_grid(4,4)");
+        s.submit(Query::planarity(GraphRef::Name("missing".into()), cfg(0.2)));
+        s.submit(Query::planarity(GraphRef::Name("p".into()), cfg(0.2)));
+        let drained = s.drain();
+        assert!(matches!(
+            drained[0].1,
+            Err(ServiceError::UnknownGraph { .. })
+        ));
+        assert!(drained[1].1.is_ok());
+        let stats = s.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert_eq!(stats.graphs, 1);
+        assert_eq!(stats.engine_passes, 1);
+    }
+
+    #[test]
+    fn queries_by_fingerprint_resolve() {
+        let mut s = Service::new();
+        let fp = s
+            .registry_mut()
+            .ingest_spec("p", "tri_grid(4,4)")
+            .unwrap()
+            .fingerprint;
+        let r = s
+            .query(Query::planarity(GraphRef::Fingerprint(fp), cfg(0.2)))
+            .unwrap();
+        assert_eq!(r.graph, fp);
+    }
+}

@@ -174,6 +174,40 @@ impl Backend {
     }
 }
 
+/// Error parsing a [`Backend`] from its textual form.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBackendError;
+
+impl std::fmt::Display for ParseBackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("backend must be `serial`, `auto`, `parallel` or `parallel:<threads>`")
+    }
+}
+
+impl std::error::Error for ParseBackendError {}
+
+impl std::str::FromStr for Backend {
+    type Err = ParseBackendError;
+
+    /// Parses the textual backend form used by the service CLI and wire
+    /// protocol: `serial`, `auto`, `parallel` (all cores) or
+    /// `parallel:<threads>`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "serial" => Ok(Backend::Serial),
+            "auto" => Ok(Backend::Auto),
+            "parallel" => Ok(Backend::Parallel { threads: 0 }),
+            other => match other.strip_prefix("parallel:") {
+                Some(t) => t
+                    .parse::<usize>()
+                    .map(|threads| Backend::Parallel { threads })
+                    .map_err(|_| ParseBackendError),
+                None => Err(ParseBackendError),
+            },
+        }
+    }
+}
+
 /// Hardware parallelism, overridden by `PLANARTEST_THREADS` when it
 /// holds a positive integer (the override may exceed the core count —
 /// deliberately, so worker-pool paths can be exercised on small
@@ -377,5 +411,22 @@ mod tests {
             3
         );
         assert_eq!(Backend::Serial.threads_for_batch(5, 1 << 20, 1 << 20), 1);
+    }
+
+    #[test]
+    fn backend_parses_from_text() {
+        assert_eq!("serial".parse::<Backend>(), Ok(Backend::Serial));
+        assert_eq!("auto".parse::<Backend>(), Ok(Backend::Auto));
+        assert_eq!(
+            "parallel".parse::<Backend>(),
+            Ok(Backend::Parallel { threads: 0 })
+        );
+        assert_eq!(
+            " parallel:4 ".parse::<Backend>(),
+            Ok(Backend::Parallel { threads: 4 })
+        );
+        assert_eq!("parallel:x".parse::<Backend>(), Err(ParseBackendError));
+        assert_eq!("fast".parse::<Backend>(), Err(ParseBackendError));
+        assert!(ParseBackendError.to_string().contains("parallel"));
     }
 }

@@ -19,7 +19,10 @@
 //! * [`embed`] (`planartest-embed`) — rotation systems and the Demoucron
 //!   embedder;
 //! * [`core`] (`planartest-core`) — the paper's two-stage tester and
-//!   companions.
+//!   companions;
+//! * [`service`] (`planartest-service`) — the query service layer:
+//!   graph registry, one-sided-error result cache, batch-coalescing
+//!   scheduler, and the `planartest` CLI.
 //!
 //! # Quickstart
 //!
@@ -51,4 +54,5 @@
 pub use planartest_core as core;
 pub use planartest_embed as embed;
 pub use planartest_graph as graph;
+pub use planartest_service as service;
 pub use planartest_sim as sim;
