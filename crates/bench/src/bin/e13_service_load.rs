@@ -1,8 +1,11 @@
 //! E13 — service-layer load benchmark; writes `BENCH_service.json`.
 //!
 //! `--check` turns the gate into an exit code for CI: warm-cache p50
-//! must beat cold by at least 10×, and the coalesced same-graph sweep
-//! must not lose to sequential per-query drains.
+//! must beat cold by at least 10×, the coalesced same-graph sweep must
+//! not lose to sequential per-query drains, and the multi-client
+//! unix-socket scenario (N concurrent clients through the background
+//! drain loop, outcomes asserted identical to sequential) must not
+//! lose to per-client serial service.
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
@@ -10,10 +13,12 @@ fn main() {
     if check && !gate.pass() {
         eprintln!(
             "service gate FAILED: warm p50 speedup {:.2}x (need >= {:.0}x), \
-             coalesced speedup {:.2}x (need >= 1.0x)",
+             coalesced speedup {:.2}x (need >= 1.0x), \
+             multi-client speedup {:.2}x (need >= 1.0x)",
             gate.warm_p50_speedup,
             planartest_bench::ServiceGate::WARM_SPEEDUP_FLOOR,
             gate.coalesced_speedup,
+            gate.multi_client_speedup,
         );
         std::process::exit(1);
     }

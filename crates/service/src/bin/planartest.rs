@@ -1,29 +1,49 @@
 //! The `planartest` CLI: a line-delimited JSON query service.
 //!
 //! ```text
-//! planartest serve                 # LDJSON protocol on stdin/stdout
+//! planartest serve [FLAGS]         # LDJSON server: stdio + sockets
 //! planartest query [FLAGS]         # one-shot: ingest + query + print
 //! planartest families              # list the generator corpus
 //! ```
+//!
+//! `serve` flags: `--unix PATH`, `--tcp ADDR` (listeners beyond the
+//! default stdio transport), `--no-stdio` (daemon mode), `--linger-ms
+//! N` (coalescing window), `--wake-depth N`, `--group-threads N`,
+//! `--cache-accepts N`, `--max-frame-bytes N`.
 //!
 //! `query` flags: `--spec SPEC` or `--graph-file PATH` (edge list),
 //! `--property P`, `--epsilon E`, `--seed S`, `--phases T`,
 //! `--backend B` (`serial|parallel[:k]|auto`), `--embedding strict|paper`.
 
-use std::io::{BufRead, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
-use planartest_service::protocol::{handle_line, handle_request};
+use planartest_service::protocol::handle_request;
 use planartest_service::wire::Value;
-use planartest_service::Service;
+use planartest_service::{ServeOptions, Server, Service};
 
 const USAGE: &str = "\
 planartest — query service for distributed planarity testing
 
 USAGE:
-  planartest serve
-      Read one JSON request per line on stdin, write one JSON response
-      per line on stdout (ops: ingest, query, batch, stats, families).
+  planartest serve [--unix PATH] [--tcp ADDR] [--no-stdio]
+      [--linger-ms N] [--wake-depth N] [--group-threads N]
+      [--cache-accepts N] [--max-frame-bytes N]
+      Serve one JSON request per line, one JSON response per line
+      (ops: ingest, query, batch, stats, families), multiplexing
+      stdio plus any configured unix-socket / TCP listeners through
+      one scheduler: same-graph queries from *different* clients
+      coalesce into shared engine passes. --linger-ms (default 0)
+      is the coalescing window lone queries may wait; --wake-depth
+      fires a cycle early once that many requests are pending;
+      --group-threads (default: all cores) fans independent query
+      groups across workers; --cache-accepts bounds the per-seed
+      result-cache stripes (LRU; reject certificates are permanent);
+      --max-frame-bytes caps a request line (oversized frames get an
+      error response, not a dead server). EOF on stdin or SIGTERM
+      shuts down gracefully, answering everything already queued;
+      --no-stdio (daemon mode, needs --unix/--tcp) skips the stdin
+      transport so a detached server is stopped by SIGTERM only.
   planartest query (--spec SPEC | --graph-file PATH) [--property P]
       [--epsilon E] [--seed S] [--phases T] [--backend B]
       [--embedding strict|paper]
@@ -33,26 +53,146 @@ USAGE:
       Print the spec-addressable generator corpus.
 ";
 
-fn serve() -> ExitCode {
-    let mut service = Service::new();
-    let stdin = std::io::stdin();
-    let stdout = std::io::stdout();
-    let mut out = stdout.lock();
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(l) => l,
-            Err(_) => break, // stdin closed
+/// SIGTERM/SIGINT → a flag the serve loop's watcher thread polls.
+/// `std` has no signal API and the workspace is offline, so the
+/// handler is registered through libc's `signal`, which every unix
+/// target already links.
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only async-signal-safe work here: set the flag, nothing else.
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        extern "C" {
+            fn signal(signum: i32, handler: extern "C" fn(i32)) -> isize;
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+fn serve(args: &[String]) -> ExitCode {
+    // `--no-stdio` is the one valueless flag (daemon mode: don't read
+    // stdin, don't shut down on its EOF — SIGTERM/SIGINT still work).
+    let stdio = !args.iter().any(|a| a == "--no-stdio");
+    let args: Vec<String> = args
+        .iter()
+        .filter(|a| *a != "--no-stdio")
+        .cloned()
+        .collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut opts = ServeOptions::default();
+    let mut unix_path: Option<String> = None;
+    let mut tcp_addr: Option<String> = None;
+    let mut group_threads = 0usize; // serve default: all cores
+    let mut cache_accepts: Option<usize> = None;
+    for (name, value) in flags {
+        let parse_u64 = || -> Result<u64, ExitCode> {
+            value.parse::<u64>().map_err(|_| {
+                eprintln!("error: `--{name}` must be a non-negative integer");
+                ExitCode::from(2)
+            })
         };
-        if line.trim().is_empty() {
-            continue;
+        match name.as_str() {
+            "unix" => unix_path = Some(value.clone()),
+            "tcp" => tcp_addr = Some(value.clone()),
+            "linger-ms" => match parse_u64() {
+                Ok(ms) => opts.linger = Duration::from_millis(ms),
+                Err(code) => return code,
+            },
+            "wake-depth" => match parse_u64() {
+                // 0 = "never by depth", same as the default.
+                Ok(0) => opts.wake_depth = usize::MAX,
+                Ok(d) => opts.wake_depth = d as usize,
+                Err(code) => return code,
+            },
+            "group-threads" => match parse_u64() {
+                Ok(t) => group_threads = t as usize,
+                Err(code) => return code,
+            },
+            "cache-accepts" => match parse_u64() {
+                Ok(c) => cache_accepts = Some(c as usize),
+                Err(code) => return code,
+            },
+            "max-frame-bytes" => match parse_u64() {
+                Ok(b) => opts.max_frame = b as usize,
+                Err(code) => return code,
+            },
+            other => {
+                eprintln!("error: unknown serve flag `--{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
         }
-        let response = handle_line(&mut service, &line);
-        if writeln!(out, "{response}")
-            .and_then(|()| out.flush())
-            .is_err()
-        {
-            break; // stdout closed
+    }
+
+    let mut service = Service::new().with_group_threads(group_threads);
+    if let Some(capacity) = cache_accepts {
+        service.set_cache_accepts(capacity);
+    }
+    if !stdio && unix_path.is_none() && tcp_addr.is_none() {
+        eprintln!("error: `--no-stdio` needs at least one of `--unix` / `--tcp`");
+        return ExitCode::from(2);
+    }
+    let server = Server::start(service, opts);
+    // Stdio is the compatibility transport and the default shutdown
+    // control (EOF = graceful stop), matching the old synchronous
+    // loop's lifetime even when sockets carry the load. `--no-stdio`
+    // skips it for daemonized socket-only servers, whose stdin is
+    // typically /dev/null and would otherwise EOF — and exit —
+    // immediately; they stop on SIGTERM/SIGINT instead.
+    if stdio {
+        server.attach_stdio();
+    }
+    if let Some(path) = &unix_path {
+        if let Err(e) = server.listen_unix(std::path::Path::new(path)) {
+            eprintln!("error: cannot listen on unix socket `{path}`: {e}");
+            return ExitCode::from(2);
         }
+        eprintln!("listening unix {path}");
+    }
+    if let Some(addr) = &tcp_addr {
+        match server.listen_tcp(addr) {
+            Ok(bound) => eprintln!("listening tcp {bound}"),
+            Err(e) => {
+                eprintln!("error: cannot listen on tcp `{addr}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    #[cfg(unix)]
+    {
+        sig::install();
+        let queue = server.submission_queue();
+        std::thread::Builder::new()
+            .name("planartest-signals".into())
+            .spawn(move || loop {
+                if sig::TERMINATED.load(std::sync::atomic::Ordering::SeqCst) {
+                    queue.request_shutdown();
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            })
+            .expect("spawn signal watcher");
+    }
+    let _ = server.join();
+    if let Some(path) = &unix_path {
+        let _ = std::fs::remove_file(path);
     }
     ExitCode::SUCCESS
 }
@@ -157,7 +297,7 @@ fn families() -> ExitCode {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
-        Some("serve") if args.len() == 1 => serve(),
+        Some("serve") => serve(&args[1..]),
         Some("query") => one_shot(&args[1..]),
         Some("families") if args.len() == 1 => families(),
         Some("--help" | "-h" | "help") => {

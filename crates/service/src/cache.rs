@@ -22,6 +22,24 @@
 //! are the stored engine pass's. The execution backend is deliberately
 //! absent from the key: backends are bit-for-bit equivalent, so a
 //! serially-computed entry may serve a parallel query and vice versa.
+//!
+//! # Bounded accept stripes
+//!
+//! The two retention classes grow very differently. Certificates are
+//! tiny and bounded by the number of distinct `(graph, config)` pairs;
+//! per-seed stripes grow with *every fresh seed* a long-running server
+//! sees, without bound. The cache therefore puts an LRU cap
+//! ([`ResultCache::accept_capacity`], default
+//! [`DEFAULT_ACCEPT_CAPACITY`], settable via `planartest serve
+//! --cache-accepts N`) on the per-seed Monte-Carlo stripes only:
+//! when the cap is exceeded the least-recently-touched stripe is
+//! dropped (counted in [`CacheStats::evictions`]) and a repeat of that
+//! exact seed simply pays a fresh — still coalesceable — engine pass.
+//! Reject **certificates are never evicted**: they are proofs, and
+//! evicting a proof would re-run a partition the error model says can
+//! never be needed again. (A certifiable reject's own stripe may be
+//! evicted; its outcome lives on in the certificate, so only its
+//! `warm` vs `certificate` provenance label changes.)
 
 use std::collections::hash_map::Entry as MapEntry;
 use std::collections::{BTreeMap, HashMap};
@@ -29,6 +47,11 @@ use std::collections::{BTreeMap, HashMap};
 use planartest_graph::fingerprint::Fingerprint;
 
 use crate::query::{CacheStatus, Outcome, Property};
+
+/// Default per-seed stripe cap: generous — tens of thousands of
+/// distinct `(slot, seed)` outcomes resident before anything is
+/// evicted — while still bounding a months-long serve loop.
+pub const DEFAULT_ACCEPT_CAPACITY: usize = 1 << 16;
 
 /// Cache key: graph content × configuration (seed excluded) × property.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -42,13 +65,22 @@ pub struct CacheKey {
     pub property: Property,
 }
 
+/// One stored per-seed outcome plus its LRU recency stamp.
+#[derive(Debug, Clone)]
+struct Stored {
+    outcome: Outcome,
+    /// The cache-wide logical clock value of the last touch (insert or
+    /// warm hit); the key of this entry in the LRU index.
+    tick: u64,
+}
+
 /// Stored results for one cache key.
 #[derive(Debug, Clone, Default)]
 struct CacheSlot {
     /// Exact per-seed outcomes (accepts *and* rejects), replayed
     /// bit-identically for repeat queries. For seed-independent
-    /// properties everything lives under seed 0.
-    by_seed: BTreeMap<u64, Outcome>,
+    /// properties everything lives under seed 0. LRU-bounded.
+    by_seed: BTreeMap<u64, Stored>,
     /// The permanent reject certificate: `(certifying seed, outcome)`.
     /// Set by the first reject; never evicted (one-sided error).
     certificate: Option<(u64, Outcome)>,
@@ -63,24 +95,82 @@ pub struct CacheStats {
     pub certificate_hits: u64,
     /// Lookups that required an engine pass.
     pub misses: u64,
+    /// Per-seed stripes dropped by the LRU accept bound.
+    pub evictions: u64,
 }
 
+type SlotKey = (u128, u128, Property);
+
 /// The result cache (see the [module docs](self) for the policy).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct ResultCache {
-    slots: HashMap<(u128, u128, Property), CacheSlot>,
+    slots: HashMap<SlotKey, CacheSlot>,
+    /// LRU index over every per-seed stripe: recency tick → its
+    /// location. Certificates are deliberately not in here.
+    lru: BTreeMap<u64, (SlotKey, u64)>,
+    /// Monotone logical clock driving the LRU order.
+    tick: u64,
+    accept_capacity: usize,
     stats: CacheStats,
 }
 
+impl Default for ResultCache {
+    fn default() -> Self {
+        ResultCache {
+            slots: HashMap::new(),
+            lru: BTreeMap::new(),
+            tick: 0,
+            accept_capacity: DEFAULT_ACCEPT_CAPACITY,
+            stats: CacheStats::default(),
+        }
+    }
+}
+
 impl ResultCache {
-    /// An empty cache.
+    /// An empty cache with the default accept-stripe capacity.
     #[must_use]
     pub fn new() -> Self {
         ResultCache::default()
     }
 
-    fn slot_key(key: &CacheKey) -> (u128, u128, Property) {
+    /// Replaces the per-seed stripe cap (builder form). A cap of 0
+    /// disables per-seed retention entirely; certificates still form.
+    #[must_use]
+    pub fn with_accept_capacity(mut self, capacity: usize) -> Self {
+        self.set_accept_capacity(capacity);
+        self
+    }
+
+    /// Replaces the per-seed stripe cap, evicting immediately if the
+    /// resident stripes already exceed it.
+    pub fn set_accept_capacity(&mut self, capacity: usize) {
+        self.accept_capacity = capacity;
+        self.evict_over_capacity();
+    }
+
+    /// The current per-seed stripe cap.
+    #[must_use]
+    pub fn accept_capacity(&self) -> usize {
+        self.accept_capacity
+    }
+
+    fn slot_key(key: &CacheKey) -> SlotKey {
         (key.graph.0, key.config.0, key.property)
+    }
+
+    fn evict_over_capacity(&mut self) {
+        while self.lru.len() > self.accept_capacity {
+            let (&tick, &(slot_key, seed)) =
+                self.lru.iter().next().expect("non-empty over-cap LRU");
+            self.lru.remove(&tick);
+            if let Some(slot) = self.slots.get_mut(&slot_key) {
+                slot.by_seed.remove(&seed);
+                self.stats.evictions += 1;
+                if slot.by_seed.is_empty() && slot.certificate.is_none() {
+                    self.slots.remove(&slot_key);
+                }
+            }
+        }
     }
 
     /// The seed axis actually used for `property` (seed-independent
@@ -101,14 +191,22 @@ impl ResultCache {
     /// statistics belong to that run).
     pub fn lookup(&mut self, key: &CacheKey, seed: u64) -> Option<(Outcome, CacheStatus, u64)> {
         let seed = Self::seed_axis(key.property, seed);
-        let slot = self.slots.get(&Self::slot_key(key));
-        if let Some(outcome) = slot.and_then(|s| s.by_seed.get(&seed)) {
-            self.stats.warm_hits += 1;
-            return Some((outcome.clone(), CacheStatus::Warm, seed));
-        }
-        if let Some((cert_seed, outcome)) = slot.and_then(|s| s.certificate.as_ref()) {
-            self.stats.certificate_hits += 1;
-            return Some((outcome.clone(), CacheStatus::Certificate, *cert_seed));
+        let slot_key = Self::slot_key(key);
+        if let Some(slot) = self.slots.get_mut(&slot_key) {
+            if let Some(stored) = slot.by_seed.get_mut(&seed) {
+                self.stats.warm_hits += 1;
+                // Touch: move the stripe to the most-recent end of the
+                // LRU order.
+                self.lru.remove(&stored.tick);
+                self.tick += 1;
+                stored.tick = self.tick;
+                self.lru.insert(self.tick, (slot_key, seed));
+                return Some((stored.outcome.clone(), CacheStatus::Warm, seed));
+            }
+            if let Some((cert_seed, outcome)) = slot.certificate.as_ref() {
+                self.stats.certificate_hits += 1;
+                return Some((outcome.clone(), CacheStatus::Certificate, *cert_seed));
+            }
         }
         self.stats.misses += 1;
         None
@@ -124,14 +222,23 @@ impl ResultCache {
     /// seed-universal proofs.
     pub fn insert(&mut self, key: &CacheKey, seed: u64, outcome: &Outcome, certifiable: bool) {
         let seed = Self::seed_axis(key.property, seed);
-        let slot = match self.slots.entry(Self::slot_key(key)) {
+        let slot_key = Self::slot_key(key);
+        let slot = match self.slots.entry(slot_key) {
             MapEntry::Occupied(e) => e.into_mut(),
             MapEntry::Vacant(e) => e.insert(CacheSlot::default()),
         };
-        slot.by_seed.entry(seed).or_insert_with(|| outcome.clone());
+        if let std::collections::btree_map::Entry::Vacant(stripe) = slot.by_seed.entry(seed) {
+            self.tick += 1;
+            stripe.insert(Stored {
+                outcome: outcome.clone(),
+                tick: self.tick,
+            });
+            self.lru.insert(self.tick, (slot_key, seed));
+        }
         if certifiable && !outcome.accepted() && slot.certificate.is_none() {
             slot.certificate = Some((seed, outcome.clone()));
         }
+        self.evict_over_capacity();
     }
 
     /// Hit/miss counters since construction (or the last [`clear`](Self::clear)).
@@ -159,9 +266,10 @@ impl ResultCache {
     }
 
     /// Drops every entry and resets the counters (used by load drivers
-    /// to re-measure cold paths).
+    /// to re-measure cold paths). The configured capacity is kept.
     pub fn clear(&mut self) {
         self.slots.clear();
+        self.lru.clear();
         self.stats = CacheStats::default();
     }
 }
@@ -218,7 +326,8 @@ mod tests {
             CacheStats {
                 warm_hits: 2,
                 certificate_hits: 1,
-                misses: 2
+                misses: 2,
+                evictions: 0
             }
         );
         assert_eq!(cache.len(), 1);
@@ -261,6 +370,64 @@ mod tests {
         cache.insert(&k, 1, &outcome(false), false);
         assert_eq!(cache.lookup(&k, 1).unwrap().1, CacheStatus::Warm);
         assert!(cache.lookup(&k, 2).is_none());
+    }
+
+    #[test]
+    fn lru_bound_evicts_stale_accept_stripes() {
+        let mut cache = ResultCache::new().with_accept_capacity(2);
+        assert_eq!(cache.accept_capacity(), 2);
+        let k = key(Property::Planarity);
+        cache.insert(&k, 1, &outcome(true), true);
+        cache.insert(&k, 2, &outcome(true), true);
+        // Touch seed 1 so seed 2 is now the least recently used...
+        assert_eq!(cache.lookup(&k, 1).unwrap().1, CacheStatus::Warm);
+        // ...and a third stripe evicts seed 2, not seed 1.
+        cache.insert(&k, 3, &outcome(true), true);
+        assert_eq!(cache.stored_outcomes(), 2);
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.lookup(&k, 1).unwrap().1, CacheStatus::Warm);
+        assert_eq!(cache.lookup(&k, 3).unwrap().1, CacheStatus::Warm);
+        assert!(cache.lookup(&k, 2).is_none(), "evicted stripe is a miss");
+    }
+
+    #[test]
+    fn certificates_survive_eviction() {
+        // Capacity 0: no per-seed retention at all — yet a certifiable
+        // reject still becomes a permanent proof.
+        let mut cache = ResultCache::new().with_accept_capacity(0);
+        let k = key(Property::Planarity);
+        cache.insert(&k, 7, &outcome(false), true);
+        assert_eq!(cache.stored_outcomes(), 0, "stripe evicted immediately");
+        assert_eq!(cache.stats().evictions, 1);
+        let (o, status, seed) = cache.lookup(&k, 7).unwrap();
+        assert_eq!(status, CacheStatus::Certificate);
+        assert_eq!(seed, 7);
+        assert!(!o.accepted());
+        // Accepts under capacity 0 are simply not retained.
+        let ka = key(Property::Bipartiteness);
+        cache.insert(&ka, 1, &outcome(true), true);
+        assert!(cache.lookup(&ka, 1).is_none());
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_immediately() {
+        let mut cache = ResultCache::new();
+        let k = key(Property::Planarity);
+        for seed in 0..8 {
+            cache.insert(&k, seed, &outcome(true), true);
+        }
+        assert_eq!(cache.stored_outcomes(), 8);
+        cache.set_accept_capacity(3);
+        assert_eq!(cache.stored_outcomes(), 3);
+        assert_eq!(cache.stats().evictions, 5);
+        // The survivors are the most recently inserted stripes.
+        for seed in 5..8 {
+            assert_eq!(cache.lookup(&k, seed).unwrap().1, CacheStatus::Warm);
+        }
+        // An empty accept-only slot disappears entirely once its last
+        // stripe goes.
+        cache.set_accept_capacity(0);
+        assert!(cache.is_empty());
     }
 
     #[test]

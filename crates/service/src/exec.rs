@@ -1,0 +1,152 @@
+//! The execution layer: run coalesced groups, possibly in parallel.
+//!
+//! A *group* is the scheduler's unit of engine work — every pending
+//! query that shares a `(graph, config, property)` cache key rides one
+//! instance-multiplexed engine pass. Groups are mutually independent
+//! (distinct keys, disjoint outputs) and [`execute_groups`] fans them
+//! across a [`TrialRunner`] pool: group execution is **pure** — it
+//! reads the resident CSR through an immutable registry borrow and
+//! returns a [`GroupPass`] — so the only ordered state (cache inserts,
+//! the engine-pass counter, response slots) is applied afterwards by
+//! the scheduler, sequentially, in group order. That split is what
+//! makes parallel group drains bit-for-bit equal to sequential ones
+//! (proven by `tests/drain_proptests.rs`) no matter how the pool
+//! schedules the work.
+
+use std::time::Instant;
+
+use planartest_core::applications::{test_bipartiteness, test_cycle_freeness, HereditaryOutcome};
+use planartest_core::{CoreError, PlanarityTester, TesterConfig};
+use planartest_graph::Graph;
+use planartest_sim::{
+    Backend, Engine, EngineCore, ParallelEngine, SimConfig, SimStats, TrialRunner,
+};
+
+use crate::cache::CacheKey;
+use crate::query::{GraphRef, Outcome, Property};
+use crate::registry::GraphRegistry;
+use crate::scheduler::Resolved;
+
+/// One coalesced group: the shared key and pass parameters, the batch
+/// lanes (distinct seeds, first-seen order), and the member queries
+/// with their response-slot indices.
+#[derive(Debug)]
+pub(crate) struct Group {
+    /// The shared cache key (graph fingerprint × config × property).
+    pub key: CacheKey,
+    /// The first member's full config (fingerprint-equal for all).
+    pub cfg: TesterConfig,
+    /// The first member's backend (a wall-clock choice only — outcomes
+    /// are backend-invariant).
+    pub backend: Backend,
+    /// Distinct seed lanes in first-seen order (seed-independent
+    /// properties collapse onto lane 0).
+    pub seeds: Vec<u64>,
+    /// `(response slot, resolved query)` pairs, submission order.
+    pub members: Vec<(usize, Resolved)>,
+}
+
+impl Group {
+    /// The seed lane a member occupies.
+    pub(crate) fn lane(&self, member: &Resolved) -> u64 {
+        if self.key.property.seed_dependent() {
+            member.seed
+        } else {
+            0
+        }
+    }
+}
+
+/// The result of one group's engine pass, before any state is applied.
+#[derive(Debug)]
+pub(crate) struct GroupPass {
+    /// Per-lane outcomes, or the pass-wide engine failure.
+    pub by_seed: Result<Vec<(u64, Outcome)>, CoreError>,
+    /// Wall-clock of the pass (split per member by the scheduler).
+    pub engine_micros: u64,
+}
+
+/// Runs every group, fanning independent groups across the runner's
+/// worker pool (`sim::runtime::trials` machinery; 1 thread = today's
+/// sequential drain). Results come back in group order regardless of
+/// scheduling.
+pub(crate) fn execute_groups(
+    registry: &GraphRegistry,
+    groups: &[Group],
+    runner: &TrialRunner,
+) -> Vec<GroupPass> {
+    runner.map_ref(groups, |group| run_group_pass(registry, group))
+}
+
+/// Executes one group through a single engine pass. Pure with respect
+/// to the service: reads the resident CSR, touches no cache or
+/// counter state.
+fn run_group_pass(registry: &GraphRegistry, group: &Group) -> GroupPass {
+    // Resolution already succeeded during the scheduler's resolve
+    // stage (that is where `key.graph` came from) and the registry is
+    // immutable for the whole cycle, so the lookup cannot fail here.
+    let graph = &registry
+        .resolve(&GraphRef::Fingerprint(group.key.graph))
+        .expect("resolved during the cycle's resolve stage")
+        .graph;
+
+    let started = Instant::now();
+    let by_seed: Result<Vec<(u64, Outcome)>, CoreError> = match group.key.property {
+        Property::Planarity => PlanarityTester::new(group.cfg.clone())
+            .with_backend(group.backend)
+            .run_many(graph, &group.seeds)
+            .map(|outs| {
+                group
+                    .seeds
+                    .iter()
+                    .copied()
+                    .zip(outs.into_iter().map(Outcome::Planarity))
+                    .collect()
+            }),
+        Property::CycleFreeness | Property::Bipartiteness => {
+            run_hereditary(graph, &group.cfg, group.key.property, group.backend)
+                .map(|(outcome, stats)| vec![(0, Outcome::Hereditary { outcome, stats })])
+        }
+    };
+    GroupPass {
+        by_seed,
+        engine_micros: started.elapsed().as_micros() as u64,
+    }
+}
+
+/// Runs a Corollary 16 tester on the requested backend, returning the
+/// outcome plus the pass's statistics (accounted via
+/// [`SimStats::delta_since`] so engine reuse cannot double-charge).
+fn run_hereditary(
+    graph: &Graph,
+    cfg: &TesterConfig,
+    property: Property,
+    backend: Backend,
+) -> Result<(HereditaryOutcome, SimStats), CoreError> {
+    let sim = SimConfig::default().with_backend(backend);
+    match backend {
+        Backend::Serial => {
+            let mut engine = Engine::new(graph, sim);
+            run_hereditary_on(&mut engine, cfg, property)
+        }
+        Backend::Parallel { .. } | Backend::Auto => {
+            let mut engine = ParallelEngine::new(graph, sim);
+            run_hereditary_on(&mut engine, cfg, property)
+        }
+    }
+}
+
+fn run_hereditary_on<'g, E: EngineCore<'g>>(
+    engine: &mut E,
+    cfg: &TesterConfig,
+    property: Property,
+) -> Result<(HereditaryOutcome, SimStats), CoreError> {
+    let baseline = *engine.stats();
+    let outcome = match property {
+        Property::CycleFreeness => test_cycle_freeness(engine, cfg)?,
+        Property::Bipartiteness => test_bipartiteness(engine, cfg)?,
+        Property::Planarity => unreachable!("planarity rides run_many"),
+    };
+    let stats = engine.stats().delta_since(&baseline);
+    Ok((outcome, stats))
+}

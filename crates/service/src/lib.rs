@@ -18,15 +18,28 @@
 //!   permanently, witness included, replayed for any seed), **accepts
 //!   are per-seed Monte-Carlo evidence** (warm hits only for seeds that
 //!   ran). Replays are bit-identical to the original engine pass.
-//! * [`service::Service`] — the batch-coalescing scheduler.
-//!   [`Service::drain`] groups concurrent same-graph queries and feeds
-//!   each group through **one**
+//! * [`scheduler::Service`] — the batch-coalescing scheduler.
+//!   [`Service::drain`] resolves, groups, executes and responds in
+//!   four decoupled stages: same-key queries ride **one**
 //!   [`PlanarityTester::run_many`](planartest_core::PlanarityTester::run_many)
-//!   pass, so independent users share a single Stage-I partition and one
-//!   batched Stage-II; responses attribute per-query latency from the
+//!   pass (independent users share a single Stage-I partition and one
+//!   batched Stage-II), independent groups fan out across a
+//!   `TrialRunner` worker pool with bit-for-bit sequential-equal
+//!   results, and responses attribute per-query latency from the
 //!   per-instance round accounting.
-//! * [`protocol`] / [`wire`] — a line-delimited JSON protocol served by
-//!   the `planartest` binary (`serve` over stdin/stdout, `query`
+//! * [`scheduler::Server`] — the concurrent form: a dedicated thread
+//!   owns the service and drains a shared submission queue on
+//!   queue-depth or linger-timer wakeups, so *independent clients'*
+//!   same-graph queries coalesce automatically; graceful shutdown
+//!   (stdin EOF, SIGTERM) flushes everything pending first.
+//! * [`transport`] — how requests arrive: stdio, unix-socket and TCP
+//!   listeners all frame LDJSON requests
+//!   ([`wire::FrameReader`]) into that one queue, tagged with a
+//!   connection id; responses route back per connection in submission
+//!   order, and a hostile frame costs its sender one error response,
+//!   never the server.
+//! * [`protocol`] / [`wire`] — the line-delimited JSON protocol served
+//!   by the `planartest` binary (`serve` over any transport, `query`
 //!   one-shots).
 //!
 //! # Example
@@ -56,10 +69,12 @@
 
 pub mod cache;
 mod error;
+mod exec;
 pub mod protocol;
 mod query;
 pub mod registry;
-mod service;
+pub mod scheduler;
+pub mod transport;
 pub mod wire;
 
 pub use crate::cache::{CacheKey, CacheStats, ResultCache};
@@ -68,4 +83,5 @@ pub use crate::query::{
     CacheStatus, GraphRef, Outcome, ParsePropertyError, Property, Query, QueryId, QueryResponse,
 };
 pub use crate::registry::{GraphEntry, GraphRegistry};
-pub use crate::service::{DrainedQuery, Service, ServiceStats};
+pub use crate::scheduler::{DrainedQuery, ServeOptions, Server, Service, ServiceStats};
+pub use crate::transport::{ConnectionId, Connections, Submission, SubmissionQueue};

@@ -1,9 +1,17 @@
 //! The line-delimited JSON request protocol.
 //!
 //! One request per line, one response line per request — the format
-//! `planartest serve` speaks over stdin/stdout (and the shape the
-//! one-shot `planartest query` prints). Requests are objects with an
-//! `"op"` field:
+//! `planartest serve` speaks over every transport (stdin/stdout, unix
+//! sockets, TCP — see [`crate::transport`]) and the shape the one-shot
+//! `planartest query` prints. Under the concurrent server each
+//! request is tagged with its
+//! [`ConnectionId`](crate::transport::ConnectionId) at the framing
+//! layer and the
+//! response is routed back to that connection, in that connection's
+//! submission order; `query`/`batch` ops may linger in the submission
+//! queue to coalesce with other connections' requests (see
+//! [`coalescable`]), while control ops are answered on the next cycle.
+//! Requests are objects with an `"op"` field:
 //!
 //! | op | fields | effect |
 //! |----|--------|--------|
@@ -22,16 +30,36 @@ use planartest_graph::generators::spec;
 use planartest_sim::Backend;
 
 use crate::query::{GraphRef, Outcome, Property, Query, QueryResponse};
-use crate::service::Service;
+use crate::scheduler::Service;
 use crate::wire::Value;
 
 /// Default distance parameter when a query names none.
 pub const DEFAULT_EPSILON: f64 = 0.1;
 
-fn error(message: impl std::fmt::Display) -> Value {
+/// The protocol's error-response shape: `{"ok":false,"error":...}`.
+/// Used both for per-request failures and for per-connection framing
+/// failures (oversized or garbage frames), so a broken client always
+/// gets an answer instead of killing the server.
+#[must_use]
+pub fn error_value(message: impl std::fmt::Display) -> Value {
     Value::obj()
         .field("ok", false)
         .field("error", message.to_string())
+}
+
+fn error(message: impl std::fmt::Display) -> Value {
+    error_value(message)
+}
+
+/// Whether a request benefits from lingering in the submission queue
+/// to coalesce with others (`query`/`batch`). Control ops and
+/// malformed requests wake the drain loop immediately.
+#[must_use]
+pub fn coalescable(req: &Value) -> bool {
+    matches!(
+        req.get("op").and_then(Value::as_str),
+        Some("query" | "batch")
+    )
 }
 
 /// Parses the query-shaped fields of `req` into a [`Query`].
@@ -228,19 +256,31 @@ fn handle_query(service: &mut Service, req: &Value) -> Value {
     }
 }
 
-fn handle_batch(service: &mut Service, req: &Value) -> Value {
+/// Parses a `batch` op's members. Strict: a malformed member fails the
+/// whole batch before any engine time is spent.
+///
+/// # Errors
+///
+/// A human-readable message naming the offending member.
+pub fn parse_batch(req: &Value) -> Result<Vec<Query>, String> {
     let Some(queries) = req.get("queries").and_then(Value::as_arr) else {
-        return error("`batch` needs a `queries` array");
+        return Err("`batch` needs a `queries` array".to_string());
     };
-    // Parse everything first: a malformed member fails the batch before
-    // any engine time is spent.
     let mut parsed = Vec::with_capacity(queries.len());
     for (i, q) in queries.iter().enumerate() {
         match parse_query(q) {
             Ok(q) => parsed.push(q),
-            Err(e) => return error(format!("queries[{i}]: {e}")),
+            Err(e) => return Err(format!("queries[{i}]: {e}")),
         }
     }
+    Ok(parsed)
+}
+
+fn handle_batch(service: &mut Service, req: &Value) -> Value {
+    let parsed = match parse_batch(req) {
+        Ok(p) => p,
+        Err(e) => return error(e),
+    };
     for q in parsed {
         service.submit(q);
     }
@@ -265,6 +305,7 @@ fn handle_stats(service: &Service) -> Value {
         .field("warm_hits", s.cache.warm_hits)
         .field("certificate_hits", s.cache.certificate_hits)
         .field("misses", s.cache.misses)
+        .field("evictions", s.cache.evictions)
         .field("engine_passes", s.engine_passes)
         .field("queries_served", s.queries_served)
 }

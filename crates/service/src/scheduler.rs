@@ -1,0 +1,1061 @@
+//! The scheduler layer: the [`Service`] front object and the
+//! background drain loop ([`Server`]).
+//!
+//! [`Service`] owns the [`GraphRegistry`], the [`ResultCache`] and a
+//! queue of pending queries. Draining runs in four decoupled stages:
+//!
+//! 1. **resolve** — per query, in submission order: resolve the graph
+//!    reference, build the cache key, answer warm/certificate hits
+//!    immediately;
+//! 2. **group** — bucket the misses by `(graph, config, property)`
+//!    key, first-seen order;
+//! 3. **execute** — run each group through **one** instance-multiplexed
+//!    [`PlanarityTester::run_many`](planartest_core::PlanarityTester::run_many)
+//!    pass, independent groups fanned across a
+//!    [`TrialRunner`] pool (the `exec` module) — pure, so parallel and
+//!    sequential drains are bit-for-bit identical;
+//! 4. **respond** — apply cache inserts and counters sequentially in
+//!    group order and fill every response slot, submission order
+//!    preserved.
+//!
+//! [`Service::drain`] is the synchronous, caller-driven form of that
+//! pipeline (one cycle, responses returned). [`Server`] is the
+//! concurrent form: a dedicated thread owns the service and runs the
+//! same cycle against the shared
+//! [`SubmissionQueue`] that every transport
+//! ([`crate::transport`]) feeds, waking on queue depth, a control op,
+//! or a configurable linger timer — so *independent clients'*
+//! same-graph queries coalesce into shared engine passes without any
+//! client knowing about the others. Responses are routed back
+//! per-connection in submission order, and a shutdown request (stdin
+//! EOF, SIGTERM) flushes everything pending before the loop exits.
+
+use std::collections::HashMap;
+use std::io;
+use std::net::SocketAddr;
+#[cfg(unix)]
+use std::path::Path;
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use planartest_sim::TrialRunner;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::error::ServiceError;
+use crate::exec::{execute_groups, Group, GroupPass};
+use crate::protocol;
+use crate::query::{CacheStatus, Outcome, Property, Query, QueryId, QueryResponse};
+use crate::registry::GraphRegistry;
+use crate::transport::{
+    spawn_stdio, spawn_tcp_listener, ConnectionId, Connections, Submission, SubmissionQueue,
+};
+use crate::wire::{Value, DEFAULT_MAX_FRAME};
+
+/// One drained query: the id [`Service::submit`] handed out plus the
+/// response or the per-query failure.
+pub type DrainedQuery = (QueryId, Result<QueryResponse, ServiceError>);
+
+/// Aggregate service telemetry (the `stats` wire op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Distinct resident graphs.
+    pub graphs: usize,
+    /// `(graph, config, property)` cache slots.
+    pub cache_slots: usize,
+    /// Stored per-seed outcomes across all slots.
+    pub cached_outcomes: usize,
+    /// Cache hit/miss/eviction counters.
+    pub cache: crate::cache::CacheStats,
+    /// Engine passes executed (each pass may serve many queries).
+    pub engine_passes: u64,
+    /// Queries answered (from cache or engine).
+    pub queries_served: u64,
+}
+
+/// A pending query as the scheduler sees it after resolution.
+#[derive(Debug)]
+pub(crate) struct Resolved {
+    pub(crate) id: QueryId,
+    pub(crate) key: CacheKey,
+    pub(crate) seed: u64,
+    pub(crate) query: Query,
+}
+
+/// What the resolve stage decided for one query.
+pub(crate) enum Resolution {
+    /// Answered without engine work (cache hit or resolution failure).
+    Done(Result<QueryResponse, ServiceError>),
+    /// Needs an engine pass; goes to the group stage.
+    Miss(Resolved),
+}
+
+/// The long-running query service (see the crate-level docs for the
+/// full picture: registry + cache + coalescing scheduler).
+#[derive(Debug)]
+pub struct Service {
+    registry: GraphRegistry,
+    cache: ResultCache,
+    queue: Vec<(QueryId, Query)>,
+    next_id: QueryId,
+    engine_passes: u64,
+    queries_served: u64,
+    /// The group-execution pool. One thread (the default) reproduces
+    /// the historical strictly-sequential drain; more threads fan
+    /// independent groups out without changing any result bit.
+    runner: TrialRunner,
+}
+
+impl Default for Service {
+    fn default() -> Self {
+        Service {
+            registry: GraphRegistry::default(),
+            cache: ResultCache::default(),
+            queue: Vec::new(),
+            next_id: 0,
+            engine_passes: 0,
+            queries_served: 0,
+            runner: TrialRunner::new(1),
+        }
+    }
+}
+
+impl Service {
+    /// An empty service (sequential group execution).
+    #[must_use]
+    pub fn new() -> Self {
+        Service::default()
+    }
+
+    /// Sets the worker count independent groups fan across during a
+    /// drain (`0` = hardware parallelism, `1` = sequential). Purely a
+    /// wall-clock knob: drained results are bit-for-bit identical for
+    /// every value (see `tests/drain_proptests.rs`).
+    #[must_use]
+    pub fn with_group_threads(mut self, threads: usize) -> Self {
+        self.set_group_threads(threads);
+        self
+    }
+
+    /// See [`with_group_threads`](Self::with_group_threads).
+    pub fn set_group_threads(&mut self, threads: usize) {
+        self.runner = TrialRunner::new(threads);
+    }
+
+    /// The group-execution worker count.
+    #[must_use]
+    pub fn group_threads(&self) -> usize {
+        self.runner.threads()
+    }
+
+    /// Bounds the result cache's per-seed accept stripes (LRU; reject
+    /// certificates are never evicted). See
+    /// [`ResultCache::set_accept_capacity`].
+    pub fn set_cache_accepts(&mut self, capacity: usize) {
+        self.cache.set_accept_capacity(capacity);
+    }
+
+    /// The graph registry (immutable view).
+    #[must_use]
+    pub fn registry(&self) -> &GraphRegistry {
+        &self.registry
+    }
+
+    /// The graph registry, for ingestion.
+    pub fn registry_mut(&mut self) -> &mut GraphRegistry {
+        &mut self.registry
+    }
+
+    /// Engine passes executed so far. A warm or certificate hit does not
+    /// advance this counter — that is how tests *prove* a cached reject
+    /// replays its witness without re-running the partition.
+    #[must_use]
+    pub fn engine_passes(&self) -> u64 {
+        self.engine_passes
+    }
+
+    /// Aggregate telemetry.
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        ServiceStats {
+            graphs: self.registry.len(),
+            cache_slots: self.cache.len(),
+            cached_outcomes: self.cache.stored_outcomes(),
+            cache: self.cache.stats(),
+            engine_passes: self.engine_passes,
+            queries_served: self.queries_served,
+        }
+    }
+
+    /// Drops all cached results (cold-path measurement hook for load
+    /// drivers; the registry stays resident).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Enqueues a query for the next [`drain`](Self::drain); returns its id.
+    pub fn submit(&mut self, query: Query) -> QueryId {
+        let id = self.next_query_id();
+        self.queue.push((id, query));
+        id
+    }
+
+    /// Number of queries waiting for the next drain.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_query_id(&mut self) -> QueryId {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+
+    /// Serves one query immediately (a drain of one). Queries already
+    /// [`submit`](Self::submit)ted stay queued for the next
+    /// [`drain`](Self::drain) — this serves *only* the given query.
+    ///
+    /// # Errors
+    ///
+    /// Resolution or engine failures for this query.
+    pub fn query(&mut self, query: Query) -> Result<QueryResponse, ServiceError> {
+        let pending = std::mem::take(&mut self.queue);
+        let id = self.submit(query);
+        let mut drained = self.drain();
+        self.queue = pending;
+        debug_assert_eq!(drained.len(), 1);
+        let (got, result) = drained.pop().expect("one pending query");
+        debug_assert_eq!(got, id);
+        result
+    }
+
+    /// Drains the queue: one full resolve → group → execute → respond
+    /// cycle over everything [`submit`](Self::submit)ted.
+    ///
+    /// Responses come back in submission order. Per-query failures
+    /// (unknown graph, engine error) fail that query alone, not the
+    /// drain; an engine failure fails every query of its group (they
+    /// shared the pass).
+    pub fn drain(&mut self) -> Vec<DrainedQuery> {
+        let pending = std::mem::take(&mut self.queue);
+        let mut results: Vec<Option<DrainedQuery>> = Vec::new();
+        results.resize_with(pending.len(), || None);
+
+        // Stage 1: resolve (cache hits answered in place).
+        let mut misses: Vec<(usize, Resolved)> = Vec::new();
+        for (slot, (id, query)) in pending.into_iter().enumerate() {
+            match self.resolve_one(id, query) {
+                Resolution::Done(result) => results[slot] = Some((id, result)),
+                Resolution::Miss(resolved) => misses.push((slot, resolved)),
+            }
+        }
+
+        // Stage 2: group. Stage 3: execute (pure, possibly parallel).
+        let groups = group_misses(misses);
+        let passes = execute_groups(&self.registry, &groups, &self.runner);
+
+        // Stage 4: respond (ordered state, sequential in group order).
+        for (group, pass) in groups.into_iter().zip(passes) {
+            self.apply_group(group, pass, &mut results);
+        }
+
+        results
+            .into_iter()
+            .map(|r| r.expect("every pending query answered"))
+            .collect()
+    }
+
+    /// Stage 1 for one query: registry resolution + cache lookup.
+    pub(crate) fn resolve_one(&mut self, id: QueryId, query: Query) -> Resolution {
+        self.queries_served += 1;
+        let entry = match self.registry.resolve(&query.graph) {
+            Ok(e) => e,
+            Err(err) => return Resolution::Done(Err(err)),
+        };
+        let key = CacheKey {
+            graph: entry.fingerprint,
+            config: query.cfg.fingerprint(),
+            property: query.property,
+        };
+        let seed = query.cfg.seed;
+        if let Some((outcome, status, stored_seed)) = self.cache.lookup(&key, seed) {
+            return Resolution::Done(Ok(QueryResponse {
+                id,
+                graph: key.graph,
+                property: query.property,
+                seed: stored_seed,
+                outcome,
+                cache: status,
+                coalesced: 0,
+                engine_micros: 0,
+                attributed_micros: 0,
+            }));
+        }
+        Resolution::Miss(Resolved {
+            id,
+            key,
+            seed,
+            query,
+        })
+    }
+
+    /// Stage 4 for one group: bump the pass counter, record outcomes in
+    /// the cache, and fill the members' response slots with per-query
+    /// latency attribution.
+    pub(crate) fn apply_group(
+        &mut self,
+        group: Group,
+        pass: GroupPass,
+        results: &mut [Option<DrainedQuery>],
+    ) {
+        self.engine_passes += 1;
+        let by_seed = match pass.by_seed {
+            Ok(v) => v,
+            Err(e) => {
+                for (slot, r) in group.members {
+                    results[slot] = Some((r.id, Err(ServiceError::Engine(e.clone()))));
+                }
+                return;
+            }
+        };
+        let engine_micros = pass.engine_micros;
+        let coalesced = group.seeds.len();
+        let total_rounds: u64 = by_seed
+            .iter()
+            .map(|(_, o)| o.stats().total_rounds())
+            .sum::<u64>()
+            .max(1);
+        // The paper-faithful Demoucron mode is not one-sided (it can
+        // reject planar graphs — the Claim 10 refutation), so its
+        // rejects must not become seed-universal certificates.
+        let certifiable = !matches!(
+            group.cfg.embedding,
+            planartest_core::EmbeddingMode::Demoucron
+        );
+        for (seed, outcome) in &by_seed {
+            self.cache.insert(&group.key, *seed, outcome, certifiable);
+        }
+        // Indexed lane lookup: a Monte-Carlo fan-out can coalesce
+        // thousands of seeds, and every member resolves its lane here.
+        let outcome_of: HashMap<u64, &Outcome> = by_seed.iter().map(|(s, o)| (*s, o)).collect();
+        for (slot, r) in &group.members {
+            let lane = group.lane(r);
+            let outcome = (*outcome_of.get(&lane).expect("every lane ran")).clone();
+            let attributed =
+                engine_micros.saturating_mul(outcome.stats().total_rounds()) / total_rounds;
+            results[*slot] = Some((
+                r.id,
+                Ok(QueryResponse {
+                    id: r.id,
+                    graph: group.key.graph,
+                    property: group.key.property,
+                    seed: lane,
+                    outcome,
+                    cache: CacheStatus::Cold,
+                    coalesced,
+                    engine_micros,
+                    attributed_micros: attributed,
+                }),
+            ));
+        }
+    }
+}
+
+/// Stage 2: bucket resolve-stage misses into engine groups by cache
+/// key, preserving first-seen order of both groups and members, and
+/// collect each group's distinct seed lanes.
+pub(crate) fn group_misses(misses: Vec<(usize, Resolved)>) -> Vec<Group> {
+    let mut index: HashMap<(u128, u128, Property), usize> = HashMap::new();
+    let mut groups: Vec<Group> = Vec::new();
+    for (slot, resolved) in misses {
+        let gk = (
+            resolved.key.graph.0,
+            resolved.key.config.0,
+            resolved.key.property,
+        );
+        let g = match index.get(&gk) {
+            Some(&g) => g,
+            None => {
+                index.insert(gk, groups.len());
+                groups.push(Group {
+                    key: resolved.key,
+                    cfg: resolved.query.cfg.clone(),
+                    backend: resolved.query.backend,
+                    seeds: Vec::new(),
+                    members: Vec::new(),
+                });
+                groups.len() - 1
+            }
+        };
+        let group = &mut groups[g];
+        let lane = group.lane(&resolved);
+        if !group.seeds.contains(&lane) {
+            group.seeds.push(lane);
+        }
+        group.members.push((slot, resolved));
+    }
+    groups
+}
+
+/// Tuning for the background drain loop (see [`Server::start`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// How long the oldest pending query may wait for company before a
+    /// cycle fires anyway. `ZERO` (the default) serves every request
+    /// immediately — the latency end of the linger-vs-latency
+    /// tradeoff; raising it widens the cross-client coalescing window
+    /// at the cost of that much added tail latency for lone queries.
+    pub linger: Duration,
+    /// Queue depth that fires a cycle before the linger expires
+    /// (`usize::MAX` = depth never fires one; `linger` alone governs).
+    pub wake_depth: usize,
+    /// Per-frame byte cap on every transport
+    /// ([`DEFAULT_MAX_FRAME`]).
+    pub max_frame: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            linger: Duration::ZERO,
+            wake_depth: usize::MAX,
+            max_frame: DEFAULT_MAX_FRAME,
+        }
+    }
+}
+
+/// The concurrent server: a dedicated thread owns a [`Service`] and
+/// drains the shared submission queue in cycles; transports attach via
+/// [`attach_stdio`](Server::attach_stdio) /
+/// [`listen_unix`](Server::listen_unix) /
+/// [`listen_tcp`](Server::listen_tcp).
+#[derive(Debug)]
+pub struct Server {
+    queue: Arc<SubmissionQueue>,
+    connections: Arc<Connections>,
+    max_frame: usize,
+    handle: thread::JoinHandle<Service>,
+}
+
+impl Server {
+    /// Starts the background drain loop over `service`.
+    #[must_use]
+    pub fn start(service: Service, opts: ServeOptions) -> Server {
+        let queue = Arc::new(SubmissionQueue::new());
+        let connections = Arc::new(Connections::new());
+        let handle = {
+            let queue = Arc::clone(&queue);
+            let connections = Arc::clone(&connections);
+            thread::Builder::new()
+                .name("planartest-drain".into())
+                .spawn(move || drain_loop(service, &queue, &connections, opts))
+                .expect("spawn drain loop")
+        };
+        Server {
+            queue,
+            connections,
+            max_frame: opts.max_frame,
+            handle,
+        }
+    }
+
+    /// Attaches stdin/stdout as a connection (the compatibility
+    /// transport). EOF on stdin requests graceful shutdown.
+    pub fn attach_stdio(&self) -> ConnectionId {
+        spawn_stdio(&self.connections, &self.queue, self.max_frame)
+    }
+
+    /// Starts a unix-socket listener at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Binding failures.
+    #[cfg(unix)]
+    pub fn listen_unix(&self, path: &Path) -> io::Result<()> {
+        crate::transport::spawn_unix_listener(&self.connections, &self.queue, path, self.max_frame)
+    }
+
+    /// Starts a TCP listener; returns the bound address (`:0` resolves
+    /// to an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Binding failures.
+    pub fn listen_tcp(&self, addr: &str) -> io::Result<SocketAddr> {
+        spawn_tcp_listener(&self.connections, &self.queue, addr, self.max_frame)
+    }
+
+    /// The shared submission queue (shutdown signalling, depth probes,
+    /// or custom in-process transports).
+    #[must_use]
+    pub fn submission_queue(&self) -> Arc<SubmissionQueue> {
+        Arc::clone(&self.queue)
+    }
+
+    /// The connection table (custom in-process transports: register a
+    /// writer, push [`Submission`]s tagged with the returned id).
+    #[must_use]
+    pub fn connections(&self) -> Arc<Connections> {
+        Arc::clone(&self.connections)
+    }
+
+    /// Requests graceful shutdown: pending and in-flight queries are
+    /// answered, then the drain loop exits.
+    pub fn request_shutdown(&self) {
+        self.queue.request_shutdown();
+    }
+
+    /// Waits for the drain loop to finish (after
+    /// [`request_shutdown`](Server::request_shutdown) or a transport
+    /// EOF) and returns the service with its registry, cache and
+    /// telemetry intact.
+    ///
+    /// # Panics
+    ///
+    /// If the drain thread panicked.
+    #[must_use]
+    pub fn join(self) -> Service {
+        self.handle.join().expect("drain loop panicked")
+    }
+}
+
+/// The background drain loop: cycles until shutdown, then flushes.
+fn drain_loop(
+    mut service: Service,
+    queue: &SubmissionQueue,
+    connections: &Connections,
+    opts: ServeOptions,
+) -> Service {
+    while let Some(submissions) = queue.wait_cycle(opts.linger, opts.wake_depth) {
+        for (conn, response) in process_cycle(&mut service, submissions) {
+            connections.send(conn, &response.to_string());
+        }
+    }
+    service
+}
+
+/// What one submission is waiting on after the resolve walk.
+enum Plan {
+    /// Fully answered during the walk (control op, parse error, …).
+    Ready(Value),
+    /// One query: its response lives in the flat slot.
+    Single(usize),
+    /// A `batch` op: one slot per member, responses re-assembled into
+    /// a single `{"responses": [...]}` line.
+    Batch(Vec<usize>),
+}
+
+/// Runs one scheduler cycle over connection-tagged submissions:
+/// resolve (walking in arrival order, so an `ingest` is visible to
+/// every query behind it — including queries from other connections in
+/// the same cycle), group, execute, respond. Returns one response per
+/// submission, in arrival order, ready for per-connection routing.
+pub(crate) fn process_cycle(
+    service: &mut Service,
+    submissions: Vec<Submission>,
+) -> Vec<(ConnectionId, Value)> {
+    let mut plans: Vec<(ConnectionId, Plan)> = Vec::with_capacity(submissions.len());
+    let mut flat: Vec<Option<DrainedQuery>> = Vec::new();
+    let mut misses: Vec<(usize, Resolved)> = Vec::new();
+
+    fn add_query(
+        service: &mut Service,
+        query: Query,
+        flat: &mut Vec<Option<DrainedQuery>>,
+        misses: &mut Vec<(usize, Resolved)>,
+    ) -> usize {
+        let id = service.next_query_id();
+        let slot = flat.len();
+        match service.resolve_one(id, query) {
+            Resolution::Done(result) => flat.push(Some((id, result))),
+            Resolution::Miss(resolved) => {
+                flat.push(None);
+                misses.push((slot, resolved));
+            }
+        }
+        slot
+    }
+
+    for sub in submissions {
+        let plan = match sub.request {
+            Err(message) => Plan::Ready(protocol::error_value(&message)),
+            Ok(req) => match req.get("op").and_then(Value::as_str) {
+                Some("query") => match protocol::parse_query(&req) {
+                    Ok(q) => Plan::Single(add_query(service, q, &mut flat, &mut misses)),
+                    Err(e) => Plan::Ready(protocol::error_value(&e)),
+                },
+                Some("batch") => match protocol::parse_batch(&req) {
+                    Ok(queries) => Plan::Batch(
+                        queries
+                            .into_iter()
+                            .map(|q| add_query(service, q, &mut flat, &mut misses))
+                            .collect(),
+                    ),
+                    Err(e) => Plan::Ready(protocol::error_value(&e)),
+                },
+                // Control ops (ingest/stats/families) and unknown ops:
+                // handled in place, in arrival order.
+                _ => Plan::Ready(protocol::handle_request(service, &req)),
+            },
+        };
+        plans.push((sub.conn, plan));
+    }
+
+    let groups = group_misses(misses);
+    let passes = execute_groups(&service.registry, &groups, &service.runner);
+    for (group, pass) in groups.into_iter().zip(passes) {
+        service.apply_group(group, pass, &mut flat);
+    }
+
+    let render = |slot: &mut Option<DrainedQuery>| -> Value {
+        match slot.take().expect("every cycle slot answered").1 {
+            Ok(response) => protocol::response_value(&response),
+            Err(e) => protocol::error_value(&e),
+        }
+    };
+    plans
+        .into_iter()
+        .map(|(conn, plan)| {
+            let value = match plan {
+                Plan::Ready(v) => v,
+                Plan::Single(slot) => render(&mut flat[slot]),
+                Plan::Batch(slots) => Value::obj().field("ok", true).field(
+                    "responses",
+                    slots
+                        .into_iter()
+                        .map(|s| render(&mut flat[s]))
+                        .collect::<Vec<Value>>(),
+                ),
+            };
+            (conn, value)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::GraphRef;
+    use planartest_core::{PlanarityTester, TesterConfig};
+
+    fn cfg(eps: f64) -> TesterConfig {
+        TesterConfig::new(eps).with_phases(5)
+    }
+
+    fn service_with(name: &str, spec: &str) -> Service {
+        let mut s = Service::new();
+        s.registry_mut().ingest_spec(name, spec).unwrap();
+        s
+    }
+
+    #[test]
+    fn cold_then_warm_then_certificate() {
+        let mut s = service_with("far", "k5_chain(6)");
+        let q =
+            |seed: u64| Query::planarity(GraphRef::Name("far".into()), cfg(0.05).with_seed(seed));
+        let cold = s.query(q(1)).unwrap();
+        assert_eq!(cold.cache, CacheStatus::Cold);
+        assert!(!cold.outcome.accepted());
+        assert_eq!(s.engine_passes(), 1);
+
+        let warm = s.query(q(1)).unwrap();
+        assert_eq!(warm.cache, CacheStatus::Warm);
+        assert_eq!(s.engine_passes(), 1, "warm hit must not run the engine");
+        assert_eq!(
+            warm.outcome.rejecting_nodes(),
+            cold.outcome.rejecting_nodes()
+        );
+        assert_eq!(warm.outcome.stats(), cold.outcome.stats());
+
+        // Unseen seed on a known-rejected graph: certificate replay,
+        // stamped with the certifying seed, no engine pass.
+        let cert = s.query(q(2)).unwrap();
+        assert_eq!(cert.cache, CacheStatus::Certificate);
+        assert_eq!(cert.seed, 1);
+        assert!(!cert.outcome.accepted());
+        assert_eq!(s.engine_passes(), 1);
+    }
+
+    #[test]
+    fn accepts_do_not_transfer_across_seeds() {
+        let mut s = service_with("p", "tri_grid(5,5)");
+        let q = |seed: u64| Query::planarity(GraphRef::Name("p".into()), cfg(0.2).with_seed(seed));
+        assert!(s.query(q(1)).unwrap().outcome.accepted());
+        assert_eq!(s.engine_passes(), 1);
+        let other = s.query(q(2)).unwrap();
+        assert_eq!(other.cache, CacheStatus::Cold, "fresh seed, fresh run");
+        assert_eq!(s.engine_passes(), 2);
+    }
+
+    #[test]
+    fn same_graph_queries_coalesce_into_one_pass() {
+        let mut s = service_with("p", "tri_grid(5,5)");
+        let ids: Vec<QueryId> = (0..4)
+            .map(|seed| {
+                s.submit(Query::planarity(
+                    GraphRef::Name("p".into()),
+                    cfg(0.2).with_seed(seed),
+                ))
+            })
+            .collect();
+        assert_eq!(s.pending(), 4);
+        let drained = s.drain();
+        assert_eq!(s.engine_passes(), 1, "four seeds, one engine pass");
+        assert_eq!(drained.len(), 4);
+        for ((id, result), want) in drained.iter().zip(&ids) {
+            assert_eq!(id, want, "submission order preserved");
+            let r = result.as_ref().unwrap();
+            assert_eq!(r.coalesced, 4);
+            assert!(r.attributed_micros <= r.engine_micros);
+        }
+        // Attribution splits the pass: shares sum to ~the pass wall.
+        let total: u64 = drained
+            .iter()
+            .map(|(_, r)| r.as_ref().unwrap().attributed_micros)
+            .sum();
+        let pass = drained[0].1.as_ref().unwrap().engine_micros;
+        assert!(total <= pass + 4);
+    }
+
+    #[test]
+    fn coalesced_outcomes_match_solo_runs_bit_for_bit() {
+        let mut s = service_with("p", "tri_grid(5,5)");
+        for seed in 0..3 {
+            s.submit(Query::planarity(
+                GraphRef::Name("p".into()),
+                cfg(0.2).with_seed(seed),
+            ));
+        }
+        let drained = s.drain();
+        let graph = planartest_graph::generators::spec::parse("tri_grid(5,5)")
+            .unwrap()
+            .graph;
+        for (seed, (_, result)) in (0..3u64).zip(&drained) {
+            let solo = PlanarityTester::new(cfg(0.2).with_seed(seed))
+                .run(&graph)
+                .unwrap();
+            match &result.as_ref().unwrap().outcome {
+                Outcome::Planarity(o) => {
+                    assert_eq!(o.rejections, solo.rejections, "seed {seed}");
+                    assert_eq!(o.stats, solo.stats, "seed {seed}");
+                    assert_eq!(o.violation_witnesses, solo.violation_witnesses);
+                }
+                other => panic!("wrong outcome shape {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn hereditary_properties_are_seed_free_and_cached() {
+        let mut s = service_with("g", "grid(5,5)");
+        let q = |seed: u64, p: Property| {
+            Query::planarity(GraphRef::Name("g".into()), cfg(0.2).with_seed(seed)).with_property(p)
+        };
+        let a = s.query(q(1, Property::Bipartiteness)).unwrap();
+        assert!(a.outcome.accepted(), "grids are bipartite");
+        assert_eq!(s.engine_passes(), 1);
+        // Different seed, same property: warm (verdict is seed-free).
+        let b = s.query(q(2, Property::Bipartiteness)).unwrap();
+        assert_eq!(b.cache, CacheStatus::Warm);
+        assert_eq!(s.engine_passes(), 1);
+        // Different property: its own pass.
+        let c = s.query(q(1, Property::CycleFreeness)).unwrap();
+        assert!(!c.outcome.accepted(), "grids have cycles");
+        assert_eq!(s.engine_passes(), 2);
+    }
+
+    #[test]
+    fn paper_mode_rejects_never_become_certificates() {
+        // Demoucron (paper) mode is not one-sided — the Claim 10
+        // refutation shows it can reject planar graphs — so a reject
+        // under one seed proves nothing about other seeds and must not
+        // be replayed for them.
+        let mut s = service_with("k33", "complete_bipartite(3,3)");
+        let q = |seed: u64| {
+            Query::planarity(
+                GraphRef::Name("k33".into()),
+                cfg(0.1)
+                    .with_seed(seed)
+                    .with_embedding(planartest_core::EmbeddingMode::Demoucron),
+            )
+        };
+        let first = s.query(q(1)).unwrap();
+        assert!(!first.outcome.accepted());
+        // Fresh seed: its own engine pass, not a certificate replay.
+        let second = s.query(q(2)).unwrap();
+        assert_eq!(second.cache, CacheStatus::Cold);
+        assert_eq!(s.engine_passes(), 2);
+        // Exact-seed replay still works (it is an observation, and the
+        // observation is deterministic per seed).
+        assert_eq!(s.query(q(1)).unwrap().cache, CacheStatus::Warm);
+        assert_eq!(s.engine_passes(), 2);
+    }
+
+    #[test]
+    fn query_preserves_previously_submitted_queue() {
+        let mut s = service_with("p", "tri_grid(4,4)");
+        let pending_id = s.submit(Query::planarity(
+            GraphRef::Name("p".into()),
+            cfg(0.2).with_seed(11),
+        ));
+        // A one-shot in between must serve only itself...
+        let one_shot = s
+            .query(Query::planarity(
+                GraphRef::Name("p".into()),
+                cfg(0.2).with_seed(22),
+            ))
+            .unwrap();
+        assert_eq!(one_shot.coalesced, 1);
+        // ...and the earlier submission is still pending and drainable.
+        assert_eq!(s.pending(), 1);
+        let drained = s.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].0, pending_id);
+        assert!(drained[0].1.is_ok());
+    }
+
+    #[test]
+    fn unknown_graph_fails_only_that_query() {
+        let mut s = service_with("p", "tri_grid(4,4)");
+        s.submit(Query::planarity(GraphRef::Name("missing".into()), cfg(0.2)));
+        s.submit(Query::planarity(GraphRef::Name("p".into()), cfg(0.2)));
+        let drained = s.drain();
+        assert!(matches!(
+            drained[0].1,
+            Err(ServiceError::UnknownGraph { .. })
+        ));
+        assert!(drained[1].1.is_ok());
+        let stats = s.stats();
+        assert_eq!(stats.queries_served, 2);
+        assert_eq!(stats.graphs, 1);
+        assert_eq!(stats.engine_passes, 1);
+    }
+
+    #[test]
+    fn queries_by_fingerprint_resolve() {
+        let mut s = Service::new();
+        let fp = s
+            .registry_mut()
+            .ingest_spec("p", "tri_grid(4,4)")
+            .unwrap()
+            .fingerprint;
+        let r = s
+            .query(Query::planarity(GraphRef::Fingerprint(fp), cfg(0.2)))
+            .unwrap();
+        assert_eq!(r.graph, fp);
+    }
+
+    #[test]
+    fn parallel_group_drain_matches_sequential() {
+        // The determinism contract in miniature (the proptest suite
+        // does this at scale): mixed properties, two graphs, group
+        // execution fanned across 4 workers vs 1.
+        let build = |threads: usize| {
+            let mut s = Service::new().with_group_threads(threads);
+            s.registry_mut().ingest_spec("p", "tri_grid(4,4)").unwrap();
+            s.registry_mut().ingest_spec("far", "k5_chain(4)").unwrap();
+            for seed in 0..2 {
+                s.submit(Query::planarity(
+                    GraphRef::Name("p".into()),
+                    cfg(0.2).with_seed(seed),
+                ));
+                s.submit(Query::planarity(
+                    GraphRef::Name("far".into()),
+                    cfg(0.05).with_seed(seed),
+                ));
+            }
+            s.submit(
+                Query::planarity(GraphRef::Name("p".into()), cfg(0.2))
+                    .with_property(Property::Bipartiteness),
+            );
+            s.drain()
+        };
+        let sequential = build(1);
+        let parallel = build(4);
+        assert_eq!(sequential.len(), parallel.len());
+        for ((id_a, a), (id_b, b)) in sequential.iter().zip(&parallel) {
+            assert_eq!(id_a, id_b);
+            let (a, b) = (a.as_ref().unwrap(), b.as_ref().unwrap());
+            assert_eq!(a.outcome.accepted(), b.outcome.accepted());
+            assert_eq!(a.outcome.stats(), b.outcome.stats());
+            assert_eq!(a.outcome.rejecting_nodes(), b.outcome.rejecting_nodes());
+            assert_eq!(a.coalesced, b.coalesced);
+            assert_eq!(a.seed, b.seed);
+        }
+    }
+
+    #[test]
+    fn cycle_routes_responses_per_connection_in_submission_order() {
+        use crate::transport::Submission;
+        let mut s = service_with("p", "tri_grid(4,4)");
+        let req = |seed: u64| {
+            Ok(Value::obj()
+                .field("op", "query")
+                .field("graph", "p")
+                .field("epsilon", 0.2)
+                .field("phases", 5u64)
+                .field("seed", seed))
+        };
+        // Two connections interleaved, plus a control op and a garbage
+        // frame mid-cycle.
+        let subs = vec![
+            Submission {
+                conn: 1,
+                request: req(1),
+            },
+            Submission {
+                conn: 2,
+                request: req(2),
+            },
+            Submission {
+                conn: 1,
+                request: Err("frame exceeds the 16-byte limit".into()),
+            },
+            Submission {
+                conn: 2,
+                request: Ok(Value::obj().field("op", "stats")),
+            },
+            Submission {
+                conn: 1,
+                request: req(3),
+            },
+        ];
+        let responses = process_cycle(&mut s, subs);
+        assert_eq!(responses.len(), 5);
+        let conns: Vec<ConnectionId> = responses.iter().map(|(c, _)| *c).collect();
+        assert_eq!(conns, vec![1, 2, 1, 2, 1], "arrival order preserved");
+        // The three same-key queries coalesced into one pass...
+        assert_eq!(s.engine_passes(), 1);
+        for i in [0usize, 1, 4] {
+            let v = &responses[i].1;
+            assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(v.get("coalesced").unwrap().as_u64(), Some(3));
+        }
+        // ...the garbage frame answered in-band on its connection...
+        assert_eq!(responses[2].1.get("ok").unwrap().as_bool(), Some(false));
+        // ...and the control op answered in place.
+        assert_eq!(responses[3].1.get("ok").unwrap().as_bool(), Some(true));
+        assert!(responses[3].1.get("graphs").is_some());
+    }
+
+    #[test]
+    fn cycle_ingest_is_visible_to_later_queries_in_the_same_cycle() {
+        use crate::transport::Submission;
+        let mut s = Service::new();
+        let subs = vec![
+            Submission {
+                conn: 7,
+                request: Ok(Value::obj()
+                    .field("op", "ingest")
+                    .field("name", "g")
+                    .field("spec", "tri_grid(4,4)")),
+            },
+            Submission {
+                conn: 8,
+                request: Ok(Value::obj()
+                    .field("op", "query")
+                    .field("graph", "g")
+                    .field("epsilon", 0.2)
+                    .field("phases", 5u64)),
+            },
+        ];
+        let responses = process_cycle(&mut s, subs);
+        assert_eq!(responses[0].1.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(
+            responses[1].1.get("verdict").unwrap().as_str(),
+            Some("accept"),
+            "query resolved against the ingest earlier in the cycle"
+        );
+    }
+
+    #[test]
+    fn cycle_batch_op_reassembles_and_coalesces_across_connections() {
+        use crate::transport::Submission;
+        let mut s = service_with("p", "tri_grid(4,4)");
+        let member = |seed: u64| {
+            Value::obj()
+                .field("graph", "p")
+                .field("epsilon", 0.2)
+                .field("phases", 5u64)
+                .field("seed", seed)
+        };
+        let subs = vec![
+            Submission {
+                conn: 1,
+                request: Ok(Value::obj()
+                    .field("op", "batch")
+                    .field("queries", vec![member(1), member(2)])),
+            },
+            Submission {
+                conn: 2,
+                request: Ok(Value::obj()
+                    .field("op", "query")
+                    .field("graph", "p")
+                    .field("epsilon", 0.2)
+                    .field("phases", 5u64)
+                    .field("seed", 3u64)),
+            },
+        ];
+        let responses = process_cycle(&mut s, subs);
+        // One pass serves the batch *and* the other connection's query.
+        assert_eq!(s.engine_passes(), 1);
+        let batch = responses[0].1.get("responses").unwrap().as_arr().unwrap();
+        assert_eq!(batch.len(), 2);
+        for member in batch {
+            assert_eq!(member.get("coalesced").unwrap().as_u64(), Some(3));
+        }
+        assert_eq!(responses[1].1.get("coalesced").unwrap().as_u64(), Some(3));
+    }
+
+    #[test]
+    fn server_drains_in_process_submissions_and_flushes_on_shutdown() {
+        let mut service = service_with("p", "tri_grid(4,4)");
+        service.set_group_threads(2);
+        let server = Server::start(
+            service,
+            ServeOptions {
+                linger: Duration::from_secs(3600),
+                wake_depth: usize::MAX,
+                ..ServeOptions::default()
+            },
+        );
+        // An in-process transport: a shared Vec sink captures the
+        // routed response bytes.
+        use std::io::Write;
+        use std::sync::Mutex;
+        #[derive(Clone, Default)]
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = Sink::default();
+        let conn = server.connections().register(Box::new(sink.clone()));
+        let queue = server.submission_queue();
+        queue.push(crate::transport::Submission {
+            conn,
+            request: Ok(Value::obj()
+                .field("op", "query")
+                .field("graph", "p")
+                .field("epsilon", 0.2)
+                .field("phases", 5u64)
+                .field("seed", 1u64)),
+        });
+        // The cycle is lingering (1h); shutdown must flush it.
+        server.request_shutdown();
+        let service = server.join();
+        assert_eq!(service.engine_passes(), 1, "pending query was flushed");
+        assert_eq!(service.stats().queries_served, 1);
+        let bytes = sink.0.lock().unwrap().clone();
+        let line = String::from_utf8(bytes).unwrap();
+        let response = Value::parse(line.trim()).unwrap();
+        assert_eq!(response.get("verdict").unwrap().as_str(), Some("accept"));
+        assert_eq!(response.get("cache").unwrap().as_str(), Some("cold"));
+    }
+}

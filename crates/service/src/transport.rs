@@ -1,0 +1,592 @@
+//! The transport layer: listeners, connections, and the shared
+//! submission queue.
+//!
+//! `planartest serve` used to be a synchronous loop over one stdin
+//! pipe. This module decouples *how requests arrive* from *how they
+//! are scheduled*: every transport (stdio, unix socket, TCP) frames
+//! its byte stream into LDJSON requests ([`FrameReader`]) and pushes
+//! them — tagged with a [`ConnectionId`] — into one shared
+//! [`SubmissionQueue`]. The scheduler's background drain loop
+//! (`scheduler::Server`) is the only consumer; it routes each response
+//! back through [`Connections`] to the connection that asked, in that
+//! connection's submission order.
+//!
+//! Per-connection failures stay per-connection: an oversized or
+//! garbage frame becomes an in-band `{"ok":false,...}` response (the
+//! reader resynchronises on the next newline), and a dead socket just
+//! drops its connection. No *frame* a client sends can take the
+//! server down. One known limitation on the output side: the drain
+//! loop writes responses inline, so a live client that stops
+//! *reading* while responses pile into its full socket buffer can
+//! stall the respond stage (per-connection outbound queues are the
+//! ROADMAP "backpressure" item).
+//!
+//! End-of-life: read-side EOF never tears down a connection's write
+//! half — a client may close its sending side and still collect its
+//! answers (`printf '…' | nc -U sock`, or the stdio pipe itself). A
+//! connection is dropped when a *write* to it fails; EOF on *stdin*
+//! additionally requests a graceful shutdown of the whole server (the
+//! drain loop flushes every pending query before exiting), which is
+//! also what the CLI's SIGTERM handler triggers.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::protocol;
+use crate::wire::{FrameError, FrameReader, Value};
+
+/// Identifies one client connection for the lifetime of the server.
+/// Ids are handed out in registration order with no reserved values;
+/// the CLI attaches stdio first (unless `--no-stdio`), so stdio is
+/// connection 0 *there*, but embedders that go straight to
+/// [`spawn_unix_listener`]/[`spawn_tcp_listener`] hand id 0 to their
+/// first socket client.
+pub type ConnectionId = u64;
+
+/// How often blocked waits re-check the shutdown flag (accept loops
+/// and the empty-queue wait in the drain loop).
+const POLL: Duration = Duration::from_millis(25);
+
+/// One framed request as the scheduler sees it: where it came from,
+/// and either the parsed JSON document or the per-frame failure to
+/// answer in-band.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// The connection the response must be routed back to.
+    pub conn: ConnectionId,
+    /// The parsed request, or the framing/parse error message.
+    pub request: Result<Value, String>,
+}
+
+impl Submission {
+    /// Whether this submission benefits from waiting in the queue.
+    /// Only `query`/`batch` requests coalesce; control ops (ingest,
+    /// stats, …) and malformed frames wake the drain loop immediately.
+    #[must_use]
+    pub fn coalescable(&self) -> bool {
+        matches!(&self.request, Ok(req) if protocol::coalescable(req))
+    }
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    items: Vec<Submission>,
+    /// When the oldest pending submission arrived (the linger clock).
+    first_at: Option<Instant>,
+    /// Whether anything pending is non-coalescable.
+    urgent: bool,
+}
+
+/// The shared submission queue between all transports and the one
+/// drain loop.
+///
+/// Transports [`push`](SubmissionQueue::push); the scheduler's drain
+/// thread takes whole cycles via `wait_cycle`. The queue also carries
+/// the server-wide shutdown flag so accept loops, transports and the
+/// drain loop agree on one source of truth.
+#[derive(Debug, Default)]
+pub struct SubmissionQueue {
+    state: Mutex<QueueState>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl SubmissionQueue {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        SubmissionQueue::default()
+    }
+
+    /// Enqueues one submission and wakes the drain loop.
+    pub fn push(&self, sub: Submission) {
+        let mut st = self.state.lock().expect("queue lock");
+        if st.items.is_empty() {
+            st.first_at = Some(Instant::now());
+        }
+        st.urgent |= !sub.coalescable();
+        st.items.push(sub);
+        self.wake.notify_all();
+    }
+
+    /// Number of submissions waiting for the next cycle.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Flags the server for graceful shutdown: the drain loop flushes
+    /// everything pending (answering in-flight queries), then exits;
+    /// accept loops stop accepting.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.wake.notify_all();
+    }
+
+    /// Whether shutdown has been requested.
+    #[must_use]
+    pub fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a cycle is due, then takes the whole pending batch.
+    ///
+    /// A cycle fires when any of: something non-coalescable is pending
+    /// (control ops don't benefit from lingering), the queue depth
+    /// reached `wake_depth`, the oldest pending submission has waited
+    /// `linger`, or shutdown was requested (the flush). Returns `None`
+    /// when shutting down with an empty queue — the drain loop's exit.
+    pub(crate) fn wait_cycle(
+        &self,
+        linger: Duration,
+        wake_depth: usize,
+    ) -> Option<Vec<Submission>> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            let shutting = self.shutting_down();
+            if st.items.is_empty() {
+                if shutting {
+                    return None;
+                }
+                st = self.wake.wait_timeout(st, POLL).expect("queue lock").0;
+                continue;
+            }
+            let waited = st.first_at.map_or(Duration::ZERO, |first| first.elapsed());
+            if shutting || st.urgent || st.items.len() >= wake_depth || waited >= linger {
+                st.first_at = None;
+                st.urgent = false;
+                return Some(std::mem::take(&mut st.items));
+            }
+            let remaining = (linger - waited).min(POLL.max(Duration::from_millis(1)));
+            st = self.wake.wait_timeout(st, remaining).expect("queue lock").0;
+        }
+    }
+}
+
+type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// The write half of every live connection, keyed by [`ConnectionId`].
+///
+/// The drain loop is the only writer, so per-connection response
+/// order is exactly submission order. A failed write (client went
+/// away) silently drops the connection.
+#[derive(Default)]
+pub struct Connections {
+    writers: Mutex<HashMap<ConnectionId, SharedWriter>>,
+    next: AtomicU64,
+}
+
+impl fmt::Debug for Connections {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Connections")
+            .field("live", &self.len())
+            .finish()
+    }
+}
+
+impl Connections {
+    /// An empty connection table.
+    #[must_use]
+    pub fn new() -> Self {
+        Connections::default()
+    }
+
+    /// Registers a connection's write half; returns its id.
+    pub fn register(&self, writer: Box<dyn Write + Send>) -> ConnectionId {
+        let conn = self.next.fetch_add(1, Ordering::SeqCst);
+        self.writers
+            .lock()
+            .expect("connections lock")
+            .insert(conn, Arc::new(Mutex::new(writer)));
+        conn
+    }
+
+    /// Drops a connection (its reader saw EOF or an error). Responses
+    /// already computed for it are discarded at write time.
+    pub fn deregister(&self, conn: ConnectionId) {
+        self.writers.lock().expect("connections lock").remove(&conn);
+    }
+
+    /// Number of live connections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.writers.lock().expect("connections lock").len()
+    }
+
+    /// Whether no connection is live.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes one response line to `conn`, flushing so single-request
+    /// clients see their answer immediately. Returns whether the write
+    /// succeeded; on failure the connection is dropped.
+    pub fn send(&self, conn: ConnectionId, line: &str) -> bool {
+        let writer = self
+            .writers
+            .lock()
+            .expect("connections lock")
+            .get(&conn)
+            .cloned();
+        let Some(writer) = writer else { return false };
+        let mut w = writer.lock().expect("writer lock");
+        let ok = writeln!(w, "{line}").and_then(|()| w.flush()).is_ok();
+        drop(w);
+        if !ok {
+            self.deregister(conn);
+        }
+        ok
+    }
+}
+
+/// Reads frames off `reader` and feeds them into the queue tagged with
+/// `conn`, until EOF or a connection-level I/O error. Per-frame
+/// failures (oversized, bad UTF-8) are pushed as error submissions so
+/// the scheduler answers them in-band, and reading continues.
+pub fn pump_frames<R: Read>(
+    reader: R,
+    conn: ConnectionId,
+    queue: &SubmissionQueue,
+    max_frame: usize,
+) {
+    let mut frames = FrameReader::new(reader, max_frame);
+    loop {
+        match frames.next_frame() {
+            Ok(None) => break,
+            Ok(Some(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let request = Value::parse(&line).map_err(|e| format!("bad request: {e}"));
+                queue.push(Submission { conn, request });
+            }
+            Err(FrameError::Io(_)) => break,
+            Err(recoverable) => queue.push(Submission {
+                conn,
+                request: Err(recoverable.to_string()),
+            }),
+        }
+    }
+}
+
+/// Attaches the stdio compatibility transport: stdout is registered as
+/// a connection and a reader thread pumps stdin into the queue.
+/// Returns the stdio connection id (always the first one registered —
+/// 0 on a fresh server).
+///
+/// EOF on stdin requests a graceful server shutdown: stdio is the
+/// controlling transport, exactly like the pre-socket serve loop where
+/// closing the pipe ended the process (after, now, flushing pending
+/// work).
+pub fn spawn_stdio(
+    connections: &Arc<Connections>,
+    queue: &Arc<SubmissionQueue>,
+    max_frame: usize,
+) -> ConnectionId {
+    let conn = connections.register(Box::new(io::stdout()));
+    let queue = Arc::clone(queue);
+    thread::Builder::new()
+        .name("planartest-stdio".into())
+        .spawn(move || {
+            pump_frames(io::stdin(), conn, &queue, max_frame);
+            // EOF on stdin does NOT close stdout: the shutdown flush
+            // still answers everything this pipe submitted (the
+            // classic `printf '…' | planartest serve` usage).
+            queue.request_shutdown();
+        })
+        .expect("spawn stdio reader");
+    conn
+}
+
+/// Registers an accepted socket and spawns its reader thread.
+fn adopt_stream<S>(
+    stream: S,
+    writer: Box<dyn Write + Send>,
+    connections: &Arc<Connections>,
+    queue: &Arc<SubmissionQueue>,
+    max_frame: usize,
+) where
+    S: Read + Send + 'static,
+{
+    let conn = connections.register(writer);
+    let queue = Arc::clone(queue);
+    thread::Builder::new()
+        .name(format!("planartest-conn-{conn}"))
+        .spawn(move || {
+            pump_frames(stream, conn, &queue, max_frame);
+            // Read-side EOF is NOT deregistration: a client may close
+            // its write half and still read its answers (`printf … |
+            // nc -U sock`). A fully-gone peer is cleaned up by the
+            // first failing write in `Connections::send`.
+        })
+        .expect("spawn connection reader");
+}
+
+/// Starts a unix-socket listener feeding the queue. Any stale socket
+/// file at `path` is replaced. The accept loop runs until shutdown.
+///
+/// # Errors
+///
+/// Binding failures (permissions, path length, missing directory).
+#[cfg(unix)]
+pub fn spawn_unix_listener(
+    connections: &Arc<Connections>,
+    queue: &Arc<SubmissionQueue>,
+    path: &Path,
+    max_frame: usize,
+) -> io::Result<()> {
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let connections = Arc::clone(connections);
+    let queue = Arc::clone(queue);
+    thread::Builder::new()
+        .name("planartest-unix-accept".into())
+        .spawn(move || {
+            accept_loop(&listener, &connections, &queue, max_frame, |stream| {
+                let stream: UnixStream = stream;
+                stream.set_nonblocking(false)?;
+                let writer = stream.try_clone()?;
+                Ok((stream, Box::new(writer) as Box<dyn Write + Send>))
+            });
+        })
+        .expect("spawn unix accept loop");
+    Ok(())
+}
+
+/// Starts a TCP listener feeding the queue; returns the bound address
+/// (so `--tcp 127.0.0.1:0` callers learn their ephemeral port). The
+/// accept loop runs until shutdown.
+///
+/// # Errors
+///
+/// Binding failures (address in use, permissions).
+pub fn spawn_tcp_listener(
+    connections: &Arc<Connections>,
+    queue: &Arc<SubmissionQueue>,
+    addr: impl ToSocketAddrs,
+    max_frame: usize,
+) -> io::Result<SocketAddr> {
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let connections = Arc::clone(connections);
+    let queue = Arc::clone(queue);
+    thread::Builder::new()
+        .name("planartest-tcp-accept".into())
+        .spawn(move || {
+            accept_loop(&listener, &connections, &queue, max_frame, |stream| {
+                let stream: TcpStream = stream;
+                stream.set_nonblocking(false)?;
+                let writer = stream.try_clone()?;
+                Ok((stream, Box::new(writer) as Box<dyn Write + Send>))
+            });
+        })
+        .expect("spawn tcp accept loop");
+    Ok(bound)
+}
+
+/// Shared accept loop over any nonblocking listener: polls for new
+/// clients, re-checking the shutdown flag between attempts, and adopts
+/// each accepted stream. `split` turns the accepted stream into its
+/// (read half, boxed write half) pair.
+fn accept_loop<L, S, F>(
+    listener: &L,
+    connections: &Arc<Connections>,
+    queue: &Arc<SubmissionQueue>,
+    max_frame: usize,
+    split: F,
+) where
+    L: Accept<Stream = S>,
+    S: Read + Send + 'static,
+    F: Fn(S) -> io::Result<(S, Box<dyn Write + Send>)>,
+{
+    while !queue.shutting_down() {
+        match listener.accept_stream() {
+            Ok(stream) => match split(stream) {
+                Ok((reader, writer)) => {
+                    adopt_stream(reader, writer, connections, queue, max_frame);
+                }
+                // A client that vanished between accept and setup.
+                Err(_) => continue,
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+}
+
+/// The tiny listener abstraction the accept loop is generic over.
+trait Accept {
+    type Stream;
+    fn accept_stream(&self) -> io::Result<Self::Stream>;
+}
+
+#[cfg(unix)]
+impl Accept for UnixListener {
+    type Stream = UnixStream;
+    fn accept_stream(&self) -> io::Result<UnixStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+impl Accept for TcpListener {
+    type Stream = TcpStream;
+    fn accept_stream(&self) -> io::Result<TcpStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn query_sub(conn: ConnectionId) -> Submission {
+        Submission {
+            conn,
+            request: Ok(Value::obj().field("op", "query").field("graph", "g")),
+        }
+    }
+
+    fn control_sub(conn: ConnectionId) -> Submission {
+        Submission {
+            conn,
+            request: Ok(Value::obj().field("op", "stats")),
+        }
+    }
+
+    #[test]
+    fn coalescable_classification() {
+        assert!(query_sub(0).coalescable());
+        assert!(Submission {
+            conn: 0,
+            request: Ok(Value::obj().field("op", "batch")),
+        }
+        .coalescable());
+        assert!(!control_sub(0).coalescable());
+        assert!(!Submission {
+            conn: 0,
+            request: Err("bad".into()),
+        }
+        .coalescable());
+    }
+
+    #[test]
+    fn control_ops_fire_a_lingering_cycle_immediately() {
+        let q = SubmissionQueue::new();
+        q.push(query_sub(1));
+        q.push(control_sub(2));
+        // Huge linger + depth, yet the control op makes the cycle due.
+        let cycle = q
+            .wait_cycle(Duration::from_secs(3600), usize::MAX)
+            .expect("cycle");
+        assert_eq!(cycle.len(), 2);
+        assert_eq!(cycle[0].conn, 1);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn wake_depth_fires_without_linger_expiry() {
+        let q = SubmissionQueue::new();
+        q.push(query_sub(1));
+        q.push(query_sub(2));
+        let cycle = q.wait_cycle(Duration::from_secs(3600), 2).expect("cycle");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn linger_expiry_fires_and_shutdown_flushes() {
+        let q = SubmissionQueue::new();
+        q.push(query_sub(1));
+        let t = Instant::now();
+        let cycle = q
+            .wait_cycle(Duration::from_millis(40), usize::MAX)
+            .expect("cycle");
+        assert_eq!(cycle.len(), 1);
+        assert!(t.elapsed() >= Duration::from_millis(40));
+
+        // Shutdown with pending work: the flush cycle fires instantly…
+        q.push(query_sub(3));
+        q.request_shutdown();
+        let flush = q
+            .wait_cycle(Duration::from_secs(3600), usize::MAX)
+            .expect("flush cycle");
+        assert_eq!(flush.len(), 1);
+        // …and an empty shutdown queue ends the loop.
+        assert!(q
+            .wait_cycle(Duration::from_secs(3600), usize::MAX)
+            .is_none());
+        assert!(q.shutting_down());
+    }
+
+    #[test]
+    fn connections_route_and_drop() {
+        let conns = Connections::new();
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct SharedSink(Arc<Mutex<Vec<u8>>>);
+        impl Write for SharedSink {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let a = conns.register(Box::new(SharedSink(Arc::clone(&sink))));
+        let b = conns.register(Box::new(io::sink()));
+        assert_ne!(a, b);
+        assert_eq!(conns.len(), 2);
+        assert!(conns.send(a, "hello"));
+        assert_eq!(
+            String::from_utf8(sink.lock().unwrap().clone()).unwrap(),
+            "hello\n"
+        );
+        conns.deregister(b);
+        assert!(
+            !conns.send(b, "gone"),
+            "dropped connections are unreachable"
+        );
+        assert_eq!(conns.len(), 1);
+        assert!(!conns.is_empty());
+        assert!(format!("{conns:?}").contains("live"));
+    }
+
+    #[test]
+    fn pump_reports_bad_frames_in_band_and_keeps_reading() {
+        let queue = SubmissionQueue::new();
+        let mut input = Vec::new();
+        input.extend_from_slice(b"{\"op\":\"stats\"}\n");
+        input.extend_from_slice(b"not json\n");
+        input.extend_from_slice(&[b'x'; 64]);
+        input.push(b'\n');
+        input.extend_from_slice(b"\xff\xfe\n");
+        input.extend_from_slice(b"  \n"); // blank: skipped entirely
+        input.extend_from_slice(b"{\"op\":\"families\"}\n");
+        pump_frames(&input[..], 9, &queue, 32);
+        let subs = queue.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
+        assert_eq!(subs.len(), 5);
+        assert!(subs.iter().all(|s| s.conn == 9));
+        assert!(subs[0].request.is_ok());
+        assert!(subs[1]
+            .request
+            .as_ref()
+            .unwrap_err()
+            .contains("bad request"));
+        assert!(subs[2].request.as_ref().unwrap_err().contains("32-byte"));
+        assert!(subs[3].request.as_ref().unwrap_err().contains("UTF-8"));
+        assert!(subs[4].request.is_ok());
+    }
+}

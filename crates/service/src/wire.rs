@@ -6,8 +6,16 @@
 //! with the standard escapes, `true`/`false`/`null`, and numbers with
 //! full `u64`/`i64` integer fidelity (seeds are 64-bit; round counts
 //! would drown in an `f64`-only representation).
+//!
+//! [`FrameReader`] is the framing half: it splits a byte stream into
+//! newline-delimited frames under a hard size cap, so a single hostile
+//! or corrupted connection can neither exhaust server memory with an
+//! unbounded line nor poison the frames that follow it — an oversized
+//! or non-UTF-8 frame is reported as a per-frame [`FrameError`] and the
+//! reader resynchronises on the next newline.
 
 use std::fmt;
+use std::io::{self, BufRead, BufReader, Read};
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -522,6 +530,147 @@ impl<'a> Parser<'a> {
     }
 }
 
+/// Default frame-size cap: generous enough for large `edge_list`
+/// ingest documents, small enough that one connection cannot buffer
+/// unbounded garbage (16 MiB).
+pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
+
+/// An error while reading one frame off a connection.
+///
+/// [`Oversized`](FrameError::Oversized) and
+/// [`Encoding`](FrameError::Encoding) are *per-frame*: the offending
+/// line has been consumed and the reader keeps working, so the caller
+/// can answer an in-band error and read the next frame.
+/// [`Io`](FrameError::Io) ends the connection.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying stream failed; the connection is dead.
+    Io(io::Error),
+    /// A line exceeded the frame cap. The whole line (up to and
+    /// including its newline) was consumed and discarded.
+    Oversized {
+        /// The configured cap the frame blew through, in bytes.
+        limit: usize,
+    },
+    /// A line was not valid UTF-8. The line was consumed.
+    Encoding,
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "connection error: {e}"),
+            FrameError::Oversized { limit } => {
+                write!(f, "frame exceeds the {limit}-byte limit")
+            }
+            FrameError::Encoding => f.write_str("frame is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FrameError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Reads newline-delimited frames off a byte stream under a size cap.
+///
+/// This is the framing layer every transport shares (stdin, unix
+/// sockets, TCP): one frame per line, `\r\n` tolerated, empty frames
+/// passed through (the protocol layer skips them), and a final
+/// unterminated line treated as a frame so `printf '%s' '{...}'`
+/// clients work.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: BufReader<R>,
+    max_frame: usize,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `reader` with a `max_frame`-byte cap per line.
+    pub fn new(reader: R, max_frame: usize) -> Self {
+        FrameReader {
+            inner: BufReader::new(reader),
+            max_frame,
+        }
+    }
+
+    /// Reads the next frame. `Ok(None)` is end-of-stream.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Oversized`] / [`FrameError::Encoding`] for a bad
+    /// frame (recoverable — keep calling), [`FrameError::Io`] when the
+    /// stream itself fails (stop).
+    pub fn next_frame(&mut self) -> Result<Option<String>, FrameError> {
+        // The cap applies to the frame *payload* — the line with its
+        // `\r\n`/`\n` terminator stripped — so a CRLF client's
+        // exactly-at-the-cap frame is as valid as an LF client's. Up
+        // to `max_frame + 1` bytes are buffered (the +1 holding a
+        // possible trailing `\r`); anything beyond is provably
+        // oversized and only consumed.
+        let mut buf: Vec<u8> = Vec::new();
+        let mut truncated = false;
+        loop {
+            let chunk = self.inner.fill_buf().map_err(FrameError::Io)?;
+            if chunk.is_empty() {
+                // EOF: an unterminated final line is still a frame.
+                if buf.is_empty() && !truncated {
+                    return Ok(None);
+                }
+                return self.complete(buf, truncated);
+            }
+            match chunk.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if !truncated {
+                        if buf.len() + pos <= self.max_frame + 1 {
+                            buf.extend_from_slice(&chunk[..pos]);
+                        } else {
+                            truncated = true;
+                        }
+                    }
+                    self.inner.consume(pos + 1);
+                    return self.complete(buf, truncated);
+                }
+                None => {
+                    let len = chunk.len();
+                    if !truncated {
+                        if buf.len() + len <= self.max_frame + 1 {
+                            buf.extend_from_slice(chunk);
+                        } else {
+                            // Stop buffering; keep consuming until the
+                            // newline so the *next* frame starts clean.
+                            truncated = true;
+                            buf.clear();
+                        }
+                    }
+                    self.inner.consume(len);
+                }
+            }
+        }
+    }
+
+    /// Finalises one line: strips the optional `\r`, then applies the
+    /// payload cap and the UTF-8 check.
+    fn complete(&self, mut buf: Vec<u8>, truncated: bool) -> Result<Option<String>, FrameError> {
+        if buf.last() == Some(&b'\r') {
+            buf.pop();
+        }
+        if truncated || buf.len() > self.max_frame {
+            return Err(FrameError::Oversized {
+                limit: self.max_frame,
+            });
+        }
+        String::from_utf8(buf)
+            .map(Some)
+            .map_err(|_| FrameError::Encoding)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -585,6 +734,109 @@ mod tests {
         ));
         assert_eq!(Value::parse("18446744073709551616").unwrap().as_u64(), None);
         assert_eq!(Value::Float(f64::NAN).to_string(), "null");
+    }
+
+    /// A reader that hands out one byte per `read` call, forcing the
+    /// frame reader to reassemble lines across many fills.
+    struct Trickle<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl std::io::Read for Trickle<'_> {
+        fn read(&mut self, out: &mut [u8]) -> std::io::Result<usize> {
+            if self.pos == self.bytes.len() || out.is_empty() {
+                return Ok(0);
+            }
+            out[0] = self.bytes[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    fn frames_of(input: &[u8], max: usize) -> Vec<Result<Option<String>, String>> {
+        let mut reader = FrameReader::new(
+            Trickle {
+                bytes: input,
+                pos: 0,
+            },
+            max,
+        );
+        let mut out = Vec::new();
+        loop {
+            match reader.next_frame() {
+                Ok(None) => break,
+                Ok(Some(line)) => out.push(Ok(Some(line))),
+                Err(e) => out.push(Err(e.to_string())),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn frames_split_lines_and_tolerate_crlf() {
+        let got = frames_of(b"{\"a\":1}\r\nplain\n\nlast-no-newline", 64);
+        assert_eq!(
+            got,
+            vec![
+                Ok(Some("{\"a\":1}".to_string())),
+                Ok(Some("plain".to_string())),
+                Ok(Some(String::new())),
+                Ok(Some("last-no-newline".to_string())),
+            ]
+        );
+    }
+
+    #[test]
+    fn oversized_frame_is_skipped_and_reader_recovers() {
+        let mut input = vec![b'x'; 100];
+        input.push(b'\n');
+        input.extend_from_slice(b"ok\n");
+        let got = frames_of(&input, 16);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].as_ref().unwrap_err().contains("16-byte limit"));
+        assert_eq!(got[1], Ok(Some("ok".to_string())));
+
+        // A frame of exactly the cap is allowed; cap + 1 is not.
+        let exact = frames_of(b"abcd\nabcde\nz\n", 4);
+        assert_eq!(exact[0], Ok(Some("abcd".to_string())));
+        assert!(exact[1].is_err());
+        assert_eq!(exact[2], Ok(Some("z".to_string())));
+
+        // An unterminated oversized tail still errors (nothing silently
+        // truncated), and the stream then ends cleanly.
+        let tail = frames_of(&[b'y'; 40], 8);
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].is_err());
+    }
+
+    #[test]
+    fn the_cap_applies_to_the_payload_not_the_line_terminator() {
+        // A CRLF client's exactly-at-the-cap frame is as valid as an
+        // LF client's: the `\r` does not count against the cap.
+        let got = frames_of(b"abcd\r\nabcde\r\nok\r\n", 4);
+        assert_eq!(got[0], Ok(Some("abcd".to_string())));
+        assert!(got[1].is_err(), "5-byte CRLF payload over a 4-byte cap");
+        assert_eq!(got[2], Ok(Some("ok".to_string())));
+        // Unterminated final CRLF-less line at the cap + a stray `\r`.
+        assert_eq!(frames_of(b"abcd\r", 4), vec![Ok(Some("abcd".to_string()))]);
+        assert!(frames_of(b"abcde\r", 4)[0].is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_a_recoverable_frame_error() {
+        let got = frames_of(b"\xff\xfe\nok\n", 64);
+        assert_eq!(got.len(), 2);
+        assert!(got[0].as_ref().unwrap_err().contains("UTF-8"));
+        assert_eq!(got[1], Ok(Some("ok".to_string())));
+    }
+
+    #[test]
+    fn frame_error_display_and_source() {
+        let e = FrameError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(std::error::Error::source(&FrameError::Encoding).is_none());
     }
 
     #[test]

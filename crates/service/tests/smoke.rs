@@ -63,6 +63,61 @@ fn serve_answers_ingest_query_and_cache_hit() {
 }
 
 #[test]
+fn serve_answers_a_fully_piped_batch_before_exiting() {
+    // The classic pipe usage: all requests written, stdin closed, THEN
+    // the responses are read. Stdin EOF triggers the graceful
+    // shutdown, which must flush every queued response to stdout —
+    // stdout is not closed just because stdin is.
+    let mut child = bin()
+        .arg("serve")
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    {
+        let mut stdin = child.stdin.take().expect("stdin");
+        writeln!(
+            stdin,
+            r#"{{"op":"ingest","name":"g","spec":"k5_chain(4)"}}"#
+        )
+        .unwrap();
+        writeln!(
+            stdin,
+            r#"{{"op":"query","graph":"g","epsilon":0.05,"seed":1}}"#
+        )
+        .unwrap();
+        writeln!(
+            stdin,
+            r#"{{"op":"query","graph":"g","epsilon":0.05,"seed":2}}"#
+        )
+        .unwrap();
+        writeln!(stdin, r#"{{"op":"stats"}}"#).unwrap();
+    } // dropped: EOF
+    let output = child.wait_with_output().expect("serve exits");
+    assert!(output.status.success());
+    let lines: Vec<Value> = String::from_utf8(output.stdout)
+        .expect("utf8 output")
+        .lines()
+        .map(|l| Value::parse(l).expect("response parses"))
+        .collect();
+    assert_eq!(lines.len(), 4, "one response per piped request");
+    assert_eq!(lines[0].get("ok").unwrap().as_bool(), Some(true));
+    assert_eq!(lines[1].get("verdict").unwrap().as_str(), Some("reject"));
+    assert_eq!(lines[1].get("cache").unwrap().as_str(), Some("cold"));
+    assert_eq!(lines[2].get("verdict").unwrap().as_str(), Some("reject"));
+    // Timing decides whether both seeds landed in one cycle (coalesced
+    // cold lanes of one pass) or two (the second replays the first's
+    // certificate) — both are correct and both cost one engine pass.
+    let second_cache = lines[2].get("cache").unwrap().as_str().unwrap();
+    assert!(
+        second_cache == "certificate" || (second_cache == "cold"),
+        "unexpected cache provenance {second_cache}"
+    );
+    assert_eq!(lines[3].get("ok").unwrap().as_bool(), Some(true));
+    assert!(lines[3].get("engine_passes").is_some());
+}
+
+#[test]
 fn one_shot_query_accepts_and_rejects_via_exit_codes() {
     let accept = bin()
         .args([

@@ -1,0 +1,349 @@
+//! End-to-end smoke tests of the transport-abstracted server: the real
+//! `planartest` binary serving concurrent unix-socket and TCP clients,
+//! cross-client coalescing, wire-protocol hardening, and graceful
+//! shutdown on EOF and SIGTERM.
+#![cfg(unix)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::os::unix::net::UnixStream;
+use std::path::PathBuf;
+use std::process::{Child, ChildStderr, Command, Stdio};
+use std::time::Duration;
+
+use planartest_service::wire::Value;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_planartest"))
+}
+
+fn socket_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("planartest-{tag}-{}.sock", std::process::id()))
+}
+
+/// Spawns `planartest serve` with the given extra flags; stdin is kept
+/// open (it is the shutdown control), stderr is piped so tests can read
+/// the `listening …` banners.
+fn spawn_serve(extra: &[&str]) -> Child {
+    let mut cmd = bin();
+    cmd.arg("serve").args(extra);
+    cmd.stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve")
+}
+
+/// Reads stderr lines until the wanted `listening <transport> …`
+/// banner appears; returns its last whitespace-separated field.
+fn await_banner(stderr: &mut BufReader<ChildStderr>, transport: &str) -> String {
+    for _ in 0..32 {
+        let mut line = String::new();
+        if stderr.read_line(&mut line).expect("read stderr") == 0 {
+            break;
+        }
+        if line.starts_with(&format!("listening {transport}")) {
+            return line
+                .split_whitespace()
+                .last()
+                .expect("banner field")
+                .to_string();
+        }
+    }
+    panic!("no `listening {transport}` banner on stderr");
+}
+
+/// One request/response exchange over any stream transport.
+fn ask<S: Read + Write>(stream: &mut S, reader: &mut BufReader<S>, request: &str) -> Value {
+    writeln!(stream, "{request}").expect("write request");
+    stream.flush().expect("flush request");
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("read response");
+    assert!(!line.is_empty(), "connection closed before a response");
+    Value::parse(line.trim()).expect("response parses")
+}
+
+fn connect(path: &std::path::Path) -> (UnixStream, BufReader<UnixStream>) {
+    let stream = UnixStream::connect(path).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    (stream, reader)
+}
+
+#[test]
+fn two_socket_clients_coalesce_into_one_engine_pass() {
+    let path = socket_path("coalesce");
+    // wake-depth 2 + a long linger make the test deterministic: the
+    // cycle fires exactly when both clients' queries are pending.
+    let mut child = spawn_serve(&[
+        "--unix",
+        path.to_str().unwrap(),
+        "--wake-depth",
+        "2",
+        "--linger-ms",
+        "30000",
+    ]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    let (mut a, mut a_rx) = connect(&path);
+    let (mut b, mut b_rx) = connect(&path);
+
+    // Ingest is a control op: it wakes the drain loop immediately, no
+    // lingering, so client A gets its answer straight away.
+    let ingested = ask(
+        &mut a,
+        &mut a_rx,
+        r#"{"op":"ingest","name":"city","spec":"tri_grid(5,5)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+
+    // Both clients query the same graph under different seeds. Neither
+    // alone reaches wake-depth 2; together they fire one cycle — and
+    // one engine pass serves both.
+    writeln!(
+        a,
+        r#"{{"op":"query","graph":"city","epsilon":0.2,"phases":5,"seed":1}}"#
+    )
+    .unwrap();
+    writeln!(
+        b,
+        r#"{{"op":"query","graph":"city","epsilon":0.2,"phases":5,"seed":2}}"#
+    )
+    .unwrap();
+
+    for rx in [&mut a_rx, &mut b_rx] {
+        let mut line = String::new();
+        rx.read_line(&mut line).expect("read response");
+        let response = Value::parse(line.trim()).expect("response parses");
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(response.get("verdict").unwrap().as_str(), Some("accept"));
+        assert_eq!(response.get("cache").unwrap().as_str(), Some("cold"));
+        assert_eq!(
+            response.get("coalesced").unwrap().as_u64(),
+            Some(2),
+            "both clients' seeds must ride one pass"
+        );
+    }
+
+    // The server-side proof: one engine pass, two queries served.
+    let stats = ask(&mut a, &mut a_rx, r#"{"op":"stats"}"#);
+    assert_eq!(stats.get("engine_passes").unwrap().as_u64(), Some(1));
+    assert_eq!(stats.get("queries_served").unwrap().as_u64(), Some(2));
+
+    drop((a, b, a_rx, b_rx));
+    drop(child.stdin.take()); // EOF: graceful shutdown
+    let status = child.wait().expect("serve exits");
+    assert!(status.success());
+    assert!(!path.exists(), "socket file cleaned up on exit");
+}
+
+#[test]
+fn tcp_survives_garbage_and_oversized_frames() {
+    let mut child = spawn_serve(&["--tcp", "127.0.0.1:0", "--max-frame-bytes", "256"]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    let addr = await_banner(&mut stderr, "tcp");
+
+    let mut stream = std::net::TcpStream::connect(&addr).expect("connect tcp");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .expect("read timeout");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+
+    // Garbage: an in-band error, not a dead server.
+    let bad = ask(&mut stream, &mut reader, "this is not json");
+    assert_eq!(bad.get("ok").unwrap().as_bool(), Some(false));
+    assert!(bad
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("bad request"));
+
+    // Oversized frame: ditto, and the connection keeps working.
+    let huge = "x".repeat(300);
+    let oversized = ask(&mut stream, &mut reader, &huge);
+    assert_eq!(oversized.get("ok").unwrap().as_bool(), Some(false));
+    assert!(oversized
+        .get("error")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("256-byte"));
+
+    // Same connection still serves real work.
+    let ingested = ask(
+        &mut stream,
+        &mut reader,
+        r#"{"op":"ingest","name":"g","spec":"grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+    let queried = ask(
+        &mut stream,
+        &mut reader,
+        r#"{"op":"query","graph":"g","epsilon":0.2,"phases":5}"#,
+    );
+    assert_eq!(queried.get("verdict").unwrap().as_str(), Some("accept"));
+
+    drop((stream, reader));
+    drop(child.stdin.take());
+    assert!(child.wait().expect("serve exits").success());
+}
+
+#[test]
+fn eof_shutdown_flushes_lingering_queries() {
+    let path = socket_path("eof-flush");
+    // A very long linger and no depth wake: the query below would sit
+    // in the queue for 30s — unless shutdown flushes it.
+    let mut child = spawn_serve(&["--unix", path.to_str().unwrap(), "--linger-ms", "30000"]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    let (mut client, mut rx) = connect(&path);
+    let ingested = ask(
+        &mut client,
+        &mut rx,
+        r#"{"op":"ingest","name":"g","spec":"tri_grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+
+    writeln!(
+        client,
+        r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":9}}"#
+    )
+    .unwrap();
+    // Let the query reach the submission queue, then close stdin.
+    std::thread::sleep(Duration::from_millis(300));
+    let started = std::time::Instant::now();
+    drop(child.stdin.take());
+
+    // The lingering query is answered on the way down, well before its
+    // 30-second window.
+    let mut line = String::new();
+    rx.read_line(&mut line).expect("read flushed response");
+    let response = Value::parse(line.trim()).expect("response parses");
+    assert_eq!(response.get("verdict").unwrap().as_str(), Some("accept"));
+    assert!(started.elapsed() < Duration::from_secs(20));
+    assert!(child.wait().expect("serve exits").success());
+}
+
+#[test]
+fn sigterm_shutdown_flushes_lingering_queries() {
+    let path = socket_path("sigterm-flush");
+    let mut child = spawn_serve(&["--unix", path.to_str().unwrap(), "--linger-ms", "30000"]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    let (mut client, mut rx) = connect(&path);
+    let ingested = ask(
+        &mut client,
+        &mut rx,
+        r#"{"op":"ingest","name":"g","spec":"tri_grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+
+    writeln!(
+        client,
+        r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":3}}"#
+    )
+    .unwrap();
+    std::thread::sleep(Duration::from_millis(300));
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status()
+        .expect("run kill");
+    assert!(killed.success(), "kill -TERM must reach the server");
+
+    let mut line = String::new();
+    rx.read_line(&mut line).expect("read flushed response");
+    let response = Value::parse(line.trim()).expect("response parses");
+    assert_eq!(response.get("verdict").unwrap().as_str(), Some("accept"));
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "SIGTERM exit is graceful, code 0");
+}
+
+#[test]
+fn no_stdio_daemon_survives_stdin_eof_and_stops_on_sigterm() {
+    let path = socket_path("daemon");
+    // Daemon mode: stdin is closed immediately (as under a supervisor
+    // with /dev/null) — the server must keep serving regardless.
+    let mut child = bin()
+        .args(["serve", "--no-stdio", "--unix", path.to_str().unwrap()])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+    std::thread::sleep(Duration::from_millis(200));
+    assert!(
+        child.try_wait().expect("probe child").is_none(),
+        "--no-stdio server must not exit on stdin EOF"
+    );
+
+    let (mut client, mut rx) = connect(&path);
+    let ingested = ask(
+        &mut client,
+        &mut rx,
+        r#"{"op":"ingest","name":"g","spec":"grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+    let queried = ask(
+        &mut client,
+        &mut rx,
+        r#"{"op":"query","graph":"g","epsilon":0.2,"phases":5}"#,
+    );
+    assert_eq!(queried.get("verdict").unwrap().as_str(), Some("accept"));
+
+    let killed = Command::new("sh")
+        .args(["-c", &format!("kill -TERM {}", child.id())])
+        .status()
+        .expect("run kill");
+    assert!(killed.success());
+    assert!(child.wait().expect("serve exits").success());
+
+    // --no-stdio without any listener is rejected up front.
+    let refused = bin()
+        .args(["serve", "--no-stdio"])
+        .stdin(Stdio::null())
+        .output()
+        .expect("run serve");
+    assert_eq!(refused.status.code(), Some(2));
+}
+
+#[test]
+fn cache_accepts_flag_bounds_stripes_and_reports_evictions() {
+    let path = socket_path("cache-accepts");
+    let mut child = spawn_serve(&["--unix", path.to_str().unwrap(), "--cache-accepts", "2"]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    let (mut client, mut rx) = connect(&path);
+    let ingested = ask(
+        &mut client,
+        &mut rx,
+        r#"{"op":"ingest","name":"g","spec":"tri_grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+    for seed in 0..4 {
+        let r = ask(
+            &mut client,
+            &mut rx,
+            &format!(r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":{seed}}}"#),
+        );
+        assert_eq!(r.get("cache").unwrap().as_str(), Some("cold"));
+    }
+    let stats = ask(&mut client, &mut rx, r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats.get("cached_outcomes").unwrap().as_u64(),
+        Some(2),
+        "stripes bounded by --cache-accepts"
+    );
+    assert_eq!(stats.get("evictions").unwrap().as_u64(), Some(2));
+
+    drop((client, rx));
+    drop(child.stdin.take());
+    assert!(child.wait().expect("serve exits").success());
+}
