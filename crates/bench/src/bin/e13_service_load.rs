@@ -1,11 +1,14 @@
-//! E13 — service-layer load benchmark; writes `BENCH_service.json`.
+//! E13 — service-layer load benchmark; writes `BENCH_service.json`
+//! plus the `BENCH_trace.ldjson` event-log artifact.
 //!
 //! `--check` turns the gate into an exit code for CI: warm-cache p50
 //! must beat cold by at least 10×, the coalesced same-graph sweep must
-//! not lose to sequential per-query drains, and the multi-client
+//! not lose to sequential per-query drains, the multi-client
 //! unix-socket scenario (N concurrent clients through the background
 //! drain loop, outcomes asserted identical to sequential) must not
-//! lose to per-client serial service.
+//! lose to per-client serial service, and attaching the `--trace`
+//! event log must keep at least 95% of metrics-only throughput on the
+//! cold serving path.
 
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
@@ -14,11 +17,14 @@ fn main() {
         eprintln!(
             "service gate FAILED: warm p50 speedup {:.2}x (need >= {:.0}x), \
              coalesced speedup {:.2}x (need >= 1.0x), \
-             multi-client speedup {:.2}x (need >= 1.0x)",
+             multi-client speedup {:.2}x (need >= 1.0x), \
+             trace overhead ratio {:.3} (need >= {:.2})",
             gate.warm_p50_speedup,
             planartest_bench::ServiceGate::WARM_SPEEDUP_FLOOR,
             gate.coalesced_speedup,
             gate.multi_client_speedup,
+            gate.trace_overhead,
+            planartest_bench::ServiceGate::TRACE_OVERHEAD_FLOOR,
         );
         std::process::exit(1);
     }

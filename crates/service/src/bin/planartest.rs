@@ -3,13 +3,19 @@
 //! ```text
 //! planartest serve [FLAGS]         # LDJSON server: stdio + sockets
 //! planartest query [FLAGS]         # one-shot: ingest + query + print
+//! planartest metrics [FLAGS]       # scrape a running server's metrics
 //! planartest families              # list the generator corpus
 //! ```
 //!
 //! `serve` flags: `--unix PATH`, `--tcp ADDR` (listeners beyond the
 //! default stdio transport), `--no-stdio` (daemon mode), `--linger-ms
 //! N` (coalescing window), `--wake-depth N`, `--group-threads N`,
-//! `--cache-accepts N`, `--max-frame-bytes N`.
+//! `--cache-accepts N`, `--max-frame-bytes N`, `--trace FILE`
+//! (per-query LDJSON event log).
+//!
+//! `metrics` flags: `--unix PATH` or `--tcp ADDR` (the running
+//! server's listener), `--json` (the `metrics` snapshot instead of
+//! Prometheus text).
 //!
 //! `query` flags: `--spec SPEC` or `--graph-file PATH` (edge list),
 //! `--property P`, `--epsilon E`, `--seed S`, `--phases T`,
@@ -28,9 +34,10 @@ planartest — query service for distributed planarity testing
 USAGE:
   planartest serve [--unix PATH] [--tcp ADDR] [--no-stdio]
       [--linger-ms N] [--wake-depth N] [--group-threads N]
-      [--cache-accepts N] [--max-frame-bytes N]
+      [--cache-accepts N] [--max-frame-bytes N] [--trace FILE]
       Serve one JSON request per line, one JSON response per line
-      (ops: ingest, query, batch, stats, families), multiplexing
+      (ops: ingest, query, batch, stats, metrics, metrics-text,
+      families), multiplexing
       stdio plus any configured unix-socket / TCP listeners through
       one scheduler: same-graph queries from *different* clients
       coalesce into shared engine passes. --linger-ms (default 0)
@@ -40,15 +47,21 @@ USAGE:
       groups across workers; --cache-accepts bounds the per-seed
       result-cache stripes (LRU; reject certificates are permanent);
       --max-frame-bytes caps a request line (oversized frames get an
-      error response, not a dead server). EOF on stdin or SIGTERM
-      shuts down gracefully, answering everything already queued;
-      --no-stdio (daemon mode, needs --unix/--tcp) skips the stdin
-      transport so a detached server is stopped by SIGTERM only.
+      error response, not a dead server); --trace FILE appends one
+      LDJSON record per query stage (submit/resolve/execute/respond)
+      for offline latency analysis and load replay. EOF on stdin or
+      SIGTERM shuts down gracefully, answering everything already
+      queued; --no-stdio (daemon mode, needs --unix/--tcp) skips the
+      stdin transport so a detached server is stopped by SIGTERM only.
   planartest query (--spec SPEC | --graph-file PATH) [--property P]
       [--epsilon E] [--seed S] [--phases T] [--backend B]
       [--embedding strict|paper]
       One-shot: ingest the graph, run one query, print the response.
       Exit code: 0 = accept, 1 = reject, 2 = error.
+  planartest metrics (--unix PATH | --tcp ADDR) [--json]
+      Scrape a running server: print its latency/stage histograms as
+      Prometheus exposition text (default) or the full JSON snapshot
+      (--json).
   planartest families
       Print the spec-addressable generator corpus.
 ";
@@ -102,6 +115,7 @@ fn serve(args: &[String]) -> ExitCode {
     let mut tcp_addr: Option<String> = None;
     let mut group_threads = 0usize; // serve default: all cores
     let mut cache_accepts: Option<usize> = None;
+    let mut trace_path: Option<String> = None;
     for (name, value) in flags {
         let parse_u64 = || -> Result<u64, ExitCode> {
             value.parse::<u64>().map_err(|_| {
@@ -134,6 +148,7 @@ fn serve(args: &[String]) -> ExitCode {
                 Ok(b) => opts.max_frame = b as usize,
                 Err(code) => return code,
             },
+            "trace" => trace_path = Some(value.clone()),
             other => {
                 eprintln!("error: unknown serve flag `--{other}`\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -144,6 +159,17 @@ fn serve(args: &[String]) -> ExitCode {
     let mut service = Service::new().with_group_threads(group_threads);
     if let Some(capacity) = cache_accepts {
         service.set_cache_accepts(capacity);
+    }
+    if let Some(path) = &trace_path {
+        match std::fs::File::create(path) {
+            Ok(file) => service
+                .telemetry()
+                .set_trace_writer(Box::new(std::io::BufWriter::new(file))),
+            Err(e) => {
+                eprintln!("error: cannot open trace file `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if !stdio && unix_path.is_none() && tcp_addr.is_none() {
         eprintln!("error: `--no-stdio` needs at least one of `--unix` / `--tcp`");
@@ -287,6 +313,104 @@ fn one_shot(args: &[String]) -> ExitCode {
     }
 }
 
+/// One-shot metrics scrape against a running server's socket: sends a
+/// single `metrics` / `metrics-text` request and prints the answer —
+/// Prometheus text by default (unescaped from the one-line JSON
+/// envelope), or the raw JSON snapshot with `--json`.
+fn metrics(args: &[String]) -> ExitCode {
+    use std::io::{BufRead, BufReader, Write};
+
+    let json = args.iter().any(|a| a == "--json");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--json").cloned().collect();
+    let flags = match parse_flags(&args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut unix_path: Option<String> = None;
+    let mut tcp_addr: Option<String> = None;
+    for (name, value) in flags {
+        match name.as_str() {
+            "unix" => unix_path = Some(value),
+            "tcp" => tcp_addr = Some(value),
+            other => {
+                eprintln!("error: unknown metrics flag `--{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let op = if json { "metrics" } else { "metrics-text" };
+    let request = Value::obj().field("op", op).to_string();
+    type Exchange = Box<dyn FnMut(&str) -> std::io::Result<String>>;
+    let scrape = |mut stream: Exchange| -> ExitCode {
+        match stream(&request) {
+            Ok(line) => match Value::parse(line.trim()) {
+                Ok(response) if json => {
+                    println!("{}", response.pretty());
+                    ExitCode::SUCCESS
+                }
+                Ok(response) => match response.get("text").and_then(Value::as_str) {
+                    Some(text) => {
+                        print!("{text}");
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        eprintln!("error: server answered without a `text` field: {response}");
+                        ExitCode::from(2)
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: bad response: {e}");
+                    ExitCode::from(2)
+                }
+            },
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        }
+    };
+    // One round trip: write the request line, read the response line.
+    fn round_trip<S: std::io::Read + Write>(
+        mut stream: S,
+        request: &str,
+    ) -> std::io::Result<String> {
+        writeln!(stream, "{request}")?;
+        stream.flush()?;
+        let mut line = String::new();
+        BufReader::new(&mut stream).read_line(&mut line)?;
+        Ok(line)
+    }
+    match (unix_path, tcp_addr) {
+        (Some(path), None) => {
+            #[cfg(unix)]
+            {
+                let path2 = path.clone();
+                scrape(Box::new(move |req| {
+                    let stream = std::os::unix::net::UnixStream::connect(&path2)?;
+                    round_trip(stream, req)
+                }))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                eprintln!("error: unix sockets are not available on this platform");
+                ExitCode::from(2)
+            }
+        }
+        (None, Some(addr)) => scrape(Box::new(move |req| {
+            let stream = std::net::TcpStream::connect(&addr)?;
+            round_trip(stream, req)
+        })),
+        _ => {
+            eprintln!("error: `metrics` needs exactly one of `--unix PATH` / `--tcp ADDR`");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn families() -> ExitCode {
     let mut service = Service::new();
     let r = handle_request(&mut service, &Value::obj().field("op", "families"));
@@ -299,6 +423,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("query") => one_shot(&args[1..]),
+        Some("metrics") => metrics(&args[1..]),
         Some("families") if args.len() == 1 => families(),
         Some("--help" | "-h" | "help") => {
             print!("{USAGE}");

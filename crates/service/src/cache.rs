@@ -154,6 +154,13 @@ impl ResultCache {
         self.accept_capacity
     }
 
+    /// Accept stripes currently resident in the LRU (the occupancy the
+    /// eviction counter is measured against; certificates don't count).
+    #[must_use]
+    pub fn accept_stripes(&self) -> usize {
+        self.lru.len()
+    }
+
     fn slot_key(key: &CacheKey) -> SlotKey {
         (key.graph.0, key.config.0, key.property)
     }

@@ -13,8 +13,6 @@
 //! (proven by `tests/drain_proptests.rs`) no matter how the pool
 //! schedules the work.
 
-use std::time::Instant;
-
 use planartest_core::applications::{test_bipartiteness, test_cycle_freeness, HereditaryOutcome};
 use planartest_core::{CoreError, PlanarityTester, TesterConfig};
 use planartest_graph::Graph;
@@ -26,6 +24,7 @@ use crate::cache::CacheKey;
 use crate::query::{GraphRef, Outcome, Property};
 use crate::registry::GraphRegistry;
 use crate::scheduler::Resolved;
+use crate::telemetry::Clock;
 
 /// One coalesced group: the shared key and pass parameters, the batch
 /// lanes (distinct seeds, first-seen order), and the member queries
@@ -74,14 +73,16 @@ pub(crate) fn execute_groups(
     registry: &GraphRegistry,
     groups: &[Group],
     runner: &TrialRunner,
+    clock: &Clock,
 ) -> Vec<GroupPass> {
-    runner.map_ref(groups, |group| run_group_pass(registry, group))
+    runner.map_ref(groups, |group| run_group_pass(registry, group, clock))
 }
 
 /// Executes one group through a single engine pass. Pure with respect
 /// to the service: reads the resident CSR, touches no cache or
-/// counter state.
-fn run_group_pass(registry: &GraphRegistry, group: &Group) -> GroupPass {
+/// counter state. Pass wall time is stamped on the injected service
+/// clock, so engine timings are deterministic under a mock clock.
+fn run_group_pass(registry: &GraphRegistry, group: &Group, clock: &Clock) -> GroupPass {
     // Resolution already succeeded during the scheduler's resolve
     // stage (that is where `key.graph` came from) and the registry is
     // immutable for the whole cycle, so the lookup cannot fail here.
@@ -90,7 +91,7 @@ fn run_group_pass(registry: &GraphRegistry, group: &Group) -> GroupPass {
         .expect("resolved during the cycle's resolve stage")
         .graph;
 
-    let started = Instant::now();
+    let started = clock.now_micros();
     let by_seed: Result<Vec<(u64, Outcome)>, CoreError> = match group.key.property {
         Property::Planarity => PlanarityTester::new(group.cfg.clone())
             .with_backend(group.backend)
@@ -110,7 +111,7 @@ fn run_group_pass(registry: &GraphRegistry, group: &Group) -> GroupPass {
     };
     GroupPass {
         by_seed,
-        engine_micros: started.elapsed().as_micros() as u64,
+        engine_micros: clock.now_micros().saturating_sub(started),
     }
 }
 

@@ -74,6 +74,7 @@ pub mod protocol;
 mod query;
 pub mod registry;
 pub mod scheduler;
+pub mod telemetry;
 pub mod transport;
 pub mod wire;
 
@@ -84,4 +85,5 @@ pub use crate::query::{
 };
 pub use crate::registry::{GraphEntry, GraphRegistry};
 pub use crate::scheduler::{DrainedQuery, ServeOptions, Server, Service, ServiceStats};
+pub use crate::telemetry::{Clock, Histogram, MockClock, StageTimes, Telemetry, WakeReason};
 pub use crate::transport::{ConnectionId, Connections, Submission, SubmissionQueue};

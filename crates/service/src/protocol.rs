@@ -18,7 +18,9 @@
 //! | `ingest` | `name`, and `edge_list` *or* `spec` | register a graph, build + fingerprint once |
 //! | `query` | `graph` (name) or `fingerprint`, `property?`, `epsilon?`, `seed?`, `phases?`, `backend?`, `embedding?` | test one property, cache-aware |
 //! | `batch` | `queries`: array of query objects | coalesced drain: same-graph queries share engine passes |
-//! | `stats` | — | registry/cache/scheduler telemetry |
+//! | `stats` | — | registry/cache/scheduler counters, queue depth, uptime, wake reasons |
+//! | `metrics` | — | full telemetry snapshot: latency histograms per `(property, cache)`, stage timings, cycle accounting |
+//! | `metrics-text` | — | the same metrics as Prometheus exposition text (in the `text` field) |
 //! | `families` | — | the spec-addressable generator corpus |
 //!
 //! Every response carries `"ok"`; failures also carry `"error"`. A
@@ -160,7 +162,16 @@ pub fn response_value(r: &QueryResponse) -> Value {
         .field("words", stats.words)
         .field("coalesced", r.coalesced)
         .field("engine_micros", r.engine_micros)
-        .field("attributed_micros", r.attributed_micros);
+        .field("attributed_micros", r.attributed_micros)
+        .field(
+            "stages",
+            Value::obj()
+                .field("queue_micros", r.stages.queue_micros)
+                .field("resolve_micros", r.stages.resolve_micros)
+                .field("execute_micros", r.stages.execute_micros)
+                .field("respond_micros", r.stages.respond_micros)
+                .field("total_micros", r.stages.total_micros()),
+        );
     let rejecting: Vec<Value> = r
         .outcome
         .rejecting_nodes()
@@ -306,8 +317,45 @@ fn handle_stats(service: &Service) -> Value {
         .field("certificate_hits", s.cache.certificate_hits)
         .field("misses", s.cache.misses)
         .field("evictions", s.cache.evictions)
+        .field("accept_stripes", s.accept_stripes)
+        .field("accept_capacity", s.accept_capacity)
         .field("engine_passes", s.engine_passes)
         .field("queries_served", s.queries_served)
+        .field("queue_depth", s.queue_depth)
+        .field("uptime_micros", s.uptime_micros)
+        .field("drain_cycles", s.drain_cycles)
+        .field(
+            "wake",
+            Value::obj()
+                .field("depth", s.wake[0])
+                .field("linger", s.wake[1])
+                .field("control", s.wake[2])
+                .field("shutdown", s.wake[3]),
+        )
+}
+
+/// The `metrics` op: the full telemetry snapshot (histograms, stage
+/// timings, cycle accounting, engine rollups) plus the registry/cache
+/// summary counters.
+fn handle_metrics(service: &Service) -> Value {
+    let s = service.stats();
+    let mut v = service.telemetry().metrics_value().field("ok", true);
+    v = v
+        .field("graphs", s.graphs)
+        .field("cache_slots", s.cache_slots)
+        .field("queue_depth", s.queue_depth)
+        .field("engine_passes", s.engine_passes)
+        .field("queries_served", s.queries_served);
+    v
+}
+
+/// The `metrics-text` op: Prometheus exposition format, shipped in the
+/// `text` field of a one-line JSON response (the wire layer escapes
+/// the newlines; `planartest metrics` unescapes and prints it).
+fn handle_metrics_text(service: &Service) -> Value {
+    Value::obj()
+        .field("ok", true)
+        .field("text", service.telemetry().prometheus_text())
 }
 
 fn handle_families() -> Value {
@@ -333,9 +381,11 @@ pub fn handle_request(service: &mut Service, req: &Value) -> Value {
         Some("query") => handle_query(service, req),
         Some("batch") => handle_batch(service, req),
         Some("stats") => handle_stats(service),
+        Some("metrics") => handle_metrics(service),
+        Some("metrics-text") => handle_metrics_text(service),
         Some("families") => handle_families(),
         Some(other) => error(format!(
-            "unknown op `{other}` (expected ingest/query/batch/stats/families)"
+            "unknown op `{other}` (expected ingest/query/batch/stats/metrics/metrics-text/families)"
         )),
         None => error("request needs a string `op` field"),
     }

@@ -139,7 +139,10 @@ impl Query {
 }
 
 /// Where a response came from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// Derives `Hash`/`Ord` so telemetry can key per-`(property, cache)`
+/// latency distributions on it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum CacheStatus {
     /// Computed by an engine pass in this drain.
     Cold,
@@ -239,6 +242,10 @@ pub struct QueryResponse {
     /// (which the batched drivers account per query via
     /// [`SimStats::delta_since`]).
     pub attributed_micros: u64,
+    /// Per-stage timing of this query's trip through the scheduler
+    /// (queue / resolve / execute / respond spans summing exactly to
+    /// the end-to-end latency on the service clock).
+    pub stages: crate::telemetry::StageTimes,
 }
 
 #[cfg(test)]

@@ -47,6 +47,7 @@ use crate::exec::{execute_groups, Group, GroupPass};
 use crate::protocol;
 use crate::query::{CacheStatus, Outcome, Property, Query, QueryId, QueryResponse};
 use crate::registry::GraphRegistry;
+use crate::telemetry::{Clock, StageTimes, Telemetry, WakeReason};
 use crate::transport::{
     spawn_stdio, spawn_tcp_listener, ConnectionId, Connections, Submission, SubmissionQueue,
 };
@@ -67,10 +68,25 @@ pub struct ServiceStats {
     pub cached_outcomes: usize,
     /// Cache hit/miss/eviction counters.
     pub cache: crate::cache::CacheStats,
+    /// Accept stripes currently resident in the cache LRU (the
+    /// occupancy `cache.evictions` is measured against).
+    pub accept_stripes: usize,
+    /// The accept-stripe LRU capacity.
+    pub accept_capacity: usize,
     /// Engine passes executed (each pass may serve many queries).
     pub engine_passes: u64,
     /// Queries answered (from cache or engine).
     pub queries_served: u64,
+    /// Submissions waiting in the bound queue right now (0 when no
+    /// queue is bound — the lib-embedded, serverless case).
+    pub queue_depth: usize,
+    /// Microseconds since the service's telemetry epoch.
+    pub uptime_micros: u64,
+    /// Drain-loop cycles executed.
+    pub drain_cycles: u64,
+    /// Drain-loop wake reason counts: `[depth, linger, control,
+    /// shutdown]`.
+    pub wake: [u64; 4],
 }
 
 /// A pending query as the scheduler sees it after resolution.
@@ -80,6 +96,12 @@ pub(crate) struct Resolved {
     pub(crate) key: CacheKey,
     pub(crate) seed: u64,
     pub(crate) query: Query,
+    /// Where the response routes back to (`None` for lib-embedded
+    /// drains with no connection).
+    pub(crate) conn: Option<ConnectionId>,
+    /// Stage spans so far: submit stamp, queue and resolve spans
+    /// filled; execute/respond stamped by `apply_group`.
+    pub(crate) stages: StageTimes,
 }
 
 /// What the resolve stage decided for one query.
@@ -96,7 +118,7 @@ pub(crate) enum Resolution {
 pub struct Service {
     registry: GraphRegistry,
     cache: ResultCache,
-    queue: Vec<(QueryId, Query)>,
+    queue: Vec<(QueryId, Query, u64)>,
     next_id: QueryId,
     engine_passes: u64,
     queries_served: u64,
@@ -104,6 +126,11 @@ pub struct Service {
     /// the historical strictly-sequential drain; more threads fan
     /// independent groups out without changing any result bit.
     runner: TrialRunner,
+    /// The shared telemetry sink (histograms, stage spans, trace log).
+    telemetry: Arc<Telemetry>,
+    /// The submission queue this service drains, when server-hosted —
+    /// lets `stats` report live queue depth.
+    bound_queue: Option<Arc<SubmissionQueue>>,
 }
 
 impl Default for Service {
@@ -116,6 +143,8 @@ impl Default for Service {
             engine_passes: 0,
             queries_served: 0,
             runner: TrialRunner::new(1),
+            telemetry: Arc::new(Telemetry::default()),
+            bound_queue: None,
         }
     }
 }
@@ -125,6 +154,27 @@ impl Service {
     #[must_use]
     pub fn new() -> Self {
         Service::default()
+    }
+
+    /// Replaces the telemetry clock (tests inject
+    /// [`Clock::mock`] here for deterministic stage timings).
+    #[must_use]
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.telemetry = Arc::new(Telemetry::new(clock));
+        self
+    }
+
+    /// The shared telemetry sink.
+    #[must_use]
+    pub fn telemetry(&self) -> Arc<Telemetry> {
+        Arc::clone(&self.telemetry)
+    }
+
+    /// Binds the submission queue this service is drained from, so
+    /// [`stats`](Self::stats) can report live queue depth (done by
+    /// [`Server::start`]).
+    pub fn bind_queue(&mut self, queue: Arc<SubmissionQueue>) {
+        self.bound_queue = Some(queue);
     }
 
     /// Sets the worker count independent groups fan across during a
@@ -182,8 +232,14 @@ impl Service {
             cache_slots: self.cache.len(),
             cached_outcomes: self.cache.stored_outcomes(),
             cache: self.cache.stats(),
+            accept_stripes: self.cache.accept_stripes(),
+            accept_capacity: self.cache.accept_capacity(),
             engine_passes: self.engine_passes,
             queries_served: self.queries_served,
+            queue_depth: self.bound_queue.as_ref().map_or(0, |q| q.depth()),
+            uptime_micros: self.telemetry.uptime_micros(),
+            drain_cycles: self.telemetry.cycles(),
+            wake: self.telemetry.wake_counts(),
         }
     }
 
@@ -193,10 +249,13 @@ impl Service {
         self.cache.clear();
     }
 
-    /// Enqueues a query for the next [`drain`](Self::drain); returns its id.
+    /// Enqueues a query for the next [`drain`](Self::drain); returns its
+    /// id. The submit stamp taken here is the origin of the query's
+    /// queue-wait stage span.
     pub fn submit(&mut self, query: Query) -> QueryId {
         let id = self.next_query_id();
-        self.queue.push((id, query));
+        let at = self.telemetry.now_micros();
+        self.queue.push((id, query, at));
         id
     }
 
@@ -244,8 +303,8 @@ impl Service {
 
         // Stage 1: resolve (cache hits answered in place).
         let mut misses: Vec<(usize, Resolved)> = Vec::new();
-        for (slot, (id, query)) in pending.into_iter().enumerate() {
-            match self.resolve_one(id, query) {
+        for (slot, (id, query, at)) in pending.into_iter().enumerate() {
+            match self.resolve_one(id, query, at, None) {
                 Resolution::Done(result) => results[slot] = Some((id, result)),
                 Resolution::Miss(resolved) => misses.push((slot, resolved)),
             }
@@ -253,7 +312,8 @@ impl Service {
 
         // Stage 2: group. Stage 3: execute (pure, possibly parallel).
         let groups = group_misses(misses);
-        let passes = execute_groups(&self.registry, &groups, &self.runner);
+        let clock = self.telemetry.clock();
+        let passes = execute_groups(&self.registry, &groups, &self.runner, &clock);
 
         // Stage 4: respond (ordered state, sequential in group order).
         for (group, pass) in groups.into_iter().zip(passes) {
@@ -267,11 +327,36 @@ impl Service {
     }
 
     /// Stage 1 for one query: registry resolution + cache lookup.
-    pub(crate) fn resolve_one(&mut self, id: QueryId, query: Query) -> Resolution {
+    ///
+    /// Stage spans stay contiguous by construction: the queue span ends
+    /// on the single stamp taken at entry, and the resolve span ends on
+    /// the single stamp taken when the walk finishes — so
+    /// `queue + resolve (+ execute + respond)` sums *exactly* to
+    /// end-to-end on the service clock.
+    pub(crate) fn resolve_one(
+        &mut self,
+        id: QueryId,
+        query: Query,
+        submitted_micros: u64,
+        conn: Option<ConnectionId>,
+    ) -> Resolution {
         self.queries_served += 1;
+        let resolve_start = self.telemetry.now_micros();
+        let mut stages = StageTimes {
+            submitted_micros,
+            queue_micros: resolve_start.saturating_sub(submitted_micros),
+            ..StageTimes::default()
+        };
+        let close = |stages: &mut StageTimes, telemetry: &Telemetry| {
+            stages.resolve_micros = telemetry.now_micros().saturating_sub(resolve_start);
+        };
         let entry = match self.registry.resolve(&query.graph) {
             Ok(e) => e,
-            Err(err) => return Resolution::Done(Err(err)),
+            Err(err) => {
+                close(&mut stages, &self.telemetry);
+                self.telemetry.record_failed_query(stages);
+                return Resolution::Done(Err(err));
+            }
         };
         let key = CacheKey {
             graph: entry.fingerprint,
@@ -280,6 +365,9 @@ impl Service {
         };
         let seed = query.cfg.seed;
         if let Some((outcome, status, stored_seed)) = self.cache.lookup(&key, seed) {
+            close(&mut stages, &self.telemetry);
+            self.telemetry
+                .record_query(conn, id, query.property, status, stages, 0, 0);
             return Resolution::Done(Ok(QueryResponse {
                 id,
                 graph: key.graph,
@@ -290,13 +378,17 @@ impl Service {
                 coalesced: 0,
                 engine_micros: 0,
                 attributed_micros: 0,
+                stages,
             }));
         }
+        close(&mut stages, &self.telemetry);
         Resolution::Miss(Resolved {
             id,
             key,
             seed,
             query,
+            conn,
+            stages,
         })
     }
 
@@ -310,10 +402,20 @@ impl Service {
         results: &mut [Option<DrainedQuery>],
     ) {
         self.engine_passes += 1;
+        // One stamp closes every member's execute span (resolve end →
+        // the group's pass applied here); one more, after the cache
+        // inserts, closes the respond span. Reusing the stamps keeps
+        // stage sums exactly equal to end-to-end.
+        let applied_at = self.telemetry.now_micros();
         let by_seed = match pass.by_seed {
             Ok(v) => v,
             Err(e) => {
                 for (slot, r) in group.members {
+                    let mut stages = r.stages;
+                    stages.execute_micros = applied_at.saturating_sub(
+                        stages.submitted_micros + stages.queue_micros + stages.resolve_micros,
+                    );
+                    self.telemetry.record_failed_query(stages);
                     results[slot] = Some((r.id, Err(ServiceError::Engine(e.clone()))));
                 }
                 return;
@@ -336,6 +438,12 @@ impl Service {
         for (seed, outcome) in &by_seed {
             self.cache.insert(&group.key, *seed, outcome, certifiable);
         }
+        let mut pass_stats = planartest_sim::SimStats::default();
+        for (_, outcome) in &by_seed {
+            pass_stats.merge(outcome.stats());
+        }
+        self.telemetry.record_pass(&pass_stats, group.members.len());
+        let responded_at = self.telemetry.now_micros();
         // Indexed lane lookup: a Monte-Carlo fan-out can coalesce
         // thousands of seeds, and every member resolves its lane here.
         let outcome_of: HashMap<u64, &Outcome> = by_seed.iter().map(|(s, o)| (*s, o)).collect();
@@ -344,6 +452,19 @@ impl Service {
             let outcome = (*outcome_of.get(&lane).expect("every lane ran")).clone();
             let attributed =
                 engine_micros.saturating_mul(outcome.stats().total_rounds()) / total_rounds;
+            let mut stages = r.stages;
+            let resolved_at = stages.submitted_micros + stages.queue_micros + stages.resolve_micros;
+            stages.execute_micros = applied_at.saturating_sub(resolved_at);
+            stages.respond_micros = responded_at.saturating_sub(applied_at);
+            self.telemetry.record_query(
+                r.conn,
+                r.id,
+                group.key.property,
+                CacheStatus::Cold,
+                stages,
+                coalesced,
+                engine_micros,
+            );
             results[*slot] = Some((
                 r.id,
                 Ok(QueryResponse {
@@ -356,6 +477,7 @@ impl Service {
                     coalesced,
                     engine_micros,
                     attributed_micros: attributed,
+                    stages,
                 }),
             ));
         }
@@ -441,8 +563,12 @@ pub struct Server {
 impl Server {
     /// Starts the background drain loop over `service`.
     #[must_use]
-    pub fn start(service: Service, opts: ServeOptions) -> Server {
+    pub fn start(mut service: Service, opts: ServeOptions) -> Server {
         let queue = Arc::new(SubmissionQueue::new());
+        // One timebase end to end: arrival stamps in the queue and
+        // stage stamps in the scheduler come off the same clock.
+        queue.set_clock(service.telemetry.clock());
+        service.bind_queue(Arc::clone(&queue));
         let connections = Arc::new(Connections::new());
         let handle = {
             let queue = Arc::clone(&queue);
@@ -527,9 +653,12 @@ fn drain_loop(
     connections: &Connections,
     opts: ServeOptions,
 ) -> Service {
-    while let Some(submissions) = queue.wait_cycle(opts.linger, opts.wake_depth) {
-        for (conn, response) in process_cycle(&mut service, submissions) {
+    let telemetry = service.telemetry();
+    while let Some((submissions, reason)) = queue.wait_cycle(opts.linger, opts.wake_depth) {
+        for (conn, response) in process_cycle(&mut service, submissions, reason) {
+            let write_start = telemetry.now_micros();
             connections.send(conn, &response.to_string());
+            telemetry.record_write(telemetry.now_micros().saturating_sub(write_start));
         }
     }
     service
@@ -551,10 +680,14 @@ enum Plan {
 /// every query behind it — including queries from other connections in
 /// the same cycle), group, execute, respond. Returns one response per
 /// submission, in arrival order, ready for per-connection routing.
+/// `reason` is why this cycle fired; it lands in the wake-reason
+/// counters along with the cycle's width and group fan-out.
 pub(crate) fn process_cycle(
     service: &mut Service,
     submissions: Vec<Submission>,
+    reason: WakeReason,
 ) -> Vec<(ConnectionId, Value)> {
+    let width = submissions.len();
     let mut plans: Vec<(ConnectionId, Plan)> = Vec::with_capacity(submissions.len());
     let mut flat: Vec<Option<DrainedQuery>> = Vec::new();
     let mut misses: Vec<(usize, Resolved)> = Vec::new();
@@ -562,12 +695,14 @@ pub(crate) fn process_cycle(
     fn add_query(
         service: &mut Service,
         query: Query,
+        at_micros: u64,
+        conn: ConnectionId,
         flat: &mut Vec<Option<DrainedQuery>>,
         misses: &mut Vec<(usize, Resolved)>,
     ) -> usize {
         let id = service.next_query_id();
         let slot = flat.len();
-        match service.resolve_one(id, query) {
+        match service.resolve_one(id, query, at_micros, Some(conn)) {
             Resolution::Done(result) => flat.push(Some((id, result))),
             Resolution::Miss(resolved) => {
                 flat.push(None);
@@ -578,18 +713,19 @@ pub(crate) fn process_cycle(
     }
 
     for sub in submissions {
+        let (conn, at) = (sub.conn, sub.at_micros);
         let plan = match sub.request {
             Err(message) => Plan::Ready(protocol::error_value(&message)),
             Ok(req) => match req.get("op").and_then(Value::as_str) {
                 Some("query") => match protocol::parse_query(&req) {
-                    Ok(q) => Plan::Single(add_query(service, q, &mut flat, &mut misses)),
+                    Ok(q) => Plan::Single(add_query(service, q, at, conn, &mut flat, &mut misses)),
                     Err(e) => Plan::Ready(protocol::error_value(&e)),
                 },
                 Some("batch") => match protocol::parse_batch(&req) {
                     Ok(queries) => Plan::Batch(
                         queries
                             .into_iter()
-                            .map(|q| add_query(service, q, &mut flat, &mut misses))
+                            .map(|q| add_query(service, q, at, conn, &mut flat, &mut misses))
                             .collect(),
                     ),
                     Err(e) => Plan::Ready(protocol::error_value(&e)),
@@ -599,11 +735,13 @@ pub(crate) fn process_cycle(
                 _ => Plan::Ready(protocol::handle_request(service, &req)),
             },
         };
-        plans.push((sub.conn, plan));
+        plans.push((conn, plan));
     }
 
     let groups = group_misses(misses);
-    let passes = execute_groups(&service.registry, &groups, &service.runner);
+    service.telemetry.record_cycle(reason, width, groups.len());
+    let clock = service.telemetry.clock();
+    let passes = execute_groups(&service.registry, &groups, &service.runner, &clock);
     for (group, pass) in groups.into_iter().zip(passes) {
         service.apply_group(group, pass, &mut flat);
     }
@@ -900,28 +1038,13 @@ mod tests {
         // Two connections interleaved, plus a control op and a garbage
         // frame mid-cycle.
         let subs = vec![
-            Submission {
-                conn: 1,
-                request: req(1),
-            },
-            Submission {
-                conn: 2,
-                request: req(2),
-            },
-            Submission {
-                conn: 1,
-                request: Err("frame exceeds the 16-byte limit".into()),
-            },
-            Submission {
-                conn: 2,
-                request: Ok(Value::obj().field("op", "stats")),
-            },
-            Submission {
-                conn: 1,
-                request: req(3),
-            },
+            Submission::new(1, req(1)),
+            Submission::new(2, req(2)),
+            Submission::new(1, Err("frame exceeds the 16-byte limit".into())),
+            Submission::new(2, Ok(Value::obj().field("op", "stats"))),
+            Submission::new(1, req(3)),
         ];
-        let responses = process_cycle(&mut s, subs);
+        let responses = process_cycle(&mut s, subs, WakeReason::Control);
         assert_eq!(responses.len(), 5);
         let conns: Vec<ConnectionId> = responses.iter().map(|(c, _)| *c).collect();
         assert_eq!(conns, vec![1, 2, 1, 2, 1], "arrival order preserved");
@@ -944,23 +1067,23 @@ mod tests {
         use crate::transport::Submission;
         let mut s = Service::new();
         let subs = vec![
-            Submission {
-                conn: 7,
-                request: Ok(Value::obj()
+            Submission::new(
+                7,
+                Ok(Value::obj()
                     .field("op", "ingest")
                     .field("name", "g")
                     .field("spec", "tri_grid(4,4)")),
-            },
-            Submission {
-                conn: 8,
-                request: Ok(Value::obj()
+            ),
+            Submission::new(
+                8,
+                Ok(Value::obj()
                     .field("op", "query")
                     .field("graph", "g")
                     .field("epsilon", 0.2)
                     .field("phases", 5u64)),
-            },
+            ),
         ];
-        let responses = process_cycle(&mut s, subs);
+        let responses = process_cycle(&mut s, subs, WakeReason::Control);
         assert_eq!(responses[0].1.get("ok").unwrap().as_bool(), Some(true));
         assert_eq!(
             responses[1].1.get("verdict").unwrap().as_str(),
@@ -981,23 +1104,23 @@ mod tests {
                 .field("seed", seed)
         };
         let subs = vec![
-            Submission {
-                conn: 1,
-                request: Ok(Value::obj()
+            Submission::new(
+                1,
+                Ok(Value::obj()
                     .field("op", "batch")
                     .field("queries", vec![member(1), member(2)])),
-            },
-            Submission {
-                conn: 2,
-                request: Ok(Value::obj()
+            ),
+            Submission::new(
+                2,
+                Ok(Value::obj()
                     .field("op", "query")
                     .field("graph", "p")
                     .field("epsilon", 0.2)
                     .field("phases", 5u64)
                     .field("seed", 3u64)),
-            },
+            ),
         ];
-        let responses = process_cycle(&mut s, subs);
+        let responses = process_cycle(&mut s, subs, WakeReason::Depth);
         // One pass serves the batch *and* the other connection's query.
         assert_eq!(s.engine_passes(), 1);
         let batch = responses[0].1.get("responses").unwrap().as_arr().unwrap();
@@ -1038,15 +1161,15 @@ mod tests {
         let sink = Sink::default();
         let conn = server.connections().register(Box::new(sink.clone()));
         let queue = server.submission_queue();
-        queue.push(crate::transport::Submission {
+        queue.push(crate::transport::Submission::new(
             conn,
-            request: Ok(Value::obj()
+            Ok(Value::obj()
                 .field("op", "query")
                 .field("graph", "p")
                 .field("epsilon", 0.2)
                 .field("phases", 5u64)
                 .field("seed", 1u64)),
-        });
+        ));
         // The cycle is lingering (1h); shutdown must flush it.
         server.request_shutdown();
         let service = server.join();

@@ -43,6 +43,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::protocol;
+use crate::telemetry::{Clock, WakeReason};
 use crate::wire::{FrameError, FrameReader, Value};
 
 /// Identifies one client connection for the lifetime of the server.
@@ -66,9 +67,24 @@ pub struct Submission {
     pub conn: ConnectionId,
     /// The parsed request, or the framing/parse error message.
     pub request: Result<Value, String>,
+    /// When this submission entered the queue, on the service clock
+    /// (stamped by [`SubmissionQueue::push`]; the origin of the
+    /// queue-wait stage span).
+    pub at_micros: u64,
 }
 
 impl Submission {
+    /// A submission awaiting its arrival stamp (set by
+    /// [`SubmissionQueue::push`]).
+    #[must_use]
+    pub fn new(conn: ConnectionId, request: Result<Value, String>) -> Submission {
+        Submission {
+            conn,
+            request,
+            at_micros: 0,
+        }
+    }
+
     /// Whether this submission benefits from waiting in the queue.
     /// Only `query`/`batch` requests coalesce; control ops (ingest,
     /// stats, …) and malformed frames wake the drain loop immediately.
@@ -94,11 +110,26 @@ struct QueueState {
 /// thread takes whole cycles via `wait_cycle`. The queue also carries
 /// the server-wide shutdown flag so accept loops, transports and the
 /// drain loop agree on one source of truth.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct SubmissionQueue {
     state: Mutex<QueueState>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// The clock arrival stamps are taken on. Replaced with the
+    /// service's telemetry clock by `Server::start`, so queue-wait
+    /// spans and scheduler stage spans share one timebase.
+    clock: Mutex<Clock>,
+}
+
+impl Default for SubmissionQueue {
+    fn default() -> Self {
+        SubmissionQueue {
+            state: Mutex::default(),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            clock: Mutex::new(Clock::wall()),
+        }
+    }
 }
 
 impl SubmissionQueue {
@@ -108,8 +139,17 @@ impl SubmissionQueue {
         SubmissionQueue::default()
     }
 
-    /// Enqueues one submission and wakes the drain loop.
-    pub fn push(&self, sub: Submission) {
+    /// Replaces the clock arrival stamps are taken on (the server wires
+    /// in the service's telemetry clock so all stage spans share one
+    /// timebase).
+    pub fn set_clock(&self, clock: Clock) {
+        *self.clock.lock().expect("queue clock lock") = clock;
+    }
+
+    /// Enqueues one submission — stamping its arrival time — and wakes
+    /// the drain loop.
+    pub fn push(&self, mut sub: Submission) {
+        sub.at_micros = self.clock.lock().expect("queue clock lock").now_micros();
         let mut st = self.state.lock().expect("queue lock");
         if st.items.is_empty() {
             st.first_at = Some(Instant::now());
@@ -139,18 +179,22 @@ impl SubmissionQueue {
         self.shutdown.load(Ordering::SeqCst)
     }
 
-    /// Blocks until a cycle is due, then takes the whole pending batch.
+    /// Blocks until a cycle is due, then takes the whole pending batch
+    /// along with the [`WakeReason`] that made it due.
     ///
     /// A cycle fires when any of: something non-coalescable is pending
     /// (control ops don't benefit from lingering), the queue depth
     /// reached `wake_depth`, the oldest pending submission has waited
-    /// `linger`, or shutdown was requested (the flush). Returns `None`
-    /// when shutting down with an empty queue — the drain loop's exit.
+    /// `linger`, or shutdown was requested (the flush). When several
+    /// conditions hold at once the reported reason is the
+    /// highest-priority one (shutdown > control > depth > linger).
+    /// Returns `None` when shutting down with an empty queue — the
+    /// drain loop's exit.
     pub(crate) fn wait_cycle(
         &self,
         linger: Duration,
         wake_depth: usize,
-    ) -> Option<Vec<Submission>> {
+    ) -> Option<(Vec<Submission>, WakeReason)> {
         let mut st = self.state.lock().expect("queue lock");
         loop {
             let shutting = self.shutting_down();
@@ -162,10 +206,21 @@ impl SubmissionQueue {
                 continue;
             }
             let waited = st.first_at.map_or(Duration::ZERO, |first| first.elapsed());
-            if shutting || st.urgent || st.items.len() >= wake_depth || waited >= linger {
+            let reason = if shutting {
+                Some(WakeReason::Shutdown)
+            } else if st.urgent {
+                Some(WakeReason::Control)
+            } else if st.items.len() >= wake_depth {
+                Some(WakeReason::Depth)
+            } else if waited >= linger {
+                Some(WakeReason::Linger)
+            } else {
+                None
+            };
+            if let Some(reason) = reason {
                 st.first_at = None;
                 st.urgent = false;
-                return Some(std::mem::take(&mut st.items));
+                return Some((std::mem::take(&mut st.items), reason));
             }
             let remaining = (linger - waited).min(POLL.max(Duration::from_millis(1)));
             st = self.wake.wait_timeout(st, remaining).expect("queue lock").0;
@@ -269,13 +324,12 @@ pub fn pump_frames<R: Read>(
                     continue;
                 }
                 let request = Value::parse(&line).map_err(|e| format!("bad request: {e}"));
-                queue.push(Submission { conn, request });
+                queue.push(Submission::new(conn, request));
             }
             Err(FrameError::Io(_)) => break,
-            Err(recoverable) => queue.push(Submission {
-                conn,
-                request: Err(recoverable.to_string()),
-            }),
+            Err(recoverable) => {
+                queue.push(Submission::new(conn, Err(recoverable.to_string())));
+            }
         }
     }
 }
@@ -454,33 +508,22 @@ mod tests {
     use super::*;
 
     fn query_sub(conn: ConnectionId) -> Submission {
-        Submission {
+        Submission::new(
             conn,
-            request: Ok(Value::obj().field("op", "query").field("graph", "g")),
-        }
+            Ok(Value::obj().field("op", "query").field("graph", "g")),
+        )
     }
 
     fn control_sub(conn: ConnectionId) -> Submission {
-        Submission {
-            conn,
-            request: Ok(Value::obj().field("op", "stats")),
-        }
+        Submission::new(conn, Ok(Value::obj().field("op", "stats")))
     }
 
     #[test]
     fn coalescable_classification() {
         assert!(query_sub(0).coalescable());
-        assert!(Submission {
-            conn: 0,
-            request: Ok(Value::obj().field("op", "batch")),
-        }
-        .coalescable());
+        assert!(Submission::new(0, Ok(Value::obj().field("op", "batch"))).coalescable());
         assert!(!control_sub(0).coalescable());
-        assert!(!Submission {
-            conn: 0,
-            request: Err("bad".into()),
-        }
-        .coalescable());
+        assert!(!Submission::new(0, Err("bad".into())).coalescable());
     }
 
     #[test]
@@ -489,11 +532,12 @@ mod tests {
         q.push(query_sub(1));
         q.push(control_sub(2));
         // Huge linger + depth, yet the control op makes the cycle due.
-        let cycle = q
+        let (cycle, reason) = q
             .wait_cycle(Duration::from_secs(3600), usize::MAX)
             .expect("cycle");
         assert_eq!(cycle.len(), 2);
         assert_eq!(cycle[0].conn, 1);
+        assert_eq!(reason, WakeReason::Control);
         assert_eq!(q.depth(), 0);
     }
 
@@ -502,8 +546,23 @@ mod tests {
         let q = SubmissionQueue::new();
         q.push(query_sub(1));
         q.push(query_sub(2));
-        let cycle = q.wait_cycle(Duration::from_secs(3600), 2).expect("cycle");
+        let (cycle, reason) = q.wait_cycle(Duration::from_secs(3600), 2).expect("cycle");
         assert_eq!(cycle.len(), 2);
+        assert_eq!(reason, WakeReason::Depth);
+    }
+
+    #[test]
+    fn push_stamps_arrival_on_the_injected_clock() {
+        let q = SubmissionQueue::new();
+        let (clock, handle) = Clock::mock(0);
+        q.set_clock(clock);
+        handle.advance(111);
+        q.push(query_sub(1));
+        handle.advance(222);
+        q.push(query_sub(2));
+        let (cycle, _) = q.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
+        assert_eq!(cycle[0].at_micros, 111);
+        assert_eq!(cycle[1].at_micros, 333);
     }
 
     #[test]
@@ -511,19 +570,21 @@ mod tests {
         let q = SubmissionQueue::new();
         q.push(query_sub(1));
         let t = Instant::now();
-        let cycle = q
+        let (cycle, reason) = q
             .wait_cycle(Duration::from_millis(40), usize::MAX)
             .expect("cycle");
         assert_eq!(cycle.len(), 1);
+        assert_eq!(reason, WakeReason::Linger);
         assert!(t.elapsed() >= Duration::from_millis(40));
 
         // Shutdown with pending work: the flush cycle fires instantly…
         q.push(query_sub(3));
         q.request_shutdown();
-        let flush = q
+        let (flush, reason) = q
             .wait_cycle(Duration::from_secs(3600), usize::MAX)
             .expect("flush cycle");
         assert_eq!(flush.len(), 1);
+        assert_eq!(reason, WakeReason::Shutdown);
         // …and an empty shutdown queue ends the loop.
         assert!(q
             .wait_cycle(Duration::from_secs(3600), usize::MAX)
@@ -576,7 +637,7 @@ mod tests {
         input.extend_from_slice(b"  \n"); // blank: skipped entirely
         input.extend_from_slice(b"{\"op\":\"families\"}\n");
         pump_frames(&input[..], 9, &queue, 32);
-        let subs = queue.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
+        let (subs, _) = queue.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
         assert_eq!(subs.len(), 5);
         assert!(subs.iter().all(|s| s.conn == 9));
         assert!(subs[0].request.is_ok());

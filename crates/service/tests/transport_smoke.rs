@@ -347,3 +347,101 @@ fn cache_accepts_flag_bounds_stripes_and_reports_evictions() {
     drop(child.stdin.take());
     assert!(child.wait().expect("serve exits").success());
 }
+
+#[test]
+fn trace_flag_logs_a_two_client_coalesced_batch() {
+    let path = socket_path("trace");
+    let trace_path =
+        std::env::temp_dir().join(format!("planartest-trace-{}.ldjson", std::process::id()));
+    let _ = std::fs::remove_file(&trace_path);
+    let mut child = spawn_serve(&[
+        "--unix",
+        path.to_str().unwrap(),
+        "--wake-depth",
+        "2",
+        "--linger-ms",
+        "30000",
+        "--trace",
+        trace_path.to_str().unwrap(),
+    ]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    let (mut a, mut a_rx) = connect(&path);
+    let (mut b, mut b_rx) = connect(&path);
+    let ingested = ask(
+        &mut a,
+        &mut a_rx,
+        r#"{"op":"ingest","name":"city","spec":"tri_grid(5,5)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+
+    // The same two-client coalesced batch as the cross-client test:
+    // wake-depth 2 fires one cycle serving both queries in one pass.
+    writeln!(
+        a,
+        r#"{{"op":"query","graph":"city","epsilon":0.2,"phases":5,"seed":1}}"#
+    )
+    .unwrap();
+    writeln!(
+        b,
+        r#"{{"op":"query","graph":"city","epsilon":0.2,"phases":5,"seed":2}}"#
+    )
+    .unwrap();
+    for rx in [&mut a_rx, &mut b_rx] {
+        let mut line = String::new();
+        rx.read_line(&mut line).expect("read response");
+        let response = Value::parse(line.trim()).expect("response parses");
+        assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(response.get("coalesced").unwrap().as_u64(), Some(2));
+    }
+
+    drop((a, b, a_rx, b_rx));
+    drop(child.stdin.take());
+    assert!(child.wait().expect("serve exits").success());
+
+    // The trace artifact: exactly four LDJSON records per query (the
+    // ingest and shutdown are control traffic, not queries), each
+    // query's chunk contiguous and stage-complete.
+    let text = std::fs::read_to_string(&trace_path).expect("trace file");
+    let records: Vec<Value> = text
+        .lines()
+        .map(|l| Value::parse(l).expect("trace record parses"))
+        .collect();
+    assert_eq!(records.len(), 8, "4 records for each of the 2 queries");
+
+    let mut conns = Vec::new();
+    for chunk in records.chunks(4) {
+        let events: Vec<&str> = chunk
+            .iter()
+            .map(|r| r.get("event").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(events, ["submit", "resolve", "execute", "respond"]);
+        // One connection id per query, non-null and chunk-consistent.
+        let conn = chunk[0].get("conn").unwrap().as_u64().expect("conn id");
+        for r in chunk {
+            assert_eq!(r.get("conn").unwrap().as_u64(), Some(conn));
+            assert_eq!(
+                r.get("query").unwrap().as_u64(),
+                chunk[0].get("query").unwrap().as_u64()
+            );
+        }
+        conns.push(conn);
+        assert_eq!(chunk[1].get("cache").unwrap().as_str(), Some("cold"));
+        assert_eq!(chunk[2].get("coalesced").unwrap().as_u64(), Some(2));
+        // Stage stamps are monotone and close exactly: each record is
+        // stamped at its stage's start, so the respond record's offset
+        // from submit plus its own span is the reported total.
+        let at = |j: usize| chunk[j].get("at_micros").unwrap().as_u64().unwrap();
+        assert!(at(0) <= at(1) && at(1) <= at(2) && at(2) <= at(3));
+        let respond_micros = chunk[3].get("micros").unwrap().as_u64().unwrap();
+        assert_eq!(
+            chunk[3].get("total_micros").unwrap().as_u64(),
+            Some(at(3) - at(0) + respond_micros)
+        );
+    }
+    conns.sort_unstable();
+    conns.dedup();
+    assert_eq!(conns.len(), 2, "the two clients traced as distinct conns");
+    let _ = std::fs::remove_file(&trace_path);
+}

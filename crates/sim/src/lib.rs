@@ -68,4 +68,4 @@ pub use crate::engine::{
 pub use crate::runtime::{
     run_batch, Backend, BatchEngine, EngineCore, ParallelEngine, ParallelNodeLogic, TrialRunner,
 };
-pub use crate::stats::SimStats;
+pub use crate::stats::{PassRollup, SimStats};

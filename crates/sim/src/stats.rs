@@ -64,6 +64,32 @@ impl SimStats {
     }
 }
 
+/// A rollup of engine-pass statistics: how many passes ran and their
+/// accumulated [`SimStats`]. The service layer folds one delta per
+/// engine pass into this to expose cumulative simulated work (rounds,
+/// messages, words) alongside wall-clock latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PassRollup {
+    /// Engine passes folded in.
+    pub passes: u64,
+    /// Accumulated statistics across those passes.
+    pub stats: SimStats,
+}
+
+impl PassRollup {
+    /// Folds one pass's statistics delta into the rollup.
+    pub fn record(&mut self, delta: &SimStats) {
+        self.passes += 1;
+        self.stats.merge(delta);
+    }
+
+    /// Merges another rollup (e.g. from a worker's private counter).
+    pub fn merge(&mut self, other: &PassRollup) {
+        self.passes += other.passes;
+        self.stats.merge(&other.stats);
+    }
+}
+
 impl fmt::Display for SimStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -98,6 +124,34 @@ mod tests {
         assert_eq!(s.total_rounds(), 20);
         assert_eq!(s.runs, 2);
         assert!(s.to_string().contains("13 rounds"));
+    }
+
+    #[test]
+    fn pass_rollup_accumulates() {
+        let mut r = PassRollup::default();
+        r.record(&SimStats {
+            rounds: 10,
+            charged_rounds: 1,
+            messages: 5,
+            words: 9,
+            runs: 2,
+        });
+        r.record(&SimStats {
+            rounds: 4,
+            ..SimStats::default()
+        });
+        assert_eq!(r.passes, 2);
+        assert_eq!(r.stats.rounds, 14);
+        assert_eq!(r.stats.total_rounds(), 15);
+
+        let mut other = PassRollup::default();
+        other.record(&SimStats {
+            rounds: 100,
+            ..SimStats::default()
+        });
+        r.merge(&other);
+        assert_eq!(r.passes, 3);
+        assert_eq!(r.stats.rounds, 114);
     }
 
     #[test]
