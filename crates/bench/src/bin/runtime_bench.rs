@@ -5,26 +5,40 @@
 //! With `--check`, exits non-zero when the regression gate fails —
 //! parallel at max threads losing to serial on the largest tester
 //! workload, or the instance-multiplexed Monte-Carlo acceptance sweep
-//! losing to the sequential-per-instance path. This is the CI
-//! performance gate.
+//! dropping below the raised batched-vs-sequential floor
+//! ([`BenchGate::BATCH_SPEEDUP_FLOOR`]). This is the CI performance
+//! gate.
+//!
+//! [`BenchGate::BATCH_SPEEDUP_FLOOR`]: planartest_bench::BenchGate::BATCH_SPEEDUP_FLOOR
+
+use planartest_bench::BenchGate;
+
 fn main() {
     let check = std::env::args().any(|a| a == "--check");
     let gate = planartest_bench::runtime_bench();
     if check && !gate.pass() {
         eprintln!(
             "benchmark gate FAILED: parallel speedup {:.3}x on the largest tester \
-             workload (n={}), batched sweep speedup {:.3}x over sequential \
-             ({} trials) — both must be >= 1.0 (parallel clause vacuous on 1 \
-             hardware thread)",
-            gate.speedup, gate.largest_n, gate.batch_speedup, gate.batch_trials
+             workload (n={}, must be >= 1.0; vacuous on 1 hardware thread), \
+             batched sweep speedup {:.3}x over sequential ({} trials, must be \
+             >= {:.2})",
+            gate.speedup,
+            gate.largest_n,
+            gate.batch_speedup,
+            gate.batch_trials,
+            BenchGate::BATCH_SPEEDUP_FLOOR
         );
         std::process::exit(1);
     }
     if check {
         println!(
             "benchmark gate passed: parallel speedup {:.3}x on n={}, batched sweep \
-             {:.3}x over sequential ({} trials)",
-            gate.speedup, gate.largest_n, gate.batch_speedup, gate.batch_trials
+             {:.3}x over sequential ({} trials, floor {:.2})",
+            gate.speedup,
+            gate.largest_n,
+            gate.batch_speedup,
+            gate.batch_trials,
+            BenchGate::BATCH_SPEEDUP_FLOOR
         );
     }
 }

@@ -3,14 +3,16 @@
 //! human-readable table and as machine-readable `BENCH_runtime.json`
 //! so the performance trajectory is tracked from PR to PR.
 
+use std::hint::black_box;
 use std::time::Instant;
 
+use planartest_core::stage2::pack;
 use planartest_core::{PlanarityTester, TestOutcome};
 use planartest_graph::generators::planar;
 use planartest_graph::{Graph, NodeId};
 use planartest_sim::runtime::{auto_threads, Backend, TrialRunner};
 use planartest_sim::{
-    Engine, Msg, NodeLogic, Outbox, ParallelEngine, ParallelNodeLogic, SimConfig,
+    Engine, LaneBits, Msg, NodeLogic, Outbox, ParallelEngine, ParallelNodeLogic, SimConfig,
 };
 
 use crate::json::Json;
@@ -284,8 +286,11 @@ fn trial_sweep() -> Json {
 /// per-instance path) vs one instance-multiplexed
 /// [`PlanarityTester::run_many`] pass. Per-instance outcomes are
 /// asserted bit-identical; only wall-clock may differ. Returns the row
-/// plus the batched-over-sequential speedup (gated — median-of-3 even
-/// in quick mode).
+/// plus the batched-over-sequential speedup (gated — warm-up pass plus
+/// the median of 5 *paired* ratios even in quick mode, because this
+/// ratio is compared against the raised
+/// [`BenchGate::BATCH_SPEEDUP_FLOOR`], not mere parity, and pairing is
+/// what keeps background load drift from flipping the CI gate).
 fn batch_sweep() -> (Json, f64, usize) {
     let side = if quick() { 16 } else { 32 };
     let trials = 16usize;
@@ -299,28 +304,53 @@ fn batch_sweep() -> (Json, f64, usize) {
     let cfg = planartest_core::TesterConfig::new(eps);
     let seeds: Vec<u64> = (0..trials as u64).collect();
 
+    // One untimed pass on each side first: the gated ratio must not
+    // depend on who pays the cold-cache / first-allocation cost.
+    let _ = PlanarityTester::new(cfg.clone().with_seed(0)).run(g);
+    let _ = PlanarityTester::new(cfg.clone()).run_many(g, &seeds);
+
+    // Paired reps: each rep times sequential and batched back-to-back
+    // and contributes one ratio; the gate takes the median ratio.
+    // Timing the two sides in separate blocks (independent medians)
+    // lets machine-wide load drift between the blocks masquerade as a
+    // batching regression — pairing cancels it, because any slowdown
+    // hits both halves of the same rep.
+    let reps = 5;
     let mut sequential: Vec<TestOutcome> = Vec::new();
-    let sequential_secs = time_median_reps(3, || {
-        sequential = seeds
-            .iter()
-            .map(|&seed| {
-                PlanarityTester::new(cfg.clone().with_seed(seed))
-                    .run(g)
-                    .expect("run")
-            })
-            .collect();
-    });
     let mut batched: Vec<TestOutcome> = Vec::new();
-    let batched_secs = time_median_reps(3, || {
-        batched = PlanarityTester::new(cfg.clone())
-            .run_many(g, &seeds)
-            .expect("run");
-    });
+    let mut seq_samples = Vec::with_capacity(reps);
+    let mut bat_samples = Vec::with_capacity(reps);
+    let mut ratios = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let seq_secs = time_median_reps(1, || {
+            sequential = seeds
+                .iter()
+                .map(|&seed| {
+                    PlanarityTester::new(cfg.clone().with_seed(seed))
+                        .run(g)
+                        .expect("run")
+                })
+                .collect();
+        });
+        let bat_secs = time_median_reps(1, || {
+            batched = PlanarityTester::new(cfg.clone())
+                .run_many(g, &seeds)
+                .expect("run");
+        });
+        seq_samples.push(seq_secs);
+        bat_samples.push(bat_secs);
+        ratios.push(seq_secs / bat_secs);
+    }
     for (seq, bat) in sequential.iter().zip(&batched) {
         assert_eq!(bat.rejections, seq.rejections, "batched verdict diverged");
         assert_eq!(bat.stats, seq.stats, "batched stats diverged");
     }
-    let speedup = sequential_secs / batched_secs;
+    seq_samples.sort_by(f64::total_cmp);
+    bat_samples.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    let sequential_secs = seq_samples[reps / 2];
+    let batched_secs = bat_samples[reps / 2];
+    let speedup = ratios[reps / 2];
     println!(
         "batch sweep    {trials} trials n={:<5} sequential {sequential_secs:>8.3}s  \
          batched {batched_secs:>8.3}s  speedup {speedup:.2}x",
@@ -337,6 +367,130 @@ fn batch_sweep() -> (Json, f64, usize) {
         .field("batched_seconds", batched_secs)
         .field("speedup_vs_sequential", speedup);
     (row, speedup, trials)
+}
+
+/// SplitMix64 — deterministic digit/bit workloads for the kernel
+/// microbenchmarks.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One before/after kernel row: scalar reference vs SWAR path over the
+/// same workload, both asserted to produce identical results first.
+fn kernel_row(name: &str, scalar_secs: f64, swar_secs: f64) -> Json {
+    let speedup = scalar_secs / swar_secs;
+    println!(
+        "kernel         {name:<24} scalar {scalar_secs:>10.6}s  swar {swar_secs:>10.6}s  \
+         speedup {speedup:.2}x"
+    );
+    Json::obj()
+        .field("kernel", name)
+        .field("scalar_seconds", scalar_secs)
+        .field("swar_seconds", swar_secs)
+        .field("speedup", speedup)
+}
+
+/// Per-kernel before/after microbenchmarks for the SWAR round kernels:
+/// the stage-2 label digit pack/unpack at each width class, and the
+/// `LaneBits` bulk clear / quiescence scan. "Before" is the portable
+/// scalar reference (the `scalar-kernels` feature path), "after" the
+/// default SWAR dispatch — the same code CI runs the whole suite
+/// against both ways.
+fn kernel_bench() -> Json {
+    let reps = if quick() { 300 } else { 2_000 };
+    let mut rows = Vec::new();
+
+    // Label digit transpose: 512 labels × 24 digits per width class
+    // (tree-path labels are Θ(depth) digits; 24 covers the deep-part
+    // regime while still exercising ragged tails).
+    for &(name, bits, per, mask) in &[
+        ("label_pack_4bit", 4u32, 16usize, 15u32),
+        ("label_pack_16bit", 16, 4, 65_535),
+        ("label_pack_32bit", 32, 2, u32::MAX),
+    ] {
+        let labels: Vec<Vec<u32>> = (0..512u64)
+            .map(|s| {
+                (0..24u64)
+                    .map(|i| (mix(s << 32 | i) as u32) & mask)
+                    .collect()
+            })
+            .collect();
+        let pass = |words: &mut Vec<u64>, digits: &mut Vec<u32>, swar: bool| {
+            words.clear();
+            digits.clear();
+            for label in &labels {
+                let start = words.len();
+                if swar {
+                    pack::pack_swar(label, bits, per, words);
+                    pack::unpack_swar(&words[start..], label.len(), bits, per, digits);
+                } else {
+                    pack::pack_scalar(label, bits, per, words);
+                    pack::unpack_scalar(&words[start..], label.len(), bits, per, digits);
+                }
+            }
+        };
+        let mut words: Vec<u64> = Vec::new();
+        let mut digits: Vec<u32> = Vec::new();
+        pass(&mut words, &mut digits, false);
+        let reference = digits.clone();
+        pass(&mut words, &mut digits, true);
+        assert_eq!(
+            digits, reference,
+            "{name}: kernels must agree before timing"
+        );
+        let scalar_secs = time_median(|| {
+            for _ in 0..reps {
+                pass(&mut words, &mut digits, false);
+            }
+            black_box((&words, &digits));
+        }) / reps as f64;
+        let swar_secs = time_median(|| {
+            for _ in 0..reps {
+                pass(&mut words, &mut digits, true);
+            }
+            black_box((&words, &digits));
+        }) / reps as f64;
+        rows.push(kernel_row(name, scalar_secs, swar_secs));
+    }
+
+    // LaneBits bookkeeping over a 64k-lane batch (e.g. B=16 × n=4096):
+    // the per-round wake-flag bulk clear and the quiescence scan.
+    let lanes = 1 << 16;
+    let mut bits = LaneBits::new(lanes);
+    for i in (0..lanes).step_by(97) {
+        bits.set(i);
+    }
+    assert_eq!(bits.any_set_words(), bits.any_set_scalar());
+    let scalar_secs = time_median(|| {
+        for _ in 0..reps {
+            black_box(&mut bits).clear_all_scalar();
+        }
+    }) / reps as f64;
+    let swar_secs = time_median(|| {
+        for _ in 0..reps {
+            black_box(&mut bits).clear_all_words();
+        }
+    }) / reps as f64;
+    rows.push(kernel_row("lanebits_clear_all", scalar_secs, swar_secs));
+
+    bits.set(lanes - 1); // worst case: the scan must reach the last word
+    let scalar_secs = time_median(|| {
+        for _ in 0..reps {
+            black_box(black_box(&bits).any_set_scalar());
+        }
+    }) / reps as f64;
+    let swar_secs = time_median(|| {
+        for _ in 0..reps {
+            black_box(black_box(&bits).any_set_words());
+        }
+    }) / reps as f64;
+    rows.push(kernel_row("lanebits_any_set", scalar_secs, swar_secs));
+
+    Json::Arr(rows)
 }
 
 /// The CI regression gate computed alongside the benchmark document:
@@ -359,7 +513,20 @@ pub struct BenchGate {
 }
 
 impl BenchGate {
-    /// Whether the gate passes: both speedups at or above parity. On a
+    /// Floor for the batched-vs-sequential speedup. Raised from parity
+    /// (1.0) after the node-major lane flip: with recycled batch
+    /// scratch (zero per-instance re-zeroing via epoch stamps), the
+    /// SWAR round kernels, and the per-part sample check borrowing the
+    /// root-decoded list instead of re-decoding at every member node,
+    /// the gated 16-trial acceptance sweep measures ≈ 4.6x on one core
+    /// (median of paired ratios; the pre-flip layout measured 3.36x).
+    /// The floor sits at 4.0 — regression margin above the old layout's
+    /// best, noise margin below the new steady state.
+    pub const BATCH_SPEEDUP_FLOOR: f64 = 4.0;
+
+    /// Whether the gate passes: the parallel speedup at or above parity
+    /// and the batch speedup at or above
+    /// [`BATCH_SPEEDUP_FLOOR`](Self::BATCH_SPEEDUP_FLOOR). On a
     /// single-hardware-thread machine there is no pool to gate — the
     /// "parallel" run takes the same inline path as serial, so that
     /// ratio is pure timing noise and its clause is vacuously true. The
@@ -368,7 +535,8 @@ impl BenchGate {
     /// no pool required).
     #[must_use]
     pub fn pass(&self) -> bool {
-        (self.max_threads <= 1 || self.speedup >= 1.0) && self.batch_speedup >= 1.0
+        (self.max_threads <= 1 || self.speedup >= 1.0)
+            && self.batch_speedup >= Self::BATCH_SPEEDUP_FLOOR
     }
 }
 
@@ -388,10 +556,11 @@ pub fn runtime_bench_document() -> (Json, BenchGate) {
         batch_speedup,
     };
     let doc = Json::obj()
-        .field("schema", "planartest-bench/runtime/v1")
+        .field("schema", "planartest-bench/runtime/v2")
         .field("quick_mode", quick())
         .field("hardware_threads", auto_threads())
         .field("engine_throughput", engine_throughput(side))
+        .field("kernel_bench", kernel_bench())
         .field("tester_n_sweep", tester_rows)
         .field("trial_sweep", trial_sweep())
         .field("batch_sweep", batch_row)
@@ -404,6 +573,7 @@ pub fn runtime_bench_document() -> (Json, BenchGate) {
                 .field("parallel_speedup_at_max_threads", gate.speedup)
                 .field("batch_trials", gate.batch_trials)
                 .field("batch_speedup_vs_sequential", gate.batch_speedup)
+                .field("batch_speedup_floor", BenchGate::BATCH_SPEEDUP_FLOOR)
                 .field("pass", gate.pass()),
         );
     (doc, gate)
@@ -462,7 +632,12 @@ mod tests {
     }
 
     #[test]
-    fn gate_threshold_is_parity() {
+    fn gate_thresholds() {
+        let floor = BenchGate::BATCH_SPEEDUP_FLOOR;
+        assert!(
+            floor > 3.36,
+            "the batch gate must stay above the pre-flip ratio"
+        );
         let gate = |speedup: f64, max_threads: usize, batch_speedup: f64| BenchGate {
             largest_n: 1,
             speedup,
@@ -470,13 +645,32 @@ mod tests {
             batch_trials: 8,
             batch_speedup,
         };
-        assert!(gate(1.0, 4, 1.0).pass());
-        assert!(!gate(0.99, 4, 1.0).pass());
+        assert!(gate(1.0, 4, floor).pass());
+        assert!(!gate(0.99, 4, floor).pass());
         // One hardware thread: no pool to gate, noise must not fail CI.
-        assert!(gate(0.99, 1, 1.0).pass());
-        // The batching clause is never vacuous — multiplexing must pay
-        // off even on one thread.
-        assert!(!gate(1.0, 1, 0.99).pass());
-        assert!(gate(1.0, 1, 2.5).pass());
+        assert!(gate(0.99, 1, floor).pass());
+        // The batching clause is never vacuous — multiplexing must
+        // clear the raised floor even on one thread.
+        assert!(!gate(1.0, 1, floor - 0.01).pass());
+        assert!(!gate(1.0, 1, 1.0).pass());
+        assert!(gate(1.0, 1, floor + 0.5).pass());
+    }
+
+    #[test]
+    fn kernel_rows_have_required_fields() {
+        let rows = kernel_bench();
+        let text = rows.pretty();
+        for key in [
+            "label_pack_4bit",
+            "label_pack_16bit",
+            "label_pack_32bit",
+            "lanebits_clear_all",
+            "lanebits_any_set",
+            "scalar_seconds",
+            "swar_seconds",
+            "speedup",
+        ] {
+            assert!(text.contains(key), "missing {key} in {text}");
+        }
     }
 }

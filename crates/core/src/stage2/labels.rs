@@ -8,6 +8,8 @@
 
 use std::cmp::Ordering;
 
+use super::pack;
+
 /// A node label: digits along the tree path from the root (root = empty).
 #[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
 pub struct Label(pub Vec<u32>);
@@ -84,27 +86,28 @@ impl LabeledEdge {
 /// one child digit (almost always < 16) per word under-uses every
 /// message by an order of magnitude. The sample-interval streams —
 /// the tester's dominant message volume — ride this encoding.
+///
+/// The digit transpose dispatches to the SWAR kernels in
+/// [`super::pack`] (pairwise in-register packing), or to the scalar
+/// reference under the `scalar-kernels` feature.
 pub(crate) fn pack_label(digits: &[u32], out: &mut Vec<u64>) {
-    let max = digits.iter().copied().max().unwrap_or(0);
-    let (width, bits, per): (u64, u32, usize) = if max < 1 << 4 {
-        (0, 4, 16)
-    } else if max < 1 << 16 {
-        (1, 16, 4)
-    } else {
-        (2, 32, 2)
-    };
-    out.push(((digits.len() as u64) << 2) | width);
-    for chunk in digits.chunks(per) {
-        let mut word = 0u64;
-        for (i, &d) in chunk.iter().enumerate() {
-            word |= u64::from(d) << (i as u32 * bits);
-        }
-        out.push(word);
+    #[cfg(not(feature = "scalar-kernels"))]
+    {
+        let (width, bits, per) = pack::width_class_swar(digits);
+        out.push(((digits.len() as u64) << 2) | width);
+        pack::pack_swar(digits, bits, per, out);
+    }
+    #[cfg(feature = "scalar-kernels")]
+    {
+        let (width, bits, per) = pack::width_class_scalar(digits);
+        out.push(((digits.len() as u64) << 2) | width);
+        pack::pack_scalar(digits, bits, per, out);
     }
 }
 
 /// Decodes one packed label starting at `words[0]`; returns the digits
-/// and the number of words consumed (header + packed digits).
+/// and the number of words consumed (header + packed digits). Inverse
+/// of [`pack_label`], with the same kernel dispatch.
 pub(crate) fn unpack_label(words: &[u64]) -> (Vec<u32>, usize) {
     let header = words[0];
     let len = (header >> 2) as usize;
@@ -115,10 +118,10 @@ pub(crate) fn unpack_label(words: &[u64]) -> (Vec<u32>, usize) {
         other => unreachable!("unknown label width class {other}"),
     };
     let mut digits = Vec::with_capacity(len);
-    for i in 0..len {
-        let word = words[1 + i / per];
-        digits.push(((word >> ((i % per) as u32 * bits)) & ((1u64 << bits) - 1)) as u32);
-    }
+    #[cfg(not(feature = "scalar-kernels"))]
+    pack::unpack_swar(&words[1..], len, bits, per, &mut digits);
+    #[cfg(feature = "scalar-kernels")]
+    pack::unpack_scalar(&words[1..], len, bits, per, &mut digits);
     (digits, 1 + len.div_ceil(per))
 }
 

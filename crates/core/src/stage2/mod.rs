@@ -18,6 +18,8 @@
 //!    Definition 7 violations and rejects on any hit.
 
 pub mod labels;
+#[doc(hidden)]
+pub mod pack;
 mod protocols;
 
 use std::collections::HashMap;
@@ -364,7 +366,7 @@ pub fn run_stage2_many<'g, E: EngineCore<'g>>(
     let paper_mode = matches!(cfg.embedding, EmbeddingMode::Demoucron);
     let mut outcomes = Vec::with_capacity(seeds.len());
     let mut stats = Vec::with_capacity(seeds.len());
-    for (k, ((_, up_report), (received_k, down_report))) in
+    for (k, ((_, up_report), (_received_k, down_report))) in
         collected.iter().zip(&received).enumerate()
     {
         let mut rejections = shared_rejections.clone();
@@ -373,18 +375,27 @@ pub fn run_stage2_many<'g, E: EngineCore<'g>>(
             if intervals[v].is_empty() {
                 continue;
             }
-            let sample: Vec<LabeledEdge> = if state.root[v].index() == v {
-                all_root_samples[k][&state.root[v].raw()].clone()
-            } else {
-                decode_streams(
-                    &received_k[v]
-                        .iter()
-                        .map(|m| (NodeId::new(0), m.clone()))
-                        .collect::<Vec<_>>(),
-                )
-            };
+            // The pipelined broadcast delivers each root's sample list
+            // down its tree verbatim and in FIFO order, so every member
+            // checks against exactly the list already decoded at the
+            // root — borrow it instead of re-decoding the received
+            // stream at all n nodes (which made the local check rival
+            // the engine run itself in the batched sweep).
+            let sample: &[LabeledEdge] = &all_root_samples[k][&state.root[v].raw()];
+            #[cfg(debug_assertions)]
+            if state.root[v].index() != v {
+                let rx: Vec<(NodeId, Msg)> = _received_k[v]
+                    .iter()
+                    .map(|m| (NodeId::new(0), m.clone()))
+                    .collect();
+                debug_assert_eq!(
+                    decode_streams(&rx),
+                    sample,
+                    "broadcast must deliver the root's sample list verbatim"
+                );
+            }
             'outer: for iv in &intervals[v] {
-                for s in &sample {
+                for s in sample {
                     if iv.intersects(s) {
                         violation_witnesses.push(NodeId::new(v));
                         if paper_mode {

@@ -1,0 +1,230 @@
+//! SWAR digit pack/unpack kernels behind the stage-2 label wire format.
+//!
+//! The label wire format (`labels::pack_label`, crate-private) ships
+//! tree-path digits 16, 4 or 2 per
+//! `u64` word (width classes 0, 1, 2 = 4-, 16- and 32-bit digits). The
+//! sample-interval streams — the tester's dominant message volume —
+//! ride that encoding, so the digit transpose is a hot kernel. This
+//! module implements it two ways:
+//!
+//! * **SWAR** (`*_swar`): digits are combined pairwise inside one u64
+//!   register — two 32-bit inputs merge with one shift+or+mask instead
+//!   of per-digit shift/or chains, halving the dependent-op count per
+//!   digit; width selection is a branch-free OR-reduction over the
+//!   digits (valid because the class thresholds are powers of two, so
+//!   `max < 2^k  ⇔  or-of-all < 2^k`);
+//! * **scalar** (`*_scalar`): the historical one-digit-at-a-time
+//!   shift/or loops, kept as the executable reference.
+//!
+//! Both paths are always compiled; the default dispatch (in
+//! `labels.rs`) picks SWAR and the `scalar-kernels` feature flips it to
+//! the reference so CI can run the whole suite against either. The
+//! `swar_matches_scalar_*` proptests below pin the equivalence for all
+//! three width classes, including ragged tails that don't fill a word
+//! or a pair.
+
+/// Digit geometry of one width class: `(class_tag, bits_per_digit,
+/// digits_per_word)`.
+pub type WidthClass = (u64, u32, usize);
+
+/// Selects the width class for a digit slice via a branch-free
+/// OR-reduction (the SWAR path: one `or` per digit, compare twice at
+/// the end). Because the class thresholds `2^4` and `2^16` are powers
+/// of two, the OR of all digits is below a threshold iff the max is.
+#[must_use]
+pub fn width_class_swar(digits: &[u32]) -> WidthClass {
+    let folded = digits.iter().fold(0u32, |acc, &d| acc | d);
+    class_for(folded)
+}
+
+/// Scalar reference for [`width_class_swar`]: selects from the maximum
+/// digit, the definitionally obvious rule.
+#[must_use]
+pub fn width_class_scalar(digits: &[u32]) -> WidthClass {
+    class_for(digits.iter().copied().max().unwrap_or(0))
+}
+
+fn class_for(bound: u32) -> WidthClass {
+    if bound < 1 << 4 {
+        (0, 4, 16)
+    } else if bound < 1 << 16 {
+        (1, 16, 4)
+    } else {
+        (2, 32, 2)
+    }
+}
+
+/// SWAR digit pack: appends `digits` to `out` at `bits` bits per digit,
+/// `per` digits per word. Adjacent digits merge pairwise inside one u64
+/// (`lo | hi << 32`, then one shift+or+mask compresses the pair to
+/// `2·bits` contiguous bits) before the pairs are or-ed into the word —
+/// half the dependent shift/or chain of the scalar loop. A ragged final
+/// digit (odd pair) falls back to one scalar or.
+pub fn pack_swar(digits: &[u32], bits: u32, per: usize, out: &mut Vec<u64>) {
+    debug_assert!(matches!((bits, per), (4, 16) | (16, 4) | (32, 2)));
+    // Mask of one *pair* (2·bits wide); at 32-bit digits a pair is the
+    // whole word.
+    let mask = if bits == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * bits)) - 1
+    };
+    for chunk in digits.chunks(per) {
+        let mut word = 0u64;
+        let mut pairs = chunk.chunks_exact(2);
+        for (j, pair) in pairs.by_ref().enumerate() {
+            // lo at bit 0, hi at bit 32 → one >> (32 - bits) folds hi
+            // down to bit `bits`; the mask drops the shift residue.
+            let spread = u64::from(pair[0]) | (u64::from(pair[1]) << 32);
+            let packed = (spread | (spread >> (32 - bits))) & mask;
+            word |= packed << (j as u32 * 2 * bits);
+        }
+        if let [last] = pairs.remainder() {
+            word |= u64::from(*last) << ((chunk.len() - 1) as u32 * bits);
+        }
+        out.push(word);
+    }
+}
+
+/// Scalar reference for [`pack_swar`]: the historical one-shift-or per
+/// digit loop.
+pub fn pack_scalar(digits: &[u32], bits: u32, per: usize, out: &mut Vec<u64>) {
+    for chunk in digits.chunks(per) {
+        let mut word = 0u64;
+        for (i, &d) in chunk.iter().enumerate() {
+            word |= u64::from(d) << (i as u32 * bits);
+        }
+        out.push(word);
+    }
+}
+
+/// SWAR digit unpack: decodes `len` digits packed at `bits` bits per
+/// digit, `per` per word, from `words` into `digits`. The inverse
+/// pairwise trick: one shift+or+mask spreads two adjacent packed digits
+/// to bit 0 and bit 32 of a register, from which both extract with a
+/// mask and a shift — versus a dependent shift+mask per digit. A ragged
+/// final digit falls back to one scalar extract.
+pub fn unpack_swar(words: &[u64], len: usize, bits: u32, per: usize, digits: &mut Vec<u32>) {
+    debug_assert!(matches!((bits, per), (4, 16) | (16, 4) | (32, 2)));
+    let lane_mask = if bits == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << bits) - 1
+    };
+    let pair_mask = if bits == 32 {
+        u64::MAX
+    } else {
+        (1u64 << (2 * bits)) - 1
+    };
+    let spread_mask = lane_mask | (lane_mask << 32);
+    let mut remaining = len;
+    for &word in words {
+        let take = remaining.min(per);
+        let mut j = 0;
+        while j + 2 <= take {
+            // Two packed digits at bit `j·bits`, isolated first (later
+            // digits would otherwise alias into the hi lane) → lo to
+            // bit 0, hi to bit 32 via one << (32 - bits).
+            let packed = (word >> (j as u32 * bits)) & pair_mask;
+            let spread = (packed | (packed << (32 - bits))) & spread_mask;
+            digits.push((spread & lane_mask) as u32);
+            digits.push((spread >> 32) as u32);
+            j += 2;
+        }
+        if j < take {
+            digits.push(((word >> (j as u32 * bits)) & lane_mask) as u32);
+        }
+        remaining -= take;
+        if remaining == 0 {
+            break;
+        }
+    }
+}
+
+/// Scalar reference for [`unpack_swar`]: the historical one-shift-mask
+/// per digit loop.
+pub fn unpack_scalar(words: &[u64], len: usize, bits: u32, per: usize, digits: &mut Vec<u32>) {
+    let mask = if bits == 32 {
+        u64::from(u32::MAX)
+    } else {
+        (1u64 << bits) - 1
+    };
+    for i in 0..len {
+        digits.push(((words[i / per] >> ((i % per) as u32 * bits)) & mask) as u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Digit vectors confined to one width class, with lengths that
+    /// exercise ragged tails (partial words *and* odd pairs).
+    fn digits_in_class(bits: u32) -> impl Strategy<Value = Vec<u32>> {
+        let bound = 1u64 << bits; // inclusive of the class max
+        prop::collection::vec((0..bound).prop_map(|d| d as u32), 0..70)
+    }
+
+    fn roundtrip_case(digits: &[u32], bits: u32, per: usize) {
+        let mut swar = Vec::new();
+        let mut scalar = Vec::new();
+        pack_swar(digits, bits, per, &mut swar);
+        pack_scalar(digits, bits, per, &mut scalar);
+        assert_eq!(swar, scalar, "pack bits={bits}");
+        let mut got_swar = Vec::new();
+        let mut got_scalar = Vec::new();
+        unpack_swar(&swar, digits.len(), bits, per, &mut got_swar);
+        unpack_scalar(&swar, digits.len(), bits, per, &mut got_scalar);
+        assert_eq!(got_swar, digits, "unpack_swar bits={bits}");
+        assert_eq!(got_scalar, digits, "unpack_scalar bits={bits}");
+    }
+
+    proptest! {
+        #[test]
+        fn swar_matches_scalar_4bit(digits in digits_in_class(4)) {
+            roundtrip_case(&digits, 4, 16);
+        }
+
+        #[test]
+        fn swar_matches_scalar_16bit(digits in digits_in_class(16)) {
+            roundtrip_case(&digits, 16, 4);
+        }
+
+        #[test]
+        fn swar_matches_scalar_32bit(digits in digits_in_class(32)) {
+            roundtrip_case(&digits, 32, 2);
+        }
+
+        #[test]
+        fn width_class_selection_agrees(
+            digits in prop::collection::vec((0..1u64 << 32).prop_map(|d| d as u32), 0..40),
+        ) {
+            prop_assert_eq!(width_class_swar(&digits), width_class_scalar(&digits));
+        }
+    }
+
+    #[test]
+    fn ragged_tails_across_classes() {
+        // Deterministic pins for every (class, tail) shape: lengths
+        // around word boundaries and odd/even pair splits.
+        for &(bits, per) in &[(4u32, 16usize), (16, 4), (32, 2)] {
+            for len in 0..(2 * per + 3) {
+                let digits: Vec<u32> = (0..len as u32)
+                    .map(|i| (i * 7 + 3) & ((1u32 << (bits - 1)) | 1))
+                    .collect();
+                roundtrip_case(&digits, bits, per);
+            }
+        }
+    }
+
+    #[test]
+    fn width_class_boundaries() {
+        assert_eq!(width_class_swar(&[]), (0, 4, 16));
+        assert_eq!(width_class_swar(&[15]), (0, 4, 16));
+        assert_eq!(width_class_swar(&[16]), (1, 16, 4));
+        assert_eq!(width_class_swar(&[65_535]), (1, 16, 4));
+        assert_eq!(width_class_swar(&[65_536]), (2, 32, 2));
+        assert_eq!(width_class_swar(&[u32::MAX]), (2, 32, 2));
+    }
+}

@@ -4,6 +4,7 @@ use std::fmt;
 
 use planartest_graph::{Graph, NodeId};
 
+use crate::runtime::lanes::LaneBits;
 use crate::stats::SimStats;
 
 /// Payload words a [`Msg`] stores inline, without touching the heap.
@@ -295,6 +296,44 @@ pub trait NodeLogic {
     fn round(&mut self, node: NodeId, inbox: &[(NodeId, Msg)], out: &mut Outbox<'_>);
 }
 
+/// Lane geometry of one [`Outbox`]: how this instance's *local* node and
+/// edge state maps into the (possibly shared, node-major) batch arrays.
+///
+/// Node-major batching ([`crate::runtime::batch`]) stores instance `i`'s
+/// node `v` at the virtual lane `v·B + i` and its edge-direction slot
+/// `s` at `s·owned + slot` in the owning worker's stamp stripe; a
+/// single-instance run is the degenerate stride-1 geometry. The `stamp`
+/// field carries the pre-computed "sent this round" epoch value, which
+/// lets recycled executors skip re-zeroing `edge_stamp` between
+/// instances: a fresh epoch base makes every stale stamp unequal by
+/// construction.
+#[derive(Clone, Copy)]
+pub(crate) struct LaneCtx {
+    /// Local node `v` lives at virtual lane `v·lane_stride + lane_off`.
+    pub lane_stride: usize,
+    /// See [`lane_stride`](LaneCtx::lane_stride).
+    pub lane_off: usize,
+    /// Edge slot `s` stamps at `s·stamp_stride + stamp_off`.
+    pub stamp_stride: usize,
+    /// See [`stamp_stride`](LaneCtx::stamp_stride).
+    pub stamp_off: usize,
+    /// The epoch value marking "sent this round" (base + round + 1).
+    pub stamp: u64,
+}
+
+impl LaneCtx {
+    /// The single-instance geometry: identity lanes, stamp epoch `stamp`.
+    pub(crate) fn solo(stamp: u64) -> Self {
+        LaneCtx {
+            lane_stride: 1,
+            lane_off: 0,
+            stamp_stride: 1,
+            stamp_off: 0,
+            stamp,
+        }
+    }
+}
+
 /// Per-call send interface handed to [`NodeLogic`] methods.
 ///
 /// Sends are validated against the CONGEST constraints; the first
@@ -304,16 +343,15 @@ pub struct Outbox<'a> {
     g: &'a Graph,
     limit: usize,
     round: u64,
-    /// Virtual-lane base for batched execution: staged destinations and
-    /// wake entries are offset by this amount, mapping this instance's
-    /// node `v` to the shared mailbox lane `vbase + v`. Zero for
-    /// single-instance runs (see [`crate::runtime::batch`]).
-    vbase: u32,
+    /// Lane geometry: maps local node/edge state into the shared batch
+    /// arrays (identity for single-instance runs).
+    lane: LaneCtx,
     staged: &'a mut Vec<(NodeId, NodeId, Msg)>,
-    /// `edge_stamp[2e + dir] = round` of the last send on that direction.
+    /// `edge_stamp[slot·stride + off] = epoch` of the last send on that
+    /// direction (see [`LaneCtx`]).
     edge_stamp: &'a mut [u64],
     wake: &'a mut Vec<NodeId>,
-    woken: &'a mut [bool],
+    woken: &'a mut LaneBits,
     error: &'a mut Option<SimError>,
 }
 
@@ -327,11 +365,11 @@ impl<'a> Outbox<'a> {
         g: &'a Graph,
         limit: usize,
         round: u64,
-        vbase: u32,
+        lane: LaneCtx,
         staged: &'a mut Vec<(NodeId, NodeId, Msg)>,
         edge_stamp: &'a mut [u64],
         wake: &'a mut Vec<NodeId>,
-        woken: &'a mut [bool],
+        woken: &'a mut LaneBits,
         error: &'a mut Option<SimError>,
     ) -> Self {
         Outbox {
@@ -339,7 +377,7 @@ impl<'a> Outbox<'a> {
             g,
             limit,
             round,
-            vbase,
+            lane,
             staged,
             edge_stamp,
             wake,
@@ -355,14 +393,17 @@ impl<'a> Outbox<'a> {
     fn stage_on_edge(&mut self, to: NodeId, e: planartest_graph::EdgeId, msg: Msg) {
         let (u, _) = self.g.endpoints(e);
         let dir = usize::from(self.src != u);
-        let slot = 2 * e.index() + dir;
-        if self.edge_stamp[slot] == self.round + 1 {
+        let slot = (2 * e.index() + dir) * self.lane.stamp_stride + self.lane.stamp_off;
+        if self.edge_stamp[slot] == self.lane.stamp {
             *self.error = Some(SimError::DuplicateMessage { from: self.src, to });
             return;
         }
-        self.edge_stamp[slot] = self.round + 1;
-        self.staged
-            .push((self.src, NodeId::new(self.vbase as usize + to.index()), msg));
+        self.edge_stamp[slot] = self.lane.stamp;
+        self.staged.push((
+            self.src,
+            NodeId::new(to.index() * self.lane.lane_stride + self.lane.lane_off),
+            msg,
+        ));
     }
 
     /// Sends `msg` to neighbour `to`, to be delivered next round.
@@ -423,10 +464,11 @@ impl<'a> Outbox<'a> {
     /// incoming messages (models an internal timer; costs a round only if
     /// nothing else is happening — it never creates messages).
     pub fn wake(&mut self) {
-        if !self.woken[self.src.index()] {
-            self.woken[self.src.index()] = true;
-            self.wake
-                .push(NodeId::new(self.vbase as usize + self.src.index()));
+        if !self.woken.get(self.src.index()) {
+            self.woken.set(self.src.index());
+            self.wake.push(NodeId::new(
+                self.src.index() * self.lane.lane_stride + self.lane.lane_off,
+            ));
         }
     }
 
@@ -529,9 +571,10 @@ pub(crate) fn run_serial<L: NodeLogic>(
     // `edge_stamp[2e + dir] = round + 1` of the last send; 0 = never.
     let mut edge_stamp = vec![0u64; 2 * g.m()];
     let mut wake: Vec<NodeId> = Vec::new();
-    let mut woken = vec![false; g.n()];
+    let mut woken = LaneBits::new(g.n());
     let mut active: Vec<NodeId> = Vec::new();
     let mut boxes = crate::runtime::mailbox::Mailboxes::new(g.n());
+    let mut stamp_base = 0;
     run_serial_recycled(
         g,
         cfg,
@@ -543,6 +586,7 @@ pub(crate) fn run_serial<L: NodeLogic>(
         &mut wake,
         &mut active,
         &mut boxes,
+        &mut stamp_base,
     )
 }
 
@@ -552,9 +596,15 @@ pub(crate) fn run_serial<L: NodeLogic>(
 /// *structurally* the same run as [`Engine::run`] — not a copy kept in
 /// sync.
 ///
-/// All buffers must arrive in their reset state (zero stamps, clear
-/// flags, empty vectors); the mailbox arena recycles itself per
-/// delivery.
+/// `stamp_base` is the edge-stamp epoch base: this run marks "sent in
+/// round `r`" as `stamp_base + r + 1` and advances the base past every
+/// stamp it wrote before returning. Recycling callers therefore never
+/// re-zero `edge_stamp` between instances — stale stamps from earlier
+/// runs compare unequal to every new epoch by construction. The vectors
+/// and wake flags must arrive empty/clear; this function restores that
+/// state on **every** exit path (including CONGEST violations and
+/// round-budget exhaustion), so consecutive recycled runs need no
+/// inter-instance scrubbing at all.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_serial_recycled<L: NodeLogic>(
     g: &Graph,
@@ -562,24 +612,52 @@ pub(crate) fn run_serial_recycled<L: NodeLogic>(
     logic: &mut L,
     max_rounds: u64,
     edge_stamp: &mut [u64],
-    woken: &mut [bool],
+    woken: &mut LaneBits,
     staged: &mut Vec<(NodeId, NodeId, Msg)>,
     wake: &mut Vec<NodeId>,
     active: &mut Vec<NodeId>,
     boxes: &mut crate::runtime::mailbox::Mailboxes,
+    stamp_base: &mut u64,
 ) -> Result<RunReport, SimError> {
     let limit = cfg.max_words_per_message;
+    let base = *stamp_base;
     let mut error: Option<SimError> = None;
     let mut report = RunReport::default();
+
+    // Restores the buffers' reset invariant after an aborted run: drop
+    // the undelivered sends and clear the pending wake flags (lane id =
+    // node id under the solo geometry).
+    let abort = |staged: &mut Vec<(NodeId, NodeId, Msg)>,
+                 wake: &mut Vec<NodeId>,
+                 woken: &mut LaneBits,
+                 stamp_base: &mut u64,
+                 round: u64,
+                 e: SimError| {
+        staged.clear();
+        for v in wake.drain(..) {
+            woken.clear(v.index());
+        }
+        *stamp_base = base + round + 2;
+        Err(e)
+    };
 
     // Round 0: init.
     for v in g.nodes() {
         let mut out = Outbox::assemble(
-            v, g, limit, 0, 0, staged, edge_stamp, wake, woken, &mut error,
+            v,
+            g,
+            limit,
+            0,
+            LaneCtx::solo(base + 1),
+            staged,
+            edge_stamp,
+            wake,
+            woken,
+            &mut error,
         );
         logic.init(v, &mut out);
         if let Some(e) = error {
-            return Err(e);
+            return abort(staged, wake, woken, stamp_base, 0, e);
         }
     }
 
@@ -587,7 +665,14 @@ pub(crate) fn run_serial_recycled<L: NodeLogic>(
     while !staged.is_empty() || !wake.is_empty() {
         round += 1;
         if round > max_rounds {
-            return Err(SimError::RoundLimitExceeded { limit: max_rounds });
+            return abort(
+                staged,
+                wake,
+                woken,
+                stamp_base,
+                round,
+                SimError::RoundLimitExceeded { limit: max_rounds },
+            );
         }
         // `active` is recycled across rounds: cleared, never
         // re-allocated at steady state.
@@ -596,14 +681,24 @@ pub(crate) fn run_serial_recycled<L: NodeLogic>(
         crate::runtime::parallel::finish_active(active, wake, woken);
         for &v in active.iter() {
             let mut out = Outbox::assemble(
-                v, g, limit, round, 0, staged, edge_stamp, wake, woken, &mut error,
+                v,
+                g,
+                limit,
+                round,
+                LaneCtx::solo(base + round + 1),
+                staged,
+                edge_stamp,
+                wake,
+                woken,
+                &mut error,
             );
             logic.round(v, boxes.inbox(v), &mut out);
             if let Some(e) = error {
-                return Err(e);
+                return abort(staged, wake, woken, stamp_base, round, e);
             }
         }
     }
+    *stamp_base = base + round + 2;
     report.rounds = round;
     Ok(report)
 }

@@ -66,6 +66,7 @@ pub use crate::engine::{
     Engine, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError, MSG_INLINE_WORDS,
 };
 pub use crate::runtime::{
-    run_batch, Backend, BatchEngine, EngineCore, ParallelEngine, ParallelNodeLogic, TrialRunner,
+    run_batch, Backend, BatchEngine, EngineCore, LaneBits, ParallelEngine, ParallelNodeLogic,
+    TrialRunner,
 };
 pub use crate::stats::{PassRollup, SimStats};

@@ -24,6 +24,7 @@
 use planartest_graph::NodeId;
 
 use crate::engine::{Msg, RunReport};
+use crate::runtime::lanes::LaneBits;
 
 /// One staged send: `(src, dst, payload)`.
 pub type Staged = (NodeId, NodeId, Msg);
@@ -61,39 +62,36 @@ impl Mailboxes {
     pub fn deliver(
         &mut self,
         staged: &mut Vec<Staged>,
-        woken: &[bool],
+        woken: &LaneBits,
         active: &mut Vec<NodeId>,
         report: &mut RunReport,
     ) {
-        // One lane spanning every destination: all counts land in the
-        // single report (`usize::MAX` lane width keeps the index at 0).
-        self.deliver_lanes(
-            staged,
-            woken,
-            active,
-            std::slice::from_mut(report),
-            usize::MAX,
-        );
+        // The degenerate one-instance batch: every destination is lane 0
+        // of its node stripe, all counts land in the single report.
+        self.deliver_lanes(staged, woken, active, std::slice::from_mut(report), 1);
     }
 
-    /// Lane-aware [`deliver`](Mailboxes::deliver): destinations are
-    /// grouped into lanes of `lane_width` consecutive node ids and each
-    /// message's counts are attributed to `reports[dst / lane_width]`.
+    /// Lane-aware [`deliver`](Mailboxes::deliver) for node-major batched
+    /// execution: with `lanes` instances multiplexed, instance `i`'s node
+    /// `v` is the virtual destination `v·lanes + i`, so each message's
+    /// counts are attributed to `reports[dst % lanes]`.
     ///
     /// This is the delivery primitive behind instance-multiplexed
-    /// execution ([`crate::runtime::batch`]): a batch of `B` instances
-    /// over an `n`-node graph maps instance `i`'s node `v` to the virtual
-    /// destination `i·n + v`, so the same stable counting sort keys by
-    /// `(instance, dst)` and per-instance message accounting falls out of
-    /// the lane index. Activation, ordering and arena recycling semantics
-    /// are identical to `deliver`.
+    /// execution ([`crate::runtime::batch`]): one node's `lanes` instance
+    /// slots occupy one contiguous stripe of the range table and the
+    /// `woken` bitset (the layout the SWAR kernels and sharding want),
+    /// while the same stable counting sort still keys by `(node,
+    /// instance)` — a lane only ever receives from its own instance, and
+    /// only within-destination order is observable, so re-keying changes
+    /// no delivered sequence. Activation, ordering and arena recycling
+    /// semantics are identical to `deliver`.
     pub fn deliver_lanes(
         &mut self,
         staged: &mut Vec<Staged>,
-        woken: &[bool],
+        woken: &LaneBits,
         active: &mut Vec<NodeId>,
         reports: &mut [RunReport],
-        lane_width: usize,
+        lanes: usize,
     ) {
         for v in self.touched.drain(..) {
             self.ranges[v.index()] = (0, 0);
@@ -102,13 +100,13 @@ impl Mailboxes {
         // Pass 1: count per destination (`end` temporarily holds the
         // count), recording activations in first-message order.
         for &(_, dst, ref msg) in staged.iter() {
-            let report = &mut reports[dst.index() / lane_width];
+            let report = &mut reports[dst.index() % lanes];
             report.messages += 1;
             report.words += msg.len() as u64;
             let r = &mut self.ranges[dst.index()];
             if r.1 == 0 {
                 self.touched.push(dst);
-                if !woken[dst.index()] {
+                if !woken.get(dst.index()) {
                     active.push(dst);
                 }
             }
@@ -175,7 +173,7 @@ mod tests {
             (node(0), node(1), Msg::words(&[7, 8])),
             (node(2), node(1), Msg::ping()),
         ];
-        let woken = vec![false; 4];
+        let woken = LaneBits::new(4);
         let mut active = Vec::new();
         let mut report = RunReport::default();
         boxes.deliver(&mut staged, &woken, &mut active, &mut report);
@@ -195,7 +193,8 @@ mod tests {
     fn woken_nodes_not_reactivated_by_messages() {
         let mut boxes = Mailboxes::new(2);
         let mut staged: Vec<Staged> = vec![(node(0), node(1), Msg::ping())];
-        let woken = vec![false, true]; // node 1 already wake-flagged
+        let mut woken = LaneBits::new(2);
+        woken.set(1); // node 1 already wake-flagged
         let mut active = Vec::new();
         let mut report = RunReport::default();
         boxes.deliver(&mut staged, &woken, &mut active, &mut report);
@@ -214,7 +213,7 @@ mod tests {
             (node(2), node(3), Msg::words(&[11])),
             (node(2), node(1), Msg::words(&[21])),
         ];
-        let woken = vec![false; 4];
+        let woken = LaneBits::new(4);
         let mut active = Vec::new();
         let mut report = RunReport::default();
         boxes.deliver(&mut staged, &woken, &mut active, &mut report);
@@ -237,7 +236,7 @@ mod tests {
         let mut ptrs = Vec::new();
         for round in 0..4u64 {
             let mut staged: Vec<Staged> = vec![(node(0), node(2), Msg::words(&[round]))];
-            let woken = vec![false; 3];
+            let woken = LaneBits::new(3);
             let mut active = Vec::new();
             let mut report = RunReport::default();
             boxes.deliver(&mut staged, &woken, &mut active, &mut report);

@@ -47,11 +47,13 @@
 //! through [`EngineCore::run_logic`]; they just stay on one thread.
 
 pub mod batch;
+pub mod lanes;
 pub mod mailbox;
 pub mod parallel;
 pub mod trials;
 
 pub use batch::{run_batch, BatchEngine};
+pub use lanes::LaneBits;
 pub use parallel::{ParallelEngine, ParallelNodeLogic};
 pub use trials::TrialRunner;
 

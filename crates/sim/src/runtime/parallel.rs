@@ -35,7 +35,8 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 
 use planartest_graph::{Graph, NodeId};
 
-use crate::engine::{self, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError};
+use crate::engine::{self, LaneCtx, Msg, NodeLogic, Outbox, RunReport, SimConfig, SimError};
+use crate::runtime::lanes::LaneBits;
 use crate::runtime::mailbox::{InboxRange, Mailboxes, Staged};
 use crate::runtime::EngineCore;
 use crate::stats::SimStats;
@@ -267,7 +268,7 @@ struct Scratch<'g> {
     /// Per-call wake dedup flags (only `self` can wake a node, so these
     /// never need cross-worker reconciliation). Reset via `wake` after
     /// each batch.
-    woken: Vec<bool>,
+    woken: LaneBits,
     staged: Vec<Staged>,
     wake: Vec<NodeId>,
     error: Option<SimError>,
@@ -279,7 +280,7 @@ impl<'g> Scratch<'g> {
             g,
             limit: cfg.max_words_per_message,
             edge_stamp: vec![0; 2 * g.m()],
-            woken: vec![false; g.n()],
+            woken: LaneBits::new(g.n()),
             staged: Vec::new(),
             wake: Vec::new(),
             error: None,
@@ -300,7 +301,7 @@ impl<'g> Scratch<'g> {
             self.g,
             self.limit,
             round,
-            0,
+            LaneCtx::solo(round + 1),
             &mut self.staged,
             &mut self.edge_stamp,
             &mut self.wake,
@@ -318,7 +319,7 @@ impl<'g> Scratch<'g> {
     fn take_batch(&mut self) -> Batch {
         let wake = std::mem::take(&mut self.wake);
         for &v in &wake {
-            self.woken[v.index()] = false;
+            self.woken.clear(v.index());
         }
         Batch {
             staged: std::mem::take(&mut self.staged),
@@ -330,10 +331,10 @@ impl<'g> Scratch<'g> {
     /// Single-worker variant of [`Scratch::take_batch`]: applies the
     /// pending wake requests to the global wake state in place, leaving
     /// the staged sends untouched for the next delivery.
-    fn flush_wake(&mut self, woken: &mut [bool], wake: &mut Vec<NodeId>) {
+    fn flush_wake(&mut self, woken: &mut LaneBits, wake: &mut Vec<NodeId>) {
         let mut batch = std::mem::take(&mut self.wake);
         for &v in &batch {
-            self.woken[v.index()] = false;
+            self.woken.clear(v.index());
         }
         merge_wake(&mut batch, woken, wake);
     }
@@ -433,7 +434,7 @@ fn execute_inline<P: ParallelNodeLogic>(
     let mut scratch = Scratch::new(g, cfg);
     let mut report = RunReport::default();
     let mut boxes = Mailboxes::new(g.n());
-    let mut woken = vec![false; g.n()];
+    let mut woken = LaneBits::new(g.n());
     let mut wake: Vec<NodeId> = Vec::new();
 
     for v in g.nodes() {
@@ -499,7 +500,7 @@ fn execute_pool<P: ParallelNodeLogic>(
                         arena: ArenaPtr,
                         work: Vec<NodeWork>,
                         staged: &mut Vec<Staged>,
-                        woken: &mut Vec<bool>,
+                        woken: &mut LaneBits,
                         wake: &mut Vec<NodeId>|
          -> Result<(), SimError> {
             // Contiguous chunks preserve ascending node order under the
@@ -540,7 +541,7 @@ fn execute_pool<P: ParallelNodeLogic>(
         };
 
         let mut staged: Vec<Staged> = Vec::new();
-        let mut woken = vec![false; n];
+        let mut woken = LaneBits::new(n);
         let mut wake: Vec<NodeId> = Vec::new();
         let mut report = RunReport::default();
         let mut boxes = Mailboxes::new(n);
@@ -629,12 +630,16 @@ fn worker_loop<P: ParallelNodeLogic>(
 }
 
 /// Applies one batch's wake requests to the global wake state.
-pub(crate) fn merge_wake(batch_wake: &mut Vec<NodeId>, woken: &mut [bool], wake: &mut Vec<NodeId>) {
+pub(crate) fn merge_wake(
+    batch_wake: &mut Vec<NodeId>,
+    woken: &mut LaneBits,
+    wake: &mut Vec<NodeId>,
+) {
     for v in batch_wake.drain(..) {
         // Only `v` itself can request `v`'s wake-up and each node runs
         // once per round, so no dedup check is needed here; the flag
         // feeds the next delivery's activation logic.
-        woken[v.index()] = true;
+        woken.set(v.index());
         wake.push(v);
     }
 }
@@ -642,12 +647,16 @@ pub(crate) fn merge_wake(batch_wake: &mut Vec<NodeId>, woken: &mut [bool], wake:
 /// Completes a round's active list: append the woken nodes, sort,
 /// dedup, clear their wake flags. Shared with the serial reference loop
 /// (`engine::run_serial`) so the activation rule exists exactly once.
-pub(crate) fn finish_active(active: &mut Vec<NodeId>, wake: &mut Vec<NodeId>, woken: &mut [bool]) {
+pub(crate) fn finish_active(
+    active: &mut Vec<NodeId>,
+    wake: &mut Vec<NodeId>,
+    woken: &mut LaneBits,
+) {
     active.append(wake);
     active.sort_unstable();
     active.dedup();
     for &v in active.iter() {
-        woken[v.index()] = false;
+        woken.clear(v.index());
     }
 }
 
