@@ -1,0 +1,37 @@
+//! E14 — durability benchmark; writes `BENCH_persist.json`.
+//!
+//! `--check` turns the gate into an exit code for CI: restart-time
+//! certificate replay must beat cold recompute by at least 100× at the
+//! median, the streaming ingest scenario must push ≥10⁶ nodes through
+//! the two-pass disk builder into an mmap-backed graph, and the mapped
+//! tier must serve outcomes bit-identical to the resident tier.
+
+use planartest_bench::PersistGate;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let gate = planartest_bench::persist_bench();
+    if check && !gate.pass() {
+        eprintln!(
+            "persistence gate FAILED: certificate replay p50 speedup {:.1}x \
+             (need >= {:.0}x), streamed nodes {} (need >= {}), \
+             mapped-vs-resident parity {}",
+            gate.replay_p50_speedup,
+            PersistGate::REPLAY_SPEEDUP_FLOOR,
+            gate.streamed_nodes,
+            PersistGate::STREAM_NODES_FLOOR,
+            gate.tier_parity,
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!(
+            "persistence gate passed: certificate replay p50 {:.1}x over cold \
+             recompute (floor {:.0}), {} nodes streamed spec->disk->mmap, \
+             mapped tier bit-identical to resident",
+            gate.replay_p50_speedup,
+            PersistGate::REPLAY_SPEEDUP_FLOOR,
+            gate.streamed_nodes,
+        );
+    }
+}

@@ -4,12 +4,15 @@
 //!
 //! With `--check`, exits non-zero when the regression gate fails —
 //! parallel at max threads losing to serial on the largest tester
-//! workload, or the instance-multiplexed Monte-Carlo acceptance sweep
+//! workload, the instance-multiplexed Monte-Carlo acceptance sweep
 //! dropping below the raised batched-vs-sequential floor
-//! ([`BenchGate::BATCH_SPEEDUP_FLOOR`]). This is the CI performance
+//! ([`BenchGate::BATCH_SPEEDUP_FLOOR`]), or *any* SWAR kernel row
+//! losing to its scalar reference
+//! ([`BenchGate::KERNEL_SPEEDUP_FLOOR`]). This is the CI performance
 //! gate.
 //!
 //! [`BenchGate::BATCH_SPEEDUP_FLOOR`]: planartest_bench::BenchGate::BATCH_SPEEDUP_FLOOR
+//! [`BenchGate::KERNEL_SPEEDUP_FLOOR`]: planartest_bench::BenchGate::KERNEL_SPEEDUP_FLOOR
 
 use planartest_bench::BenchGate;
 
@@ -21,24 +24,32 @@ fn main() {
             "benchmark gate FAILED: parallel speedup {:.3}x on the largest tester \
              workload (n={}, must be >= 1.0; vacuous on 1 hardware thread), \
              batched sweep speedup {:.3}x over sequential ({} trials, must be \
-             >= {:.2})",
+             >= {:.2}), worst kernel `{}` at {:.3}x vs scalar (every kernel \
+             must be >= {:.2})",
             gate.speedup,
             gate.largest_n,
             gate.batch_speedup,
             gate.batch_trials,
-            BenchGate::BATCH_SPEEDUP_FLOOR
+            BenchGate::BATCH_SPEEDUP_FLOOR,
+            gate.min_kernel,
+            gate.min_kernel_speedup,
+            BenchGate::KERNEL_SPEEDUP_FLOOR
         );
         std::process::exit(1);
     }
     if check {
         println!(
             "benchmark gate passed: parallel speedup {:.3}x on n={}, batched sweep \
-             {:.3}x over sequential ({} trials, floor {:.2})",
+             {:.3}x over sequential ({} trials, floor {:.2}), worst kernel `{}` \
+             {:.3}x vs scalar (floor {:.2})",
             gate.speedup,
             gate.largest_n,
             gate.batch_speedup,
             gate.batch_trials,
-            BenchGate::BATCH_SPEEDUP_FLOOR
+            BenchGate::BATCH_SPEEDUP_FLOOR,
+            gate.min_kernel,
+            gate.min_kernel_speedup,
+            BenchGate::KERNEL_SPEEDUP_FLOOR
         );
     }
 }

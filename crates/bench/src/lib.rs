@@ -6,12 +6,14 @@
 //! Sizes respect the `PLANARTEST_QUICK` environment variable (any value →
 //! smaller sweeps) so CI stays fast while full runs remain one command.
 //!
-//! Two experiments double as CI performance gates, each writing a
+//! Three experiments double as CI performance gates, each writing a
 //! machine-readable artifact: [`runtime_bench`] (`BENCH_runtime.json`,
-//! engine/tester/batching speedups) and [`service_load`]
+//! engine/tester/batching/kernel speedups), [`service_load`]
 //! (`BENCH_service.json`, the query service's cold/warm latency and
-//! coalescing throughput). Their `--check` binaries fail the build on
-//! regression.
+//! coalescing throughput) and [`persist_bench`] (`BENCH_persist.json`,
+//! certificate-replay speedup, out-of-core streaming ingest and
+//! mapped-vs-resident tier parity). Their `--check` binaries fail the
+//! build on regression.
 
 use planartest_core::applications::{build_spanner, test_bipartiteness, test_cycle_freeness};
 use planartest_core::baselines::{random_shift_partition, shift_spanner, RandomShiftConfig};
@@ -28,9 +30,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub mod json;
+mod persist_bench;
 mod runtime_bench;
 mod service_load;
 
+pub use persist_bench::{persist_bench, persist_bench_document, PersistGate};
 pub use runtime_bench::{runtime_bench, runtime_bench_document, BenchGate};
 pub use service_load::{service_load, service_load_document, ServiceGate};
 

@@ -381,8 +381,7 @@ fn mix(mut x: u64) -> u64 {
 
 /// One before/after kernel row: scalar reference vs SWAR path over the
 /// same workload, both asserted to produce identical results first.
-fn kernel_row(name: &str, scalar_secs: f64, swar_secs: f64) -> Json {
-    let speedup = scalar_secs / swar_secs;
+fn kernel_row(name: &str, scalar_secs: f64, swar_secs: f64, speedup: f64) -> Json {
     println!(
         "kernel         {name:<24} scalar {scalar_secs:>10.6}s  swar {swar_secs:>10.6}s  \
          speedup {speedup:.2}x"
@@ -394,15 +393,68 @@ fn kernel_row(name: &str, scalar_secs: f64, swar_secs: f64) -> Json {
         .field("speedup", speedup)
 }
 
+/// Paired before/after kernel measurement: after a warm-up pair, each
+/// of `pairs` reps times scalar then SWAR back to back and the gated
+/// speedup is the **median of the per-pair ratios**. Pairing is what
+/// makes a 1.0 floor holdable: machine-wide drift (thermal ramp,
+/// frequency scaling, a CI neighbour) hits both sides of a pair about
+/// equally and cancels in its ratio, where a ratio of two
+/// independently-taken medians inherits the drift between them as
+/// bias. Returns `(scalar_median, swar_median, ratio_median)`.
+fn paired_kernel_times(
+    pairs: usize,
+    scalar: &mut dyn FnMut(),
+    swar: &mut dyn FnMut(),
+) -> (f64, f64, f64) {
+    fn time_one(f: &mut dyn FnMut()) -> f64 {
+        let start = Instant::now();
+        f();
+        start.elapsed().as_secs_f64()
+    }
+    scalar();
+    swar();
+    let mut scalar_times = Vec::with_capacity(pairs);
+    let mut swar_times = Vec::with_capacity(pairs);
+    let mut ratios = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let s = time_one(scalar);
+        let w = time_one(swar);
+        scalar_times.push(s);
+        swar_times.push(w);
+        ratios.push(s / w);
+    }
+    scalar_times.sort_by(f64::total_cmp);
+    swar_times.sort_by(f64::total_cmp);
+    ratios.sort_by(f64::total_cmp);
+    (
+        scalar_times[pairs / 2],
+        swar_times[pairs / 2],
+        ratios[pairs / 2],
+    )
+}
+
 /// Per-kernel before/after microbenchmarks for the SWAR round kernels:
 /// the stage-2 label digit pack/unpack at each width class, and the
 /// `LaneBits` bulk clear / quiescence scan. "Before" is the portable
 /// scalar reference (the `scalar-kernels` feature path), "after" the
 /// default SWAR dispatch — the same code CI runs the whole suite
-/// against both ways.
-fn kernel_bench() -> Json {
+/// against both ways. Returns the rows plus the worst row's
+/// `(speedup, kernel name)` — the gate's "every SWAR kernel earns its
+/// keep" clause.
+fn kernel_bench() -> (Json, f64, &'static str) {
     let reps = if quick() { 300 } else { 2_000 };
+    let pairs = if quick() { 5 } else { 9 };
     let mut rows = Vec::new();
+    let mut min_speedup = f64::INFINITY;
+    let mut min_kernel: &'static str = "none";
+    let mut push_row =
+        |rows: &mut Vec<Json>, name: &'static str, scalar: f64, swar: f64, ratio: f64| {
+            rows.push(kernel_row(name, scalar, swar, ratio));
+            if ratio < min_speedup {
+                min_speedup = ratio;
+                min_kernel = name;
+            }
+        };
 
     // Label digit transpose: 512 labels × 24 digits per width class
     // (tree-path labels are Θ(depth) digits; 24 covers the deep-part
@@ -442,19 +494,30 @@ fn kernel_bench() -> Json {
             digits, reference,
             "{name}: kernels must agree before timing"
         );
-        let scalar_secs = time_median(|| {
-            for _ in 0..reps {
-                pass(&mut words, &mut digits, false);
-            }
-            black_box((&words, &digits));
-        }) / reps as f64;
-        let swar_secs = time_median(|| {
-            for _ in 0..reps {
-                pass(&mut words, &mut digits, true);
-            }
-            black_box((&words, &digits));
-        }) / reps as f64;
-        rows.push(kernel_row(name, scalar_secs, swar_secs));
+        // Separate buffers per side: the paired closures live at once.
+        let (mut words_w, mut digits_w) = (Vec::new(), Vec::new());
+        let (scalar_secs, swar_secs, ratio) = paired_kernel_times(
+            pairs,
+            &mut || {
+                for _ in 0..reps {
+                    pass(&mut words, &mut digits, false);
+                }
+                black_box((&words, &digits));
+            },
+            &mut || {
+                for _ in 0..reps {
+                    pass(&mut words_w, &mut digits_w, true);
+                }
+                black_box((&words_w, &digits_w));
+            },
+        );
+        push_row(
+            &mut rows,
+            name,
+            scalar_secs / reps as f64,
+            swar_secs / reps as f64,
+            ratio,
+        );
     }
 
     // LaneBits bookkeeping over a 64k-lane batch (e.g. B=16 × n=4096):
@@ -465,32 +528,51 @@ fn kernel_bench() -> Json {
         bits.set(i);
     }
     assert_eq!(bits.any_set_words(), bits.any_set_scalar());
-    let scalar_secs = time_median(|| {
-        for _ in 0..reps {
-            black_box(&mut bits).clear_all_scalar();
-        }
-    }) / reps as f64;
-    let swar_secs = time_median(|| {
-        for _ in 0..reps {
-            black_box(&mut bits).clear_all_words();
-        }
-    }) / reps as f64;
-    rows.push(kernel_row("lanebits_clear_all", scalar_secs, swar_secs));
+    let mut bits_w = LaneBits::new(lanes);
+    let (scalar_secs, swar_secs, ratio) = paired_kernel_times(
+        pairs,
+        &mut || {
+            for _ in 0..reps {
+                black_box(&mut bits).clear_all_scalar();
+            }
+        },
+        &mut || {
+            for _ in 0..reps {
+                black_box(&mut bits_w).clear_all_words();
+            }
+        },
+    );
+    push_row(
+        &mut rows,
+        "lanebits_clear_all",
+        scalar_secs / reps as f64,
+        swar_secs / reps as f64,
+        ratio,
+    );
 
     bits.set(lanes - 1); // worst case: the scan must reach the last word
-    let scalar_secs = time_median(|| {
-        for _ in 0..reps {
-            black_box(black_box(&bits).any_set_scalar());
-        }
-    }) / reps as f64;
-    let swar_secs = time_median(|| {
-        for _ in 0..reps {
-            black_box(black_box(&bits).any_set_words());
-        }
-    }) / reps as f64;
-    rows.push(kernel_row("lanebits_any_set", scalar_secs, swar_secs));
+    let (scalar_secs, swar_secs, ratio) = paired_kernel_times(
+        pairs,
+        &mut || {
+            for _ in 0..reps {
+                black_box(black_box(&bits).any_set_scalar());
+            }
+        },
+        &mut || {
+            for _ in 0..reps {
+                black_box(black_box(&bits).any_set_words());
+            }
+        },
+    );
+    push_row(
+        &mut rows,
+        "lanebits_any_set",
+        scalar_secs / reps as f64,
+        swar_secs / reps as f64,
+        ratio,
+    );
 
-    Json::Arr(rows)
+    (Json::Arr(rows), min_speedup, min_kernel)
 }
 
 /// The CI regression gate computed alongside the benchmark document:
@@ -510,6 +592,11 @@ pub struct BenchGate {
     /// Sequential-per-instance wall-clock over batched wall-clock on
     /// the Monte-Carlo acceptance sweep.
     pub batch_speedup: f64,
+    /// The *worst* per-kernel SWAR-vs-scalar speedup across every
+    /// `kernel_bench` row (median of paired ratios).
+    pub min_kernel_speedup: f64,
+    /// Which kernel posted that worst ratio.
+    pub min_kernel: &'static str,
 }
 
 impl BenchGate {
@@ -524,6 +611,17 @@ impl BenchGate {
     /// best, noise margin below the new steady state.
     pub const BATCH_SPEEDUP_FLOOR: f64 = 4.0;
 
+    /// Floor for every per-kernel SWAR-vs-scalar ratio: a SWAR path
+    /// that loses to its own scalar reference is a regression, full
+    /// stop — there is no workload argument for shipping a slower
+    /// dispatch default. Holdable at exactly 1.0 (not 1.0 minus a
+    /// noise allowance) because the measurement is a median of
+    /// *paired* ratios: drift cancels within each pair, and the
+    /// unrolled kernels clear parity with real margin (the old
+    /// pairwise-spread 16-bit pack measured 0.83x and would fail
+    /// here, as it should).
+    pub const KERNEL_SPEEDUP_FLOOR: f64 = 1.0;
+
     /// Whether the gate passes: the parallel speedup at or above parity
     /// and the batch speedup at or above
     /// [`BATCH_SPEEDUP_FLOOR`](Self::BATCH_SPEEDUP_FLOOR). On a
@@ -537,6 +635,7 @@ impl BenchGate {
     pub fn pass(&self) -> bool {
         (self.max_threads <= 1 || self.speedup >= 1.0)
             && self.batch_speedup >= Self::BATCH_SPEEDUP_FLOOR
+            && self.min_kernel_speedup >= Self::KERNEL_SPEEDUP_FLOOR
     }
 }
 
@@ -548,19 +647,22 @@ pub fn runtime_bench_document() -> (Json, BenchGate) {
     let side = if quick() { 24 } else { 64 };
     let (tester_rows, speedup, largest_n) = tester_n_sweep();
     let (batch_row, batch_speedup, batch_trials) = batch_sweep();
+    let (kernel_rows, min_kernel_speedup, min_kernel) = kernel_bench();
     let gate = BenchGate {
         largest_n,
         speedup,
         max_threads: auto_threads(),
         batch_trials,
         batch_speedup,
+        min_kernel_speedup,
+        min_kernel,
     };
     let doc = Json::obj()
         .field("schema", "planartest-bench/runtime/v2")
         .field("quick_mode", quick())
         .field("hardware_threads", auto_threads())
         .field("engine_throughput", engine_throughput(side))
-        .field("kernel_bench", kernel_bench())
+        .field("kernel_bench", kernel_rows)
         .field("tester_n_sweep", tester_rows)
         .field("trial_sweep", trial_sweep())
         .field("batch_sweep", batch_row)
@@ -574,6 +676,9 @@ pub fn runtime_bench_document() -> (Json, BenchGate) {
                 .field("batch_trials", gate.batch_trials)
                 .field("batch_speedup_vs_sequential", gate.batch_speedup)
                 .field("batch_speedup_floor", BenchGate::BATCH_SPEEDUP_FLOOR)
+                .field("min_kernel_speedup", gate.min_kernel_speedup)
+                .field("min_kernel", gate.min_kernel)
+                .field("kernel_speedup_floor", BenchGate::KERNEL_SPEEDUP_FLOOR)
                 .field("pass", gate.pass()),
         );
     (doc, gate)
@@ -644,6 +749,8 @@ mod tests {
             max_threads,
             batch_trials: 8,
             batch_speedup,
+            min_kernel_speedup: 1.2,
+            min_kernel: "label_pack_16bit",
         };
         assert!(gate(1.0, 4, floor).pass());
         assert!(!gate(0.99, 4, floor).pass());
@@ -654,11 +761,19 @@ mod tests {
         assert!(!gate(1.0, 1, floor - 0.01).pass());
         assert!(!gate(1.0, 1, 1.0).pass());
         assert!(gate(1.0, 1, floor + 0.5).pass());
+        // Every SWAR kernel must at least match its scalar reference:
+        // the historical 0.83x pack regression fails the gate.
+        let slow = BenchGate {
+            min_kernel_speedup: 0.83,
+            ..gate(1.0, 4, floor)
+        };
+        assert!(!slow.pass());
+        assert_eq!(BenchGate::KERNEL_SPEEDUP_FLOOR, 1.0);
     }
 
     #[test]
     fn kernel_rows_have_required_fields() {
-        let rows = kernel_bench();
+        let (rows, min_speedup, min_kernel) = kernel_bench();
         let text = rows.pretty();
         for key in [
             "label_pack_4bit",
@@ -672,5 +787,9 @@ mod tests {
         ] {
             assert!(text.contains(key), "missing {key} in {text}");
         }
+        // The minimum is drawn from the rows actually produced (debug
+        // builds don't gate the *value* — CI gates the release run).
+        assert!(min_speedup.is_finite() && min_speedup > 0.0);
+        assert!(text.contains(min_kernel));
     }
 }

@@ -7,12 +7,15 @@
 //! ride that encoding, so the digit transpose is a hot kernel. This
 //! module implements it two ways:
 //!
-//! * **SWAR** (`*_swar`): digits are combined pairwise inside one u64
-//!   register — two 32-bit inputs merge with one shift+or+mask instead
-//!   of per-digit shift/or chains, halving the dependent-op count per
-//!   digit; width selection is a branch-free OR-reduction over the
-//!   digits (valid because the class thresholds are powers of two, so
-//!   `max < 2^k  ⇔  or-of-all < 2^k`);
+//! * **SWAR** (`*_swar`): per width class, a fully unrolled word
+//!   gather/scatter. Every digit's `shift+or` term is *independent*, so
+//!   the compiler tree-reduces the ors (depth `log₂ per` instead of a
+//!   loop-carried chain of length `per`) and the CPU retires several
+//!   lanes per cycle — the scalar loop's `word |= d << (i·bits)`
+//!   accumulator serializes on `word` every iteration and pays the
+//!   induction/bounds bookkeeping besides. Width selection is a
+//!   branch-free OR-reduction over the digits (valid because the class
+//!   thresholds are powers of two, so `max < 2^k ⇔ or-of-all < 2^k`);
 //! * **scalar** (`*_scalar`): the historical one-digit-at-a-time
 //!   shift/or loops, kept as the executable reference.
 //!
@@ -55,34 +58,53 @@ fn class_for(bound: u32) -> WidthClass {
 }
 
 /// SWAR digit pack: appends `digits` to `out` at `bits` bits per digit,
-/// `per` digits per word. Adjacent digits merge pairwise inside one u64
-/// (`lo | hi << 32`, then one shift+or+mask compresses the pair to
-/// `2·bits` contiguous bits) before the pairs are or-ed into the word —
-/// half the dependent shift/or chain of the scalar loop. A ragged final
-/// digit (odd pair) falls back to one scalar or.
+/// `per` digits per word. Full words use an unrolled gather whose
+/// per-digit `shift+or` terms carry no dependency on each other — the
+/// ors tree-reduce in `log₂ per` depth where the scalar loop's
+/// accumulator chains through all `per` — and a ragged final word falls
+/// back to the scalar loop.
 pub fn pack_swar(digits: &[u32], bits: u32, per: usize, out: &mut Vec<u64>) {
     debug_assert!(matches!((bits, per), (4, 16) | (16, 4) | (32, 2)));
-    // Mask of one *pair* (2·bits wide); at 32-bit digits a pair is the
-    // whole word.
-    let mask = if bits == 32 {
-        u64::MAX
-    } else {
-        (1u64 << (2 * bits)) - 1
-    };
-    for chunk in digits.chunks(per) {
-        let mut word = 0u64;
-        let mut pairs = chunk.chunks_exact(2);
-        for (j, pair) in pairs.by_ref().enumerate() {
-            // lo at bit 0, hi at bit 32 → one >> (32 - bits) folds hi
-            // down to bit `bits`; the mask drops the shift residue.
-            let spread = u64::from(pair[0]) | (u64::from(pair[1]) << 32);
-            let packed = (spread | (spread >> (32 - bits))) & mask;
-            word |= packed << (j as u32 * 2 * bits);
+    match bits {
+        4 => {
+            let mut chunks = digits.chunks_exact(16);
+            for c in chunks.by_ref() {
+                let lo = u64::from(c[0])
+                    | (u64::from(c[1]) << 4)
+                    | (u64::from(c[2]) << 8)
+                    | (u64::from(c[3]) << 12)
+                    | (u64::from(c[4]) << 16)
+                    | (u64::from(c[5]) << 20)
+                    | (u64::from(c[6]) << 24)
+                    | (u64::from(c[7]) << 28);
+                let hi = u64::from(c[8])
+                    | (u64::from(c[9]) << 4)
+                    | (u64::from(c[10]) << 8)
+                    | (u64::from(c[11]) << 12)
+                    | (u64::from(c[12]) << 16)
+                    | (u64::from(c[13]) << 20)
+                    | (u64::from(c[14]) << 24)
+                    | (u64::from(c[15]) << 28);
+                out.push(lo | (hi << 32));
+            }
+            pack_scalar(chunks.remainder(), bits, per, out);
         }
-        if let [last] = pairs.remainder() {
-            word |= u64::from(*last) << ((chunk.len() - 1) as u32 * bits);
+        16 => {
+            let mut chunks = digits.chunks_exact(4);
+            for c in chunks.by_ref() {
+                let lo = u64::from(c[0]) | (u64::from(c[1]) << 16);
+                let hi = u64::from(c[2]) | (u64::from(c[3]) << 16);
+                out.push(lo | (hi << 32));
+            }
+            pack_scalar(chunks.remainder(), bits, per, out);
         }
-        out.push(word);
+        _ => {
+            let mut chunks = digits.chunks_exact(2);
+            for c in chunks.by_ref() {
+                out.push(u64::from(c[0]) | (u64::from(c[1]) << 32));
+            }
+            pack_scalar(chunks.remainder(), bits, per, out);
+        }
     }
 }
 
@@ -99,44 +121,62 @@ pub fn pack_scalar(digits: &[u32], bits: u32, per: usize, out: &mut Vec<u64>) {
 }
 
 /// SWAR digit unpack: decodes `len` digits packed at `bits` bits per
-/// digit, `per` per word, from `words` into `digits`. The inverse
-/// pairwise trick: one shift+or+mask spreads two adjacent packed digits
-/// to bit 0 and bit 32 of a register, from which both extract with a
-/// mask and a shift — versus a dependent shift+mask per digit. A ragged
-/// final digit falls back to one scalar extract.
+/// digit, `per` per word, from `words` into `digits`. Full words
+/// scatter through one `extend_from_slice` of independent shift+mask
+/// lanes (no per-digit push/capacity check, no dependency between
+/// lanes); the ragged final word falls back to the scalar extract loop.
 pub fn unpack_swar(words: &[u64], len: usize, bits: u32, per: usize, digits: &mut Vec<u32>) {
     debug_assert!(matches!((bits, per), (4, 16) | (16, 4) | (32, 2)));
-    let lane_mask = if bits == 32 {
-        u64::from(u32::MAX)
-    } else {
-        (1u64 << bits) - 1
-    };
-    let pair_mask = if bits == 32 {
-        u64::MAX
-    } else {
-        (1u64 << (2 * bits)) - 1
-    };
-    let spread_mask = lane_mask | (lane_mask << 32);
-    let mut remaining = len;
-    for &word in words {
-        let take = remaining.min(per);
-        let mut j = 0;
-        while j + 2 <= take {
-            // Two packed digits at bit `j·bits`, isolated first (later
-            // digits would otherwise alias into the hi lane) → lo to
-            // bit 0, hi to bit 32 via one << (32 - bits).
-            let packed = (word >> (j as u32 * bits)) & pair_mask;
-            let spread = (packed | (packed << (32 - bits))) & spread_mask;
-            digits.push((spread & lane_mask) as u32);
-            digits.push((spread >> 32) as u32);
-            j += 2;
+    let full = len / per;
+    match bits {
+        4 => {
+            for &w in &words[..full] {
+                digits.extend_from_slice(&[
+                    (w & 0xF) as u32,
+                    ((w >> 4) & 0xF) as u32,
+                    ((w >> 8) & 0xF) as u32,
+                    ((w >> 12) & 0xF) as u32,
+                    ((w >> 16) & 0xF) as u32,
+                    ((w >> 20) & 0xF) as u32,
+                    ((w >> 24) & 0xF) as u32,
+                    ((w >> 28) & 0xF) as u32,
+                    ((w >> 32) & 0xF) as u32,
+                    ((w >> 36) & 0xF) as u32,
+                    ((w >> 40) & 0xF) as u32,
+                    ((w >> 44) & 0xF) as u32,
+                    ((w >> 48) & 0xF) as u32,
+                    ((w >> 52) & 0xF) as u32,
+                    ((w >> 56) & 0xF) as u32,
+                    (w >> 60) as u32,
+                ]);
+            }
         }
-        if j < take {
-            digits.push(((word >> (j as u32 * bits)) & lane_mask) as u32);
+        16 => {
+            for &w in &words[..full] {
+                digits.extend_from_slice(&[
+                    (w & 0xFFFF) as u32,
+                    ((w >> 16) & 0xFFFF) as u32,
+                    ((w >> 32) & 0xFFFF) as u32,
+                    (w >> 48) as u32,
+                ]);
+            }
         }
-        remaining -= take;
-        if remaining == 0 {
-            break;
+        _ => {
+            for &w in &words[..full] {
+                digits.extend_from_slice(&[w as u32, (w >> 32) as u32]);
+            }
+        }
+    }
+    let tail = len % per;
+    if tail > 0 {
+        let mask = if bits == 32 {
+            u64::from(u32::MAX)
+        } else {
+            (1u64 << bits) - 1
+        };
+        let word = words[full];
+        for j in 0..tail {
+            digits.push(((word >> (j as u32 * bits)) & mask) as u32);
         }
     }
 }

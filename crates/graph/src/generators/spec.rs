@@ -24,7 +24,7 @@ use std::fmt;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::generators::{nonplanar, planar, Certified};
+use crate::generators::{euler_excess, nonplanar, planar, Certified, PlanarityStatus};
 
 /// Error parsing or instantiating a generator spec.
 #[derive(Debug, Clone, PartialEq)]
@@ -287,6 +287,27 @@ fn require(ok: bool, name: &'static str, reason: &'static str) -> Result<(), Spe
     }
 }
 
+/// Splits a spec into `(family name, positional args, seed)` — the
+/// shared grammar behind [`parse`] and [`streamable`].
+fn split_spec(spec: &str) -> Result<(&str, Vec<f64>, u64), SpecError> {
+    let spec = spec.trim();
+    let (name, inner) = match spec.find('(') {
+        Some(open) => {
+            let close = spec.rfind(')').ok_or(SpecError::Malformed)?;
+            if close != spec.len() - 1 || close < open {
+                return Err(SpecError::Malformed);
+            }
+            (spec[..open].trim(), &spec[open + 1..close])
+        }
+        None => (spec, ""),
+    };
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
+        return Err(SpecError::Malformed);
+    }
+    let (args, seed) = parse_args(inner)?;
+    Ok((name, args, seed))
+}
+
 /// Parses and instantiates a generator spec (see the [module docs](self)
 /// for the grammar and the determinism contract).
 ///
@@ -310,21 +331,7 @@ fn require(ok: bool, name: &'static str, reason: &'static str) -> Result<(), Spe
 /// );
 /// ```
 pub fn parse(spec: &str) -> Result<Certified, SpecError> {
-    let spec = spec.trim();
-    let (name, inner) = match spec.find('(') {
-        Some(open) => {
-            let close = spec.rfind(')').ok_or(SpecError::Malformed)?;
-            if close != spec.len() - 1 || close < open {
-                return Err(SpecError::Malformed);
-            }
-            (spec[..open].trim(), &spec[open + 1..close])
-        }
-        None => (spec, ""),
-    };
-    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_') {
-        return Err(SpecError::Malformed);
-    }
-    let (args, seed) = parse_args(inner)?;
+    let (name, args, seed) = split_spec(spec)?;
     let mut rng = StdRng::seed_from_u64(seed);
 
     let arity = |expected: &'static str, want: usize| -> Result<(), SpecError> {
@@ -481,6 +488,352 @@ pub fn parse(spec: &str) -> Result<Certified, SpecError> {
             name: other.to_string(),
         }),
     }
+}
+
+/// One family of [`StreamableSpec`]: enough parameters to regenerate
+/// the edge set on demand, any number of times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StreamFamily {
+    Path {
+        n: usize,
+    },
+    Cycle {
+        n: usize,
+    },
+    Star {
+        n: usize,
+    },
+    Grid {
+        rows: usize,
+        cols: usize,
+        diagonals: bool,
+    },
+    Complete {
+        n: usize,
+    },
+    CompleteBipartite {
+        a: usize,
+        b: usize,
+    },
+    K5Chain {
+        tiles: usize,
+    },
+    Torus {
+        rows: usize,
+        cols: usize,
+    },
+    Hypercube {
+        d: u32,
+    },
+}
+
+/// A spec whose edges can be *streamed* — regenerated edge by edge, any
+/// number of times, without materializing the graph.
+///
+/// This is the deterministic closed-form subset of the corpus (paths,
+/// cycles, stars, grids, complete (bipartite) graphs, K5 chains, tori,
+/// hypercubes): exactly the families whose edge set is a function of
+/// the parameters alone, so `n ≫ 10^6` instances can be ingested
+/// straight to disk by [`crate::disk::stream_to_disk`] in `O(n)` RAM.
+/// The streamed edge set is identical to what [`parse`] materializes,
+/// so fingerprints — and therefore cache identities — collide exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamableSpec {
+    n: usize,
+    m: usize,
+    status: PlanarityStatus,
+    family: StreamFamily,
+}
+
+impl StreamableSpec {
+    /// Number of nodes.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges (known in closed form).
+    #[must_use]
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// The same certified planarity status [`parse`] would attach.
+    #[must_use]
+    pub fn status(&self) -> PlanarityStatus {
+        self.status
+    }
+
+    /// Streams every edge once through `emit`, stopping early on error.
+    ///
+    /// # Errors
+    ///
+    /// Only errors returned by `emit` itself.
+    pub fn for_each_edge<E>(
+        &self,
+        emit: &mut dyn FnMut(usize, usize) -> Result<(), E>,
+    ) -> Result<(), E> {
+        match self.family {
+            StreamFamily::Path { n } => {
+                for i in 0..n.saturating_sub(1) {
+                    emit(i, i + 1)?;
+                }
+            }
+            StreamFamily::Cycle { n } => {
+                for i in 0..n {
+                    emit(i, (i + 1) % n)?;
+                }
+            }
+            StreamFamily::Star { n } => {
+                for i in 1..n {
+                    emit(0, i)?;
+                }
+            }
+            StreamFamily::Grid {
+                rows,
+                cols,
+                diagonals,
+            } => {
+                let idx = |r: usize, c: usize| r * cols + c;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        if c + 1 < cols {
+                            emit(idx(r, c), idx(r, c + 1))?;
+                        }
+                        if r + 1 < rows {
+                            emit(idx(r, c), idx(r + 1, c))?;
+                        }
+                        if diagonals && r + 1 < rows && c + 1 < cols {
+                            emit(idx(r, c), idx(r + 1, c + 1))?;
+                        }
+                    }
+                }
+            }
+            StreamFamily::Complete { n } => {
+                for i in 0..n {
+                    for j in i + 1..n {
+                        emit(i, j)?;
+                    }
+                }
+            }
+            StreamFamily::CompleteBipartite { a, b } => {
+                for i in 0..a {
+                    for j in 0..b {
+                        emit(i, a + j)?;
+                    }
+                }
+            }
+            StreamFamily::K5Chain { tiles } => {
+                for t in 0..tiles {
+                    let base = 5 * t;
+                    for i in 0..5 {
+                        for j in i + 1..5 {
+                            emit(base + i, base + j)?;
+                        }
+                    }
+                    if t + 1 < tiles {
+                        emit(base + 4, base + 5)?;
+                    }
+                }
+            }
+            StreamFamily::Torus { rows, cols } => {
+                let idx = |r: usize, c: usize| r * cols + c;
+                for r in 0..rows {
+                    for c in 0..cols {
+                        emit(idx(r, c), idx(r, (c + 1) % cols))?;
+                        emit(idx(r, c), idx((r + 1) % rows, c))?;
+                    }
+                }
+            }
+            StreamFamily::Hypercube { d } => {
+                let n = 1usize << d;
+                for v in 0..n {
+                    for bit in 0..d {
+                        let w = v ^ (1usize << bit);
+                        if v < w {
+                            emit(v, w)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The status the Euler-excess families certify (mirrors the
+/// generators' `with_euler_bound`).
+fn euler_status(n: usize, m: usize) -> PlanarityStatus {
+    let excess = euler_excess(n, m);
+    if excess > 0 {
+        PlanarityStatus::FarFromPlanar {
+            min_removals: excess,
+        }
+    } else {
+        PlanarityStatus::Unknown
+    }
+}
+
+/// Parses a spec into its streamable form, if the family supports it.
+///
+/// `Ok(None)` means the spec is valid but belongs to a randomized or
+/// otherwise non-closed-form family — callers fall back to [`parse`]
+/// and materialize. The parameters are validated exactly as [`parse`]
+/// validates them, so a `Some` here never fails later.
+///
+/// # Errors
+///
+/// The same [`SpecError`]s as [`parse`] for the streamable families.
+pub fn streamable(spec: &str) -> Result<Option<StreamableSpec>, SpecError> {
+    let (name, args, _seed) = split_spec(spec)?;
+    let arity = |expected: &'static str, want: usize| -> Result<(), SpecError> {
+        if args.len() == want {
+            Ok(())
+        } else {
+            Err(SpecError::WrongArity {
+                name: families()
+                    .iter()
+                    .map(|f| f.name)
+                    .find(|&n| n == name)
+                    .unwrap_or("?"),
+                expected,
+                found: args.len(),
+            })
+        }
+    };
+    let u = |i: usize| as_usize(args[i], i + 1);
+    let built = match name {
+        "path" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "path", "n > 0")?;
+            StreamableSpec {
+                n,
+                m: n - 1,
+                status: PlanarityStatus::Planar,
+                family: StreamFamily::Path { n },
+            }
+        }
+        "cycle" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n >= 3, "cycle", "n >= 3")?;
+            StreamableSpec {
+                n,
+                m: n,
+                status: PlanarityStatus::Planar,
+                family: StreamFamily::Cycle { n },
+            }
+        }
+        "star" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "star", "n > 0")?;
+            StreamableSpec {
+                n,
+                m: n - 1,
+                status: PlanarityStatus::Planar,
+                family: StreamFamily::Star { n },
+            }
+        }
+        "grid" | "tri_grid" => {
+            arity("rows, cols", 2)?;
+            let (r, c) = (u(0)?, u(1)?);
+            require(
+                r > 0 && c > 0,
+                if name == "grid" { "grid" } else { "tri_grid" },
+                "positive dimensions",
+            )?;
+            let diagonals = name == "tri_grid";
+            let m = r * (c - 1) + c * (r - 1) + if diagonals { (r - 1) * (c - 1) } else { 0 };
+            StreamableSpec {
+                n: r * c,
+                m,
+                status: PlanarityStatus::Planar,
+                family: StreamFamily::Grid {
+                    rows: r,
+                    cols: c,
+                    diagonals,
+                },
+            }
+        }
+        "complete" => {
+            arity("n", 1)?;
+            let n = u(0)?;
+            require(n > 0, "complete", "n > 0")?;
+            let m = n * (n - 1) / 2;
+            StreamableSpec {
+                n,
+                m,
+                status: if n < 5 {
+                    PlanarityStatus::Planar
+                } else {
+                    euler_status(n, m)
+                },
+                family: StreamFamily::Complete { n },
+            }
+        }
+        "complete_bipartite" => {
+            arity("a, b", 2)?;
+            let (a, b) = (u(0)?, u(1)?);
+            require(a > 0 && b > 0, "complete_bipartite", "non-empty sides")?;
+            StreamableSpec {
+                n: a + b,
+                m: a * b,
+                status: if a.min(b) < 3 {
+                    PlanarityStatus::Planar
+                } else {
+                    euler_status(a + b, a * b)
+                },
+                family: StreamFamily::CompleteBipartite { a, b },
+            }
+        }
+        "k5_chain" => {
+            arity("tiles", 1)?;
+            let t = u(0)?;
+            require(t > 0, "k5_chain", "at least one tile")?;
+            StreamableSpec {
+                n: 5 * t,
+                m: 10 * t + (t - 1),
+                status: PlanarityStatus::FarFromPlanar { min_removals: t },
+                family: StreamFamily::K5Chain { tiles: t },
+            }
+        }
+        "torus" => {
+            arity("rows, cols", 2)?;
+            let (r, c) = (u(0)?, u(1)?);
+            require(r >= 3 && c >= 3, "torus", "both dims >= 3")?;
+            StreamableSpec {
+                n: r * c,
+                m: 2 * r * c,
+                status: PlanarityStatus::Unknown,
+                family: StreamFamily::Torus { rows: r, cols: c },
+            }
+        }
+        "hypercube" => {
+            arity("d", 1)?;
+            let d = u(0)?;
+            require(d > 0 && d <= 20, "hypercube", "1 <= d <= 20")?;
+            let n = 1usize << d;
+            let m = d * (n / 2);
+            StreamableSpec {
+                n,
+                m,
+                status: euler_status(n, m),
+                family: StreamFamily::Hypercube { d: d as u32 },
+            }
+        }
+        // Known-but-randomized (or otherwise non-closed-form) families
+        // decline to stream; the caller materializes via [`parse`],
+        // which performs the full argument validation.
+        other if families().iter().any(|f| f.name == other) => return Ok(None),
+        other => {
+            return Err(SpecError::UnknownFamily {
+                name: other.to_string(),
+            })
+        }
+    };
+    Ok(Some(built))
 }
 
 #[cfg(test)]

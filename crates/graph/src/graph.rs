@@ -7,7 +7,11 @@ use std::fmt;
 /// Node ids are dense indices in `0..g.n()`. In the CONGEST model each node
 /// knows its own id and learns neighbours' ids over edges; ids fit in a
 /// single `O(log n)`-bit message word.
+///
+/// The id is `repr(transparent)` over `u32` so CSR arrays of ids can be
+/// reinterpreted byte-for-byte by the on-disk format in [`crate::disk`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -56,7 +60,11 @@ impl From<u32> for NodeId {
 /// Identifier of an undirected edge in a [`Graph`].
 ///
 /// Edge ids are dense indices in `0..g.m()`, in the order edges were added.
+///
+/// `repr(transparent)` over `u32` for the same zero-copy reason as
+/// [`NodeId`].
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(transparent)]
 pub struct EdgeId(u32);
 
 impl EdgeId {
@@ -150,24 +158,52 @@ impl std::error::Error for GraphError {}
 /// assert!(!g.has_edge(0.into(), 2.into()));
 /// # Ok::<(), planartest_graph::GraphError>(())
 /// ```
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Graph {
     n: usize,
-    /// Canonical endpoints, `edges[e] = (u, v)` with `u < v`.
-    edges: Vec<(NodeId, NodeId)>,
-    /// Flat adjacency: `2m` `(neighbour, edge id)` entries, grouped by
-    /// source node, each group sorted by neighbour id.
-    csr: Vec<(NodeId, EdgeId)>,
-    /// `n + 1` row offsets into `csr`; node `v` owns
-    /// `csr[offsets[v] as usize..offsets[v + 1] as usize]`.
-    offsets: Vec<u32>,
+    store: Store,
 }
+
+/// The physical backing of a [`Graph`]'s three CSR arrays.
+///
+/// `Resident` is the hot tier: plain `Vec`s owned by the graph.
+/// `Mapped` is the cold tier: the same arrays viewed zero-copy inside a
+/// memory-mapped (or buffered-read) on-disk CSR file, shared via `Arc`
+/// so cloning a mapped graph never touches the data. Every accessor
+/// dispatches through one `match`, so the engine, batch lanes, and all
+/// testers run unchanged over either backing.
+#[derive(Clone)]
+enum Store {
+    Resident {
+        /// Canonical endpoints, `edges[e] = (u, v)` with `u < v`.
+        edges: Vec<(NodeId, NodeId)>,
+        /// Flat adjacency: `2m` `(neighbour, edge id)` entries, grouped
+        /// by source node, each group sorted by neighbour id.
+        csr: Vec<(NodeId, EdgeId)>,
+        /// `n + 1` row offsets into `csr`; node `v` owns
+        /// `csr[offsets[v] as usize..offsets[v + 1] as usize]`.
+        offsets: Vec<u32>,
+    },
+    Mapped(std::sync::Arc<crate::disk::MappedCsr>),
+}
+
+impl PartialEq for Graph {
+    /// Content equality: node count plus canonical edge list. The CSR
+    /// adjacency is derived data and the backing tier is irrelevant —
+    /// a mapped graph equals its resident twin.
+    fn eq(&self, other: &Self) -> bool {
+        self.n == other.n && self.edge_slice() == other.edge_slice()
+    }
+}
+
+impl Eq for Graph {}
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Graph")
             .field("n", &self.n)
-            .field("m", &self.edges.len())
+            .field("m", &self.m())
+            .field("mapped", &self.is_mapped())
             .finish()
     }
 }
@@ -196,10 +232,82 @@ impl Graph {
     pub fn empty(n: usize) -> Self {
         Graph {
             n,
-            edges: Vec::new(),
-            csr: Vec::new(),
-            offsets: vec![0; n + 1],
+            store: Store::Resident {
+                edges: Vec::new(),
+                csr: Vec::new(),
+                offsets: vec![0; n + 1],
+            },
         }
+    }
+
+    /// Assembles a resident graph from pre-validated CSR parts.
+    ///
+    /// Crate-internal: callers (the builder, the disk loaders) must
+    /// uphold the CSR invariants — canonical sorted deduped `edges`,
+    /// rows sorted by neighbour, `offsets` a prefix-sum with
+    /// `offsets[n] == 2m`.
+    pub(crate) fn from_parts(
+        n: usize,
+        edges: Vec<(NodeId, NodeId)>,
+        csr: Vec<(NodeId, EdgeId)>,
+        offsets: Vec<u32>,
+    ) -> Self {
+        Graph {
+            n,
+            store: Store::Resident {
+                edges,
+                csr,
+                offsets,
+            },
+        }
+    }
+
+    /// Wraps a loaded on-disk CSR as a mapped-tier graph.
+    pub(crate) fn from_mapped(map: std::sync::Arc<crate::disk::MappedCsr>) -> Self {
+        Graph {
+            n: map.n(),
+            store: Store::Mapped(map),
+        }
+    }
+
+    /// Whether this graph is backed by an on-disk mapping (cold tier)
+    /// rather than resident `Vec`s.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.store, Store::Mapped(_))
+    }
+
+    /// Canonical edge list slice, whatever the backing.
+    #[inline]
+    fn edge_slice(&self) -> &[(NodeId, NodeId)] {
+        match &self.store {
+            Store::Resident { edges, .. } => edges,
+            Store::Mapped(m) => m.edges(),
+        }
+    }
+
+    /// Flat adjacency slice, whatever the backing.
+    #[inline]
+    fn csr_slice(&self) -> &[(NodeId, EdgeId)] {
+        match &self.store {
+            Store::Resident { csr, .. } => csr,
+            Store::Mapped(m) => m.csr(),
+        }
+    }
+
+    /// Row-offset slice (`n + 1` entries), whatever the backing.
+    #[inline]
+    fn offset_slice(&self) -> &[u32] {
+        match &self.store {
+            Store::Resident { offsets, .. } => offsets,
+            Store::Mapped(m) => m.offsets(),
+        }
+    }
+
+    /// The three raw CSR arrays, for the on-disk writer.
+    #[allow(clippy::type_complexity)]
+    pub(crate) fn raw_parts(&self) -> (&[u32], &[(NodeId, EdgeId)], &[(NodeId, NodeId)]) {
+        (self.offset_slice(), self.csr_slice(), self.edge_slice())
     }
 
     /// Number of nodes.
@@ -211,7 +319,7 @@ impl Graph {
     /// Number of edges.
     #[inline]
     pub fn m(&self) -> usize {
-        self.edges.len()
+        self.edge_slice().len()
     }
 
     /// Iterator over all node ids.
@@ -221,7 +329,7 @@ impl Graph {
 
     /// Iterator over all edge ids.
     pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
-        (0..self.edges.len()).map(EdgeId::new)
+        (0..self.m()).map(EdgeId::new)
     }
 
     /// Canonical endpoints `(u, v)` with `u < v` of edge `e`.
@@ -231,12 +339,12 @@ impl Graph {
     /// Panics if `e` is out of range.
     #[inline]
     pub fn endpoints(&self, e: EdgeId) -> (NodeId, NodeId) {
-        self.edges[e.index()]
+        self.edge_slice()[e.index()]
     }
 
     /// Iterator over canonical edge endpoint pairs in edge-id order.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.edges.iter().copied()
+        self.edge_slice().iter().copied()
     }
 
     /// The endpoint of `e` that is not `v`.
@@ -258,13 +366,15 @@ impl Graph {
     /// Degree of `v`.
     #[inline]
     pub fn degree(&self, v: NodeId) -> usize {
-        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+        let offsets = self.offset_slice();
+        (offsets[v.index() + 1] - offsets[v.index()]) as usize
     }
 
     /// Neighbours of `v` with the connecting edge id, sorted by neighbour.
     #[inline]
     pub fn neighbors(&self, v: NodeId) -> &[(NodeId, EdgeId)] {
-        &self.csr[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
+        let offsets = self.offset_slice();
+        &self.csr_slice()[offsets[v.index()] as usize..offsets[v.index() + 1] as usize]
     }
 
     /// Whether `{u, v}` is an edge (binary search over the sorted CSR
@@ -291,9 +401,14 @@ impl Graph {
     /// service's graph registry and result cache key on.
     #[must_use]
     pub fn fingerprint(&self) -> crate::fingerprint::Fingerprint {
+        if let Store::Mapped(m) = &self.store {
+            // The on-disk header stamps the fingerprint; the loader
+            // verified it against the mapped content, so no rescan.
+            return m.fingerprint();
+        }
         let mut d = crate::fingerprint::Digest::new();
         d.word(self.n as u64).word(self.m() as u64);
-        for &(u, v) in &self.edges {
+        for &(u, v) in self.edge_slice() {
             d.word((u64::from(u.raw()) << 32) | u64::from(v.raw()));
         }
         d.finish()
@@ -301,7 +416,7 @@ impl Graph {
 
     /// Maximum degree over all nodes (0 for the empty graph).
     pub fn max_degree(&self) -> usize {
-        self.offsets
+        self.offset_slice()
             .windows(2)
             .map(|w| (w[1] - w[0]) as usize)
             .max()
@@ -458,12 +573,7 @@ impl GraphBuilder {
         debug_assert!((0..self.n).all(|v| {
             csr[offsets[v] as usize..offsets[v + 1] as usize].is_sorted_by_key(|&(w, _)| w)
         }));
-        Graph {
-            n: self.n,
-            edges,
-            csr,
-            offsets,
-        }
+        Graph::from_parts(self.n, edges, csr, offsets)
     }
 }
 

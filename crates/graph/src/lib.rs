@@ -18,6 +18,9 @@
 //!   and result cache.
 //! * [`generators::spec`] — textual generator specs
 //!   (`"tri_grid(24,24)"`), the service's second ingest route.
+//! * [`disk`] — a relocatable on-disk CSR format with a zero-copy
+//!   memory-mapped loader and a streaming two-pass counting-sort
+//!   builder, so graphs with `n ≫ 10^6` build and query out-of-core.
 //!
 //! # Example
 //!
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod algo;
+pub mod disk;
 pub mod fingerprint;
 pub mod generators;
 mod graph;

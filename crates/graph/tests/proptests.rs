@@ -1,10 +1,14 @@
 //! Property-based tests for the graph substrate.
 
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use planartest_graph::algo::arboricity::{degeneracy, density_lower_bound, peel};
 use planartest_graph::algo::bfs::{component_diameter, distances, BfsTree};
 use planartest_graph::algo::bipartite::check_bipartite;
 use planartest_graph::algo::components::Components;
 use planartest_graph::algo::girth::{break_short_cycles, girth};
+use planartest_graph::disk::{self, DiskError};
 use planartest_graph::generators::{nonplanar, planar};
 use planartest_graph::{io, Graph, NodeId};
 use proptest::prelude::*;
@@ -184,6 +188,105 @@ proptest! {
         prop_assert!(girth(&t).is_none());
         let d = component_diameter(&t, NodeId::new(0));
         prop_assert!((d as usize) < n);
+    }
+}
+
+/// A scratch `.csr` path unique per proptest case (the proptests run on
+/// parallel test threads, so a shared fixed path would race).
+fn scratch_csr() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "planartest-proptest-{}-{id}.csr",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On-disk CSR round-trip over arbitrary graphs: `save` →
+    /// `load_mapped`/`load_resident` reproduces the graph bit for bit
+    /// (structure, fingerprint, every adjacency row), and re-saving the
+    /// mapped load reproduces the file bytes exactly — the format is
+    /// canonical, so content-addressing by fingerprint is sound.
+    #[test]
+    fn disk_roundtrip_bit_identical(g in arb_graph()) {
+        let path = scratch_csr();
+        let fp = disk::save(&g, &path).expect("save");
+        prop_assert_eq!(fp, g.fingerprint());
+        let mapped = disk::load_mapped(&path).expect("mapped load");
+        let resident = disk::load_resident(&path).expect("resident load");
+        prop_assert!(mapped.is_mapped());
+        prop_assert!(!resident.is_mapped());
+        for h in [&mapped, &resident] {
+            prop_assert_eq!(h, &g);
+            prop_assert_eq!(h.fingerprint(), g.fingerprint());
+            for v in g.nodes() {
+                prop_assert_eq!(h.neighbors(v), g.neighbors(v));
+            }
+        }
+        let bytes = std::fs::read(&path).expect("read back");
+        let repath = scratch_csr();
+        disk::save(&mapped, &repath).expect("re-save mapped load");
+        prop_assert_eq!(std::fs::read(&repath).expect("read re-save"), bytes);
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&repath);
+    }
+
+    /// Corrupting any single byte of a saved CSR never panics the
+    /// loader: it either surfaces a typed [`DiskError`] or — only when
+    /// the flip landed in bytes with no semantic weight — still yields
+    /// the original graph. A flip that silently *changes* the graph
+    /// would be a checksum hole.
+    #[test]
+    fn disk_corruption_is_typed_never_silent(
+        g in arb_graph(),
+        pos in 0usize..4096,
+        xor in 1u32..256,
+    ) {
+        let xor = xor as u8;
+        let path = scratch_csr();
+        disk::save(&g, &path).expect("save");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let pos = pos % bytes.len();
+        bytes[pos] ^= xor;
+        std::fs::write(&path, &bytes).expect("rewrite");
+        match disk::load_mapped(&path) {
+            Ok(h) => prop_assert_eq!(h, g, "corruption at byte {} went undetected", pos),
+            Err(
+                DiskError::BadMagic
+                | DiskError::WrongEndian
+                | DiskError::BadVersion { .. }
+                | DiskError::Truncated { .. }
+                | DiskError::Corrupt { .. }
+                | DiskError::FingerprintMismatch { .. },
+            ) => {}
+            Err(other) => prop_assert!(false, "unexpected error class: {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// Truncating a saved CSR at any prefix length is always a typed
+    /// error (never a panic, never a silently short graph).
+    #[test]
+    fn disk_truncation_is_typed(g in arb_graph(), cut in 0usize..4096) {
+        let path = scratch_csr();
+        disk::save(&g, &path).expect("save");
+        let bytes = std::fs::read(&path).expect("read");
+        let cut = cut % bytes.len();
+        std::fs::write(&path, &bytes[..cut]).expect("truncate");
+        let err = disk::load_mapped(&path).expect_err("truncated file must not load");
+        prop_assert!(
+            matches!(
+                err,
+                DiskError::Truncated { .. } | DiskError::BadMagic | DiskError::WrongEndian
+            ),
+            "unexpected error for cut at {}: {:?}",
+            cut,
+            err
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }
 

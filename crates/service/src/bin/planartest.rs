@@ -8,10 +8,12 @@
 //! ```
 //!
 //! `serve` flags: `--unix PATH`, `--tcp ADDR` (listeners beyond the
-//! default stdio transport), `--no-stdio` (daemon mode), `--linger-ms
-//! N` (coalescing window), `--wake-depth N`, `--group-threads N`,
-//! `--cache-accepts N`, `--max-frame-bytes N`, `--trace FILE`
-//! (per-query LDJSON event log).
+//! default stdio transport), `--no-stdio` (daemon mode), `--state-dir
+//! DIR` (durable tier: CSR spills + certificate WAL, restored on
+//! start), `--resident-graphs N` (heap-tier cap before LRU demotion
+//! to mmap), `--linger-ms N` (coalescing window), `--wake-depth N`,
+//! `--group-threads N`, `--cache-accepts N`, `--max-frame-bytes N`,
+//! `--trace FILE` (per-query LDJSON event log).
 //!
 //! `metrics` flags: `--unix PATH` or `--tcp ADDR` (the running
 //! server's listener), `--json` (the `metrics` snapshot instead of
@@ -33,6 +35,7 @@ planartest — query service for distributed planarity testing
 
 USAGE:
   planartest serve [--unix PATH] [--tcp ADDR] [--no-stdio]
+      [--state-dir DIR] [--resident-graphs N]
       [--linger-ms N] [--wake-depth N] [--group-threads N]
       [--cache-accepts N] [--max-frame-bytes N] [--trace FILE]
       Serve one JSON request per line, one JSON response per line
@@ -53,11 +56,27 @@ USAGE:
       SIGTERM shuts down gracefully, answering everything already
       queued; --no-stdio (daemon mode, needs --unix/--tcp) skips the
       stdin transport so a detached server is stopped by SIGTERM only.
+      --state-dir DIR makes the server durable: graphs write through
+      to relocatable on-disk CSR spills (re-mapped zero-copy on the
+      next start) and reject certificates append to a crash-tolerant
+      log replayed into the cache on start, so a restarted server
+      answers certified queries without any engine pass;
+      --resident-graphs caps the heap CSR tier (least-recently-used
+      graphs demote to their mmap spill).
   planartest query (--spec SPEC | --graph-file PATH) [--property P]
       [--epsilon E] [--seed S] [--phases T] [--backend B]
-      [--embedding strict|paper]
+      [--embedding strict|paper] [--state-dir DIR] [--to-disk]
       One-shot: ingest the graph, run one query, print the response.
-      Exit code: 0 = accept, 1 = reject, 2 = error.
+      Exit code: 0 = accept, 1 = reject, 2 = error. With --state-dir
+      the one-shot reads/writes the same durable state a server would
+      (certified queries answer from the log, no engine pass);
+      --to-disk streams the ingest straight to the CSR spill.
+  planartest compact --state-dir DIR
+      Offline certificate-log compaction: replay DIR, rewrite one
+      record per live certificate (atomic temp-file + rename), and
+      report how many records the rewrite kept. Run while no server
+      owns DIR; an append-only log otherwise accretes duplicate
+      records across cache clears and torn tails.
   planartest metrics (--unix PATH | --tcp ADDR) [--json]
       Scrape a running server: print its latency/stage histograms as
       Prometheus exposition text (default) or the full JSON snapshot
@@ -116,6 +135,8 @@ fn serve(args: &[String]) -> ExitCode {
     let mut group_threads = 0usize; // serve default: all cores
     let mut cache_accepts: Option<usize> = None;
     let mut trace_path: Option<String> = None;
+    let mut state_dir: Option<String> = None;
+    let mut resident_graphs: Option<usize> = None;
     for (name, value) in flags {
         let parse_u64 = || -> Result<u64, ExitCode> {
             value.parse::<u64>().map_err(|_| {
@@ -149,6 +170,11 @@ fn serve(args: &[String]) -> ExitCode {
                 Err(code) => return code,
             },
             "trace" => trace_path = Some(value.clone()),
+            "state-dir" => state_dir = Some(value.clone()),
+            "resident-graphs" => match parse_u64() {
+                Ok(n) => resident_graphs = Some(n as usize),
+                Err(code) => return code,
+            },
             other => {
                 eprintln!("error: unknown serve flag `--{other}`\n\n{USAGE}");
                 return ExitCode::from(2);
@@ -159,6 +185,21 @@ fn serve(args: &[String]) -> ExitCode {
     let mut service = Service::new().with_group_threads(group_threads);
     if let Some(capacity) = cache_accepts {
         service.set_cache_accepts(capacity);
+    }
+    if let Some(n) = resident_graphs {
+        service.registry_mut().set_resident_capacity(n);
+    }
+    if let Some(dir) = &state_dir {
+        match service.set_state_dir(std::path::Path::new(dir)) {
+            Ok(summary) => eprintln!(
+                "state {dir}: restored {} graphs, {} certificates ({} log lines skipped)",
+                summary.graphs_restored, summary.certificates_replayed, summary.tail_skipped
+            ),
+            Err(e) => {
+                eprintln!("error: cannot open state dir `{dir}`: {e}");
+                return ExitCode::from(2);
+            }
+        }
     }
     if let Some(path) = &trace_path {
         match std::fs::File::create(path) {
@@ -240,8 +281,24 @@ fn parse_flags(args: &[String]) -> Result<Vec<(String, String)>, String> {
     Ok(flags)
 }
 
+/// Stable binding name for an edge-list one-shot: FNV-1a over the
+/// bytes, so identical content re-binds the same alias and different
+/// content never collides with a previous run's manifest entry.
+fn content_name(text: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in text.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("edge-list:{h:016x}")
+}
+
 fn one_shot(args: &[String]) -> ExitCode {
-    let flags = match parse_flags(args) {
+    // `--to-disk` is valueless: stream the ingest straight to the
+    // `--state-dir` CSR spill instead of building a heap CSR.
+    let to_disk = args.iter().any(|a| a == "--to-disk");
+    let args: Vec<String> = args.iter().filter(|a| *a != "--to-disk").cloned().collect();
+    let flags = match parse_flags(&args) {
         Ok(f) => f,
         Err(e) => {
             eprintln!("error: {e}\n\n{USAGE}");
@@ -249,14 +306,33 @@ fn one_shot(args: &[String]) -> ExitCode {
         }
     };
     let mut service = Service::new();
-    let mut ingest = Value::obj().field("op", "ingest").field("name", "g");
-    let mut query = Value::obj().field("op", "query").field("graph", "g");
-    let mut have_graph = false;
+    // The binding name must be content-derived, not fixed: with
+    // `--state-dir` the manifest outlives the process, and a fixed name
+    // would make the second one-shot with a different graph fail with
+    // `NameTaken`. Specs bind under their own text; edge lists under a
+    // hash of their bytes — re-running the same one-shot re-binds the
+    // same alias idempotently.
+    let mut graph_name = None;
+    let mut ingest = Value::obj().field("op", "ingest");
+    if to_disk {
+        ingest = ingest.field("to_disk", true);
+    }
+    let mut query = Value::obj().field("op", "query");
     for (name, value) in flags {
         match name.as_str() {
+            "state-dir" => match service.set_state_dir(std::path::Path::new(&value)) {
+                Ok(summary) => eprintln!(
+                    "state {value}: restored {} graphs, {} certificates ({} log lines skipped)",
+                    summary.graphs_restored, summary.certificates_replayed, summary.tail_skipped
+                ),
+                Err(e) => {
+                    eprintln!("error: cannot open state dir `{value}`: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             "spec" => {
+                graph_name = Some(value.clone());
                 ingest = ingest.field("spec", value.as_str());
-                have_graph = true;
             }
             "graph-file" => {
                 let text = match std::fs::read_to_string(&value) {
@@ -266,8 +342,8 @@ fn one_shot(args: &[String]) -> ExitCode {
                         return ExitCode::from(2);
                     }
                 };
+                graph_name = Some(content_name(&text));
                 ingest = ingest.field("edge_list", text);
-                have_graph = true;
             }
             "property" => query = query.field("property", value.as_str()),
             "backend" => query = query.field("backend", value.as_str()),
@@ -292,10 +368,12 @@ fn one_shot(args: &[String]) -> ExitCode {
             }
         }
     }
-    if !have_graph {
+    let Some(graph_name) = graph_name else {
         eprintln!("error: `query` needs --spec or --graph-file\n\n{USAGE}");
         return ExitCode::from(2);
-    }
+    };
+    let ingest = ingest.field("name", graph_name.as_str());
+    let query = query.field("graph", graph_name.as_str());
     let ingested = handle_request(&mut service, &ingest);
     if ingested.get("ok").and_then(Value::as_bool) != Some(true) {
         println!("{ingested}");
@@ -411,6 +489,52 @@ fn metrics(args: &[String]) -> ExitCode {
     }
 }
 
+fn compact(args: &[String]) -> ExitCode {
+    let flags = match parse_flags(args) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut dir: Option<String> = None;
+    for (name, value) in flags {
+        match name.as_str() {
+            "state-dir" => dir = Some(value),
+            other => {
+                eprintln!("error: unknown compact flag `--{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("error: `compact` needs --state-dir DIR\n\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let mut service = Service::new();
+    let summary = match service.set_state_dir(std::path::Path::new(&dir)) {
+        Ok(summary) => summary,
+        Err(e) => {
+            eprintln!("error: cannot open state dir `{dir}`: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match service.compact_certificates() {
+        Ok(kept) => {
+            println!(
+                "state {dir}: compacted to {kept} certificates \
+                 ({} replayed, {} log lines skipped)",
+                summary.certificates_replayed, summary.tail_skipped
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: compaction failed: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
 fn families() -> ExitCode {
     let mut service = Service::new();
     let r = handle_request(&mut service, &Value::obj().field("op", "families"));
@@ -423,6 +547,7 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("serve") => serve(&args[1..]),
         Some("query") => one_shot(&args[1..]),
+        Some("compact") => compact(&args[1..]),
         Some("metrics") => metrics(&args[1..]),
         Some("families") if args.len() == 1 => families(),
         Some("--help" | "-h" | "help") => {

@@ -227,7 +227,17 @@ impl ResultCache {
     /// can reject planar graphs (the Claim 10 refutation), so its
     /// rejects are per-seed observations like accepts, never
     /// seed-universal proofs.
-    pub fn insert(&mut self, key: &CacheKey, seed: u64, outcome: &Outcome, certifiable: bool) {
+    ///
+    /// Returns whether this call formed a **new** certificate — the
+    /// scheduler's signal to append it to the durable write-ahead log
+    /// (see [`crate::persist`]).
+    pub fn insert(
+        &mut self,
+        key: &CacheKey,
+        seed: u64,
+        outcome: &Outcome,
+        certifiable: bool,
+    ) -> bool {
         let seed = Self::seed_axis(key.property, seed);
         let slot_key = Self::slot_key(key);
         let slot = match self.slots.entry(slot_key) {
@@ -242,10 +252,52 @@ impl ResultCache {
             });
             self.lru.insert(self.tick, (slot_key, seed));
         }
+        let mut certified = false;
         if certifiable && !outcome.accepted() && slot.certificate.is_none() {
             slot.certificate = Some((seed, outcome.clone()));
+            certified = true;
         }
         self.evict_over_capacity();
+        certified
+    }
+
+    /// Installs a certificate replayed from the durable log **without**
+    /// touching the hit/miss counters, the LRU, or the per-seed
+    /// stripes: a replay restores knowledge, it is not traffic. First
+    /// record wins (matching the in-memory first-reject-wins rule), so
+    /// replaying a non-compacted log with duplicates is idempotent.
+    /// Returns whether the certificate was installed.
+    pub fn load_certificate(&mut self, key: &CacheKey, seed: u64, outcome: Outcome) -> bool {
+        let seed = Self::seed_axis(key.property, seed);
+        let slot = match self.slots.entry(Self::slot_key(key)) {
+            MapEntry::Occupied(e) => e.into_mut(),
+            MapEntry::Vacant(e) => e.insert(CacheSlot::default()),
+        };
+        if slot.certificate.is_some() {
+            return false;
+        }
+        slot.certificate = Some((seed, outcome));
+        true
+    }
+
+    /// Iterates over every resident certificate — the live state an
+    /// offline compaction rewrites the log from.
+    pub fn certificates(&self) -> impl Iterator<Item = (CacheKey, u64, &Outcome)> + '_ {
+        self.slots
+            .iter()
+            .filter_map(|(&(graph, config, property), slot)| {
+                slot.certificate.as_ref().map(|(seed, outcome)| {
+                    (
+                        CacheKey {
+                            graph: Fingerprint(graph),
+                            config: Fingerprint(config),
+                            property,
+                        },
+                        *seed,
+                        outcome,
+                    )
+                })
+            })
     }
 
     /// Hit/miss counters since construction (or the last [`clear`](Self::clear)).
@@ -435,6 +487,39 @@ mod tests {
         // stripe goes.
         cache.set_accept_capacity(0);
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn insert_reports_new_certificates_and_replay_is_silent() {
+        let mut cache = ResultCache::new();
+        let k = key(Property::Planarity);
+        assert!(
+            !cache.insert(&k, 1, &outcome(true), true),
+            "accepts never certify"
+        );
+        assert!(
+            cache.insert(&k, 2, &outcome(false), true),
+            "first reject certifies"
+        );
+        assert!(
+            !cache.insert(&k, 3, &outcome(false), true),
+            "only the first"
+        );
+        assert_eq!(cache.certificates().count(), 1);
+        let (ck, seed, o) = cache.certificates().next().unwrap();
+        assert_eq!((ck, seed), (k, 2));
+        assert!(!o.accepted());
+
+        // Replaying into a fresh cache: certificate hits work, stats
+        // and LRU stay untouched.
+        let mut cold = ResultCache::new();
+        assert!(cold.load_certificate(&k, 2, o.clone()));
+        assert!(!cold.load_certificate(&k, 9, outcome(false)), "first wins");
+        assert_eq!(cold.stats(), CacheStats::default());
+        assert_eq!(cold.accept_stripes(), 0);
+        let (_, status, seed) = cold.lookup(&k, 42).unwrap();
+        assert_eq!(status, CacheStatus::Certificate);
+        assert_eq!(seed, 2);
     }
 
     #[test]

@@ -28,6 +28,8 @@ pub enum ServiceError {
     Spec(SpecError),
     /// The underlying engine pass failed (infrastructure, not verdict).
     Engine(CoreError),
+    /// The persistence tier failed (CSR spill, certificate log).
+    Persist(crate::persist::PersistError),
 }
 
 impl fmt::Display for ServiceError {
@@ -42,6 +44,7 @@ impl fmt::Display for ServiceError {
             ServiceError::EdgeList(e) => write!(f, "edge list: {e}"),
             ServiceError::Spec(e) => write!(f, "generator spec: {e}"),
             ServiceError::Engine(e) => write!(f, "engine: {e}"),
+            ServiceError::Persist(e) => write!(f, "persistence: {e}"),
         }
     }
 }
@@ -52,6 +55,7 @@ impl std::error::Error for ServiceError {
             ServiceError::EdgeList(e) => Some(e),
             ServiceError::Spec(e) => Some(e),
             ServiceError::Engine(e) => Some(e),
+            ServiceError::Persist(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +64,12 @@ impl std::error::Error for ServiceError {
 impl From<CoreError> for ServiceError {
     fn from(e: CoreError) -> Self {
         ServiceError::Engine(e)
+    }
+}
+
+impl From<crate::persist::PersistError> for ServiceError {
+    fn from(e: crate::persist::PersistError) -> Self {
+        ServiceError::Persist(e)
     }
 }
 

@@ -18,6 +18,14 @@
 //!   permanently, witness included, replayed for any seed), **accepts
 //!   are per-seed Monte-Carlo evidence** (warm hits only for seeds that
 //!   ran). Replays are bit-identical to the original engine pass.
+//! * [`persist::CertificateLog`] — the durability tier (opt-in via
+//!   [`Service::set_state_dir`](scheduler::Service::set_state_dir)):
+//!   graphs write through to relocatable on-disk CSR spills
+//!   ([`planartest_graph::disk`]) and re-map zero-copy on restart,
+//!   with LRU demotion bounding the resident heap tier; reject
+//!   certificates append to a crash-tolerant write-ahead log and
+//!   replay into the cache cold — a restarted server answers every
+//!   previously-certified query without an engine pass.
 //! * [`scheduler::Service`] — the batch-coalescing scheduler.
 //!   [`Service::drain`] resolves, groups, executes and responds in
 //!   four decoupled stages: same-key queries ride **one**
@@ -70,6 +78,7 @@
 pub mod cache;
 mod error;
 mod exec;
+pub mod persist;
 pub mod protocol;
 mod query;
 pub mod registry;
@@ -80,10 +89,13 @@ pub mod wire;
 
 pub use crate::cache::{CacheKey, CacheStats, ResultCache};
 pub use crate::error::ServiceError;
+pub use crate::persist::{CertificateLog, CertificateRecord, PersistError, Replay};
 pub use crate::query::{
     CacheStatus, GraphRef, Outcome, ParsePropertyError, Property, Query, QueryId, QueryResponse,
 };
 pub use crate::registry::{GraphEntry, GraphRegistry};
-pub use crate::scheduler::{DrainedQuery, ServeOptions, Server, Service, ServiceStats};
+pub use crate::scheduler::{
+    DrainedQuery, ServeOptions, Server, Service, ServiceStats, StateSummary,
+};
 pub use crate::telemetry::{Clock, Histogram, MockClock, StageTimes, Telemetry, WakeReason};
 pub use crate::transport::{ConnectionId, Connections, Submission, SubmissionQueue};

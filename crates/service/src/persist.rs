@@ -1,0 +1,660 @@
+//! Durable state: the reject-certificate write-ahead log.
+//!
+//! The cache's retention policy (see [`crate::cache`]) makes rejects
+//! the *permanent* half of the result space: one-sided error turns any
+//! reject into a proof that is replayable for every seed, forever.
+//! This module makes "forever" outlive the process. Certificates are
+//! appended to a write-ahead log — one LDJSON record per certificate,
+//! full-fidelity outcome included — and replayed into the cache on
+//! startup, so a cold restart answers known-non-planar graphs without
+//! a single engine pass. Accept stripes are deliberately *not* logged:
+//! they are per-seed Monte-Carlo evidence behind an LRU, and spilling
+//! evidence that may be evicted anyway buys nothing.
+//!
+//! # Record schema
+//!
+//! ```json
+//! {"v":1,"graph":"<32-hex>","config":"<32-hex>","property":"planarity",
+//!  "seed":7,"outcome":{"kind":"planarity","rejections":[...],
+//!  "stats":{...},"phases":[...],"parts":[...],"witnesses":[...]}}
+//! ```
+//!
+//! The outcome payload round-trips every field of
+//! [`Outcome`] — verdicts, witnesses, the statistics ledger, Stage-I
+//! phase metrics and Stage-II part reports — so a replayed certificate
+//! is bit-identical to the original engine pass, exactly like an
+//! in-memory certificate hit.
+//!
+//! # Crash safety
+//!
+//! Appends are a single `write` of one newline-terminated line
+//! followed by `fdatasync`. A crash mid-append leaves a partial tail
+//! record; [`CertificateLog::open`] detects it (no terminating
+//! newline), counts it in [`Replay::skipped`], and truncates it away
+//! so the next append starts on a clean boundary. Malformed complete
+//! lines (e.g. torn by an external editor) are likewise skipped and
+//! counted, never panicked on. [`CertificateLog::compact`] rewrites
+//! the log from live cache state through a temp-file + rename, so a
+//! crash mid-compaction leaves either the old log or the new one,
+//! never a mix.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use planartest_core::applications::HereditaryOutcome;
+use planartest_core::{RejectReason, TestOutcome};
+use planartest_graph::disk::DiskError;
+use planartest_graph::fingerprint::Fingerprint;
+use planartest_graph::NodeId;
+use planartest_sim::SimStats;
+
+use crate::cache::CacheKey;
+use crate::query::{Outcome, Property};
+use crate::wire::Value;
+
+/// Errors from the persistence tier (certificate log and CSR spill).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An I/O failure, with the failing operation's context.
+    Io(String),
+    /// A record failed structural validation (`what` names the field).
+    Corrupt(&'static str),
+    /// A CSR spill or mapped load failed.
+    Disk(DiskError),
+    /// A persistence operation needs `--state-dir` and none is set.
+    NoStateDir,
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o: {e}"),
+            PersistError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            PersistError::Disk(e) => write!(f, "csr spill: {e}"),
+            PersistError::NoStateDir => f.write_str("no --state-dir configured"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Disk(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for PersistError {
+    fn from(e: io::Error) -> Self {
+        PersistError::Io(e.to_string())
+    }
+}
+
+impl From<DiskError> for PersistError {
+    fn from(e: DiskError) -> Self {
+        PersistError::Disk(e)
+    }
+}
+
+/// One durable reject certificate: the cache key, the certifying seed
+/// and the full-fidelity outcome of the certifying run.
+#[derive(Debug, Clone)]
+pub struct CertificateRecord {
+    /// The `(graph, config, property)` cache key.
+    pub key: CacheKey,
+    /// The seed of the certifying run (replays are stamped with it).
+    pub seed: u64,
+    /// The certifying run's outcome, witnesses and statistics included.
+    pub outcome: Outcome,
+}
+
+// ---------------------------------------------------------------------
+// Outcome ⇄ Value codec
+// ---------------------------------------------------------------------
+
+fn reason_name(r: RejectReason) -> &'static str {
+    match r {
+        RejectReason::ArboricityEvidence => "arboricity",
+        RejectReason::EulerBound => "euler",
+        RejectReason::EmbeddingFailed => "embedding",
+        RejectReason::ViolatingEdge => "violating",
+    }
+}
+
+fn reason_from(name: &str) -> Result<RejectReason, PersistError> {
+    match name {
+        "arboricity" => Ok(RejectReason::ArboricityEvidence),
+        "euler" => Ok(RejectReason::EulerBound),
+        "embedding" => Ok(RejectReason::EmbeddingFailed),
+        "violating" => Ok(RejectReason::ViolatingEdge),
+        _ => Err(PersistError::Corrupt("reject reason")),
+    }
+}
+
+fn stats_to_value(s: &SimStats) -> Value {
+    Value::obj()
+        .field("rounds", s.rounds)
+        .field("charged_rounds", s.charged_rounds)
+        .field("messages", s.messages)
+        .field("words", s.words)
+        .field("runs", s.runs)
+}
+
+fn need<'v>(v: &'v Value, key: &'static str) -> Result<&'v Value, PersistError> {
+    v.get(key).ok_or(PersistError::Corrupt(key))
+}
+
+fn need_u64(v: &Value, key: &'static str) -> Result<u64, PersistError> {
+    need(v, key)?.as_u64().ok_or(PersistError::Corrupt(key))
+}
+
+fn need_usize(v: &Value, key: &'static str) -> Result<usize, PersistError> {
+    usize::try_from(need_u64(v, key)?).map_err(|_| PersistError::Corrupt(key))
+}
+
+fn need_arr<'v>(v: &'v Value, key: &'static str) -> Result<&'v [Value], PersistError> {
+    need(v, key)?.as_arr().ok_or(PersistError::Corrupt(key))
+}
+
+fn need_str<'v>(v: &'v Value, key: &'static str) -> Result<&'v str, PersistError> {
+    need(v, key)?.as_str().ok_or(PersistError::Corrupt(key))
+}
+
+fn node_from(v: &Value, what: &'static str) -> Result<NodeId, PersistError> {
+    let raw = v.as_u64().ok_or(PersistError::Corrupt(what))?;
+    let index = usize::try_from(raw).map_err(|_| PersistError::Corrupt(what))?;
+    if index > u32::MAX as usize {
+        return Err(PersistError::Corrupt(what));
+    }
+    Ok(NodeId::new(index))
+}
+
+fn stats_from_value(v: &Value) -> Result<SimStats, PersistError> {
+    Ok(SimStats {
+        rounds: need_u64(v, "rounds")?,
+        charged_rounds: need_u64(v, "charged_rounds")?,
+        messages: need_u64(v, "messages")?,
+        words: need_u64(v, "words")?,
+        runs: need_u64(v, "runs")?,
+    })
+}
+
+/// Serializes an outcome with full fidelity (every field round-trips).
+#[must_use]
+pub fn outcome_to_value(outcome: &Outcome) -> Value {
+    match outcome {
+        Outcome::Planarity(o) => Value::obj()
+            .field("kind", "planarity")
+            .field(
+                "rejections",
+                o.rejections
+                    .iter()
+                    .map(|&(node, reason)| {
+                        Value::obj()
+                            .field("node", node.index())
+                            .field("reason", reason_name(reason))
+                    })
+                    .collect::<Vec<Value>>(),
+            )
+            .field("stats", stats_to_value(&o.stats))
+            .field(
+                "phases",
+                o.phases
+                    .iter()
+                    .map(|p| {
+                        Value::obj()
+                            .field("phase", p.phase)
+                            .field("cut_weight", p.cut_weight)
+                            .field("parts", p.parts)
+                            .field("max_depth", p.max_depth as u64)
+                            .field("peel_super_rounds", p.peel_super_rounds as u64)
+                    })
+                    .collect::<Vec<Value>>(),
+            )
+            .field(
+                "parts",
+                o.parts
+                    .iter()
+                    .map(|p| {
+                        Value::obj()
+                            .field("root", p.root.index())
+                            .field("n", p.n)
+                            .field("m", p.m)
+                            .field("non_tree", p.non_tree)
+                            .field("embedded_planar", p.embedded_planar)
+                            .field("sampled", p.sampled)
+                    })
+                    .collect::<Vec<Value>>(),
+            )
+            .field(
+                "witnesses",
+                o.violation_witnesses
+                    .iter()
+                    .map(|w| Value::UInt(w.index() as u64))
+                    .collect::<Vec<Value>>(),
+            ),
+        Outcome::Hereditary { outcome, stats } => Value::obj()
+            .field("kind", "hereditary")
+            .field(
+                "rejecting",
+                outcome
+                    .rejecting
+                    .iter()
+                    .map(|w| Value::UInt(w.index() as u64))
+                    .collect::<Vec<Value>>(),
+            )
+            .field("parts", outcome.parts)
+            .field("stats", stats_to_value(stats)),
+    }
+}
+
+/// Deserializes an outcome; every structural defect is a typed
+/// [`PersistError::Corrupt`], never a panic.
+pub fn outcome_from_value(v: &Value) -> Result<Outcome, PersistError> {
+    match need_str(v, "kind")? {
+        "planarity" => {
+            let mut rejections = Vec::new();
+            for r in need_arr(v, "rejections")? {
+                rejections.push((
+                    node_from(need(r, "node")?, "node")?,
+                    reason_from(need_str(r, "reason")?)?,
+                ));
+            }
+            let stats = stats_from_value(need(v, "stats")?)?;
+            let mut phases = Vec::new();
+            for p in need_arr(v, "phases")? {
+                let depth = need_u64(p, "max_depth")?;
+                let peel = need_u64(p, "peel_super_rounds")?;
+                phases.push(planartest_core::partition::PhaseMetrics {
+                    phase: need_usize(p, "phase")?,
+                    cut_weight: need_u64(p, "cut_weight")?,
+                    parts: need_usize(p, "parts")?,
+                    max_depth: u32::try_from(depth)
+                        .map_err(|_| PersistError::Corrupt("max_depth"))?,
+                    peel_super_rounds: u32::try_from(peel)
+                        .map_err(|_| PersistError::Corrupt("peel_super_rounds"))?,
+                });
+            }
+            let mut parts = Vec::new();
+            for p in need_arr(v, "parts")? {
+                parts.push(planartest_core::stage2::PartReport {
+                    root: node_from(need(p, "root")?, "root")?,
+                    n: need_usize(p, "n")?,
+                    m: need_usize(p, "m")?,
+                    non_tree: need_usize(p, "non_tree")?,
+                    embedded_planar: need(p, "embedded_planar")?
+                        .as_bool()
+                        .ok_or(PersistError::Corrupt("embedded_planar"))?,
+                    sampled: need_usize(p, "sampled")?,
+                });
+            }
+            let mut violation_witnesses = Vec::new();
+            for w in need_arr(v, "witnesses")? {
+                violation_witnesses.push(node_from(w, "witness")?);
+            }
+            Ok(Outcome::Planarity(TestOutcome {
+                rejections,
+                stats,
+                phases,
+                parts,
+                violation_witnesses,
+            }))
+        }
+        "hereditary" => {
+            let mut rejecting = Vec::new();
+            for w in need_arr(v, "rejecting")? {
+                rejecting.push(node_from(w, "rejecting")?);
+            }
+            Ok(Outcome::Hereditary {
+                outcome: HereditaryOutcome {
+                    rejecting,
+                    parts: need_usize(v, "parts")?,
+                },
+                stats: stats_from_value(need(v, "stats")?)?,
+            })
+        }
+        _ => Err(PersistError::Corrupt("kind")),
+    }
+}
+
+/// Serializes one log record as a single-line JSON object.
+#[must_use]
+pub fn record_to_value(record: &CertificateRecord) -> Value {
+    Value::obj()
+        .field("v", 1u64)
+        .field("graph", record.key.graph.to_string())
+        .field("config", record.key.config.to_string())
+        .field("property", record.key.property.name())
+        .field("seed", record.seed)
+        .field("outcome", outcome_to_value(&record.outcome))
+}
+
+/// Deserializes one log record.
+///
+/// # Errors
+///
+/// [`PersistError::Corrupt`] naming the first bad field.
+pub fn record_from_value(v: &Value) -> Result<CertificateRecord, PersistError> {
+    if need_u64(v, "v")? != 1 {
+        return Err(PersistError::Corrupt("v"));
+    }
+    let graph: Fingerprint = need_str(v, "graph")?
+        .parse()
+        .map_err(|_| PersistError::Corrupt("graph"))?;
+    let config: Fingerprint = need_str(v, "config")?
+        .parse()
+        .map_err(|_| PersistError::Corrupt("config"))?;
+    let property: Property = need_str(v, "property")?
+        .parse()
+        .map_err(|_| PersistError::Corrupt("property"))?;
+    Ok(CertificateRecord {
+        key: CacheKey {
+            graph,
+            config,
+            property,
+        },
+        seed: need_u64(v, "seed")?,
+        outcome: outcome_from_value(need(v, "outcome")?)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// The log
+// ---------------------------------------------------------------------
+
+/// What [`CertificateLog::open`] recovered from an existing log.
+#[derive(Debug)]
+pub struct Replay {
+    /// Decoded records in append order (duplicates possible before
+    /// compaction; the cache's first-wins rule makes replay idempotent).
+    pub records: Vec<CertificateRecord>,
+    /// Partial tail records and malformed lines skipped — the counted
+    /// warning the crash-safety contract promises.
+    pub skipped: usize,
+}
+
+/// The append-only reject-certificate write-ahead log.
+#[derive(Debug)]
+pub struct CertificateLog {
+    path: PathBuf,
+    file: File,
+}
+
+impl CertificateLog {
+    /// Opens (creating if absent) the log at `path` and replays it.
+    ///
+    /// A partial tail record — the signature of a crash mid-append —
+    /// is counted in [`Replay::skipped`] and physically truncated so
+    /// the next append starts on a record boundary. Malformed complete
+    /// lines are skipped and counted, never fatal.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures opening or reading the log.
+    pub fn open(path: &Path) -> Result<(CertificateLog, Replay), PersistError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        // Everything after the last newline is a torn append.
+        let valid_len = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+        let mut skipped = usize::from(valid_len < bytes.len());
+        let mut records = Vec::new();
+        let text = String::from_utf8_lossy(&bytes[..valid_len]);
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            match Value::parse(line)
+                .map_err(|_| PersistError::Corrupt("json"))
+                .and_then(|v| record_from_value(&v))
+            {
+                Ok(r) => records.push(r),
+                Err(_) => skipped += 1,
+            }
+        }
+        let file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        if (valid_len as u64) < file.metadata()?.len() {
+            file.set_len(valid_len as u64)?;
+        }
+        Ok((
+            CertificateLog {
+                path: path.to_path_buf(),
+                file,
+            },
+            Replay { records, skipped },
+        ))
+    }
+
+    /// The log's location on disk.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record durably (single write + `fdatasync`).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures; the log is safe to keep using (a torn line is
+    /// skipped by the next replay).
+    pub fn append(&mut self, record: &CertificateRecord) -> Result<(), PersistError> {
+        let mut line = record_to_value(record).to_string();
+        line.push('\n');
+        self.file.write_all(line.as_bytes())?;
+        self.file.sync_data()?;
+        Ok(())
+    }
+
+    /// Rewrites the log to exactly `live`, dropping duplicates and torn
+    /// garbage. Atomic: temp file + rename, so a crash mid-compaction
+    /// leaves the old log intact. Returns the record count written.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures (the original log is untouched on error).
+    pub fn compact<'a>(
+        &mut self,
+        live: impl Iterator<Item = CertificateRecord> + 'a,
+    ) -> Result<usize, PersistError> {
+        let tmp_path = self.path.with_extension("ldjson.tmp");
+        let mut written = 0usize;
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            for record in live {
+                let mut line = record_to_value(&record).to_string();
+                line.push('\n');
+                tmp.write_all(line.as_bytes())?;
+                written += 1;
+            }
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .open(&self.path)?;
+        Ok(written)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn planarity_outcome() -> Outcome {
+        Outcome::Planarity(TestOutcome {
+            rejections: vec![
+                (NodeId::new(3), RejectReason::EulerBound),
+                (NodeId::new(9), RejectReason::ViolatingEdge),
+            ],
+            stats: SimStats {
+                rounds: 41,
+                charged_rounds: 7,
+                messages: 1234,
+                words: 5678,
+                runs: 3,
+            },
+            phases: vec![planartest_core::partition::PhaseMetrics {
+                phase: 1,
+                cut_weight: 99,
+                parts: 4,
+                max_depth: 6,
+                peel_super_rounds: 2,
+            }],
+            parts: vec![planartest_core::stage2::PartReport {
+                root: NodeId::new(0),
+                n: 10,
+                m: 22,
+                non_tree: 13,
+                embedded_planar: false,
+                sampled: 5,
+            }],
+            violation_witnesses: vec![NodeId::new(2), NodeId::new(8)],
+        })
+    }
+
+    fn hereditary_outcome() -> Outcome {
+        Outcome::Hereditary {
+            outcome: HereditaryOutcome {
+                rejecting: vec![NodeId::new(1)],
+                parts: 7,
+            },
+            stats: SimStats {
+                rounds: 5,
+                charged_rounds: 0,
+                messages: 10,
+                words: 20,
+                runs: 1,
+            },
+        }
+    }
+
+    fn record(seed: u64, outcome: Outcome) -> CertificateRecord {
+        CertificateRecord {
+            key: CacheKey {
+                graph: Fingerprint(0xDEAD_BEEF),
+                config: Fingerprint(0xCAFE),
+                property: Property::Planarity,
+            },
+            seed,
+            outcome,
+        }
+    }
+
+    #[test]
+    fn records_roundtrip_bit_identically() {
+        for outcome in [planarity_outcome(), hereditary_outcome()] {
+            let rec = record(7, outcome);
+            let encoded = record_to_value(&rec);
+            let decoded = record_from_value(&encoded).expect("decode");
+            assert_eq!(decoded.key, rec.key);
+            assert_eq!(decoded.seed, rec.seed);
+            // Outcome carries no PartialEq; re-encoding proves fidelity.
+            assert_eq!(
+                outcome_to_value(&decoded.outcome),
+                encoded.get("outcome").cloned().unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_fields_are_typed_errors() {
+        let good = record_to_value(&record(1, hereditary_outcome()));
+        // Wrong version, bad fingerprint, bad property, bad kind.
+        for (mutate, what) in [
+            (good.clone().field("v", 9u64), "v"),
+            (good.clone().field("graph", "zz"), "graph"),
+            (good.clone().field("property", "girth"), "property"),
+            (
+                good.clone()
+                    .field("outcome", Value::obj().field("kind", "warp")),
+                "kind",
+            ),
+        ] {
+            let err = record_from_value(&mutate).map(|_| ()).unwrap_err();
+            assert_eq!(err, PersistError::Corrupt(what), "{what}");
+        }
+        assert!(record_from_value(&Value::obj()).is_err());
+    }
+
+    #[test]
+    fn log_appends_and_replays() {
+        let dir = std::env::temp_dir().join(format!("pt_wal_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("certificates.ldjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, replay) = CertificateLog::open(&path).unwrap();
+            assert!(replay.records.is_empty());
+            assert_eq!(replay.skipped, 0);
+            log.append(&record(1, planarity_outcome())).unwrap();
+            log.append(&record(2, hereditary_outcome())).unwrap();
+        }
+        let (_, replay) = CertificateLog::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.records[0].seed, 1);
+        assert_eq!(replay.records[1].seed, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_skipped_counted_and_truncated() {
+        let dir = std::env::temp_dir().join(format!("pt_wal_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("certificates.ldjson");
+        let _ = std::fs::remove_file(&path);
+        {
+            let (mut log, _) = CertificateLog::open(&path).unwrap();
+            log.append(&record(1, hereditary_outcome())).unwrap();
+            log.append(&record(2, hereditary_outcome())).unwrap();
+        }
+        // Simulate a crash mid-append: chop the file mid-record.
+        let bytes = std::fs::read(&path).unwrap();
+        let cut = bytes.len() - 10;
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        let (mut log, replay) = CertificateLog::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1, "only the intact record survives");
+        assert_eq!(replay.skipped, 1, "the torn tail is a counted warning");
+        // The torn bytes are gone: a new append lands on a clean line.
+        log.append(&record(3, hereditary_outcome())).unwrap();
+        let (_, replay) = CertificateLog::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        assert_eq!(replay.skipped, 0);
+        assert_eq!(replay.records[1].seed, 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_duplicates_atomically() {
+        let dir = std::env::temp_dir().join(format!("pt_wal_compact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("certificates.ldjson");
+        let _ = std::fs::remove_file(&path);
+        let (mut log, _) = CertificateLog::open(&path).unwrap();
+        for _ in 0..5 {
+            log.append(&record(1, hereditary_outcome())).unwrap();
+        }
+        let written = log
+            .compact(std::iter::once(record(1, hereditary_outcome())))
+            .unwrap();
+        assert_eq!(written, 1);
+        let (mut log, replay) = CertificateLog::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        // The append handle survived compaction.
+        log.append(&record(9, hereditary_outcome())).unwrap();
+        let (_, replay) = CertificateLog::open(&path).unwrap();
+        assert_eq!(replay.records.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -15,7 +15,7 @@
 //!
 //! | op | fields | effect |
 //! |----|--------|--------|
-//! | `ingest` | `name`, and `edge_list` *or* `spec` | register a graph, build + fingerprint once |
+//! | `ingest` | `name`, and `edge_list` *or* `spec`; `to_disk?` | register a graph, build + fingerprint once (`to_disk` streams it straight to the `--state-dir` CSR spill, registered mapped) |
 //! | `query` | `graph` (name) or `fingerprint`, `property?`, `epsilon?`, `seed?`, `phases?`, `backend?`, `embedding?` | test one property, cache-aware |
 //! | `batch` | `queries`: array of query objects | coalesced drain: same-graph queries share engine passes |
 //! | `stats` | — | registry/cache/scheduler counters, queue depth, uptime, wake reasons |
@@ -219,12 +219,24 @@ fn handle_ingest(service: &mut Service, req: &Value) -> Value {
     let Some(name) = req.get("name").and_then(Value::as_str) else {
         return error("`ingest` needs a string `name`");
     };
+    // `to_disk` routes the ingest through the streaming out-of-core
+    // builder (needs `--state-dir`): edges go straight to the CSR
+    // spill and the entry is registered mapped, never resident.
+    let to_disk = match req.get("to_disk") {
+        None => false,
+        Some(v) => match v.as_bool() {
+            Some(b) => b,
+            None => return error("`to_disk` must be a boolean"),
+        },
+    };
     let result = match (req.get("edge_list"), req.get("spec")) {
         (Some(text), None) => match text.as_str() {
+            Some(text) if to_disk => service.registry_mut().ingest_edge_list_to_disk(name, text),
             Some(text) => service.registry_mut().ingest_edge_list(name, text),
             None => return error("`edge_list` must be a string document"),
         },
         (None, Some(text)) => match text.as_str() {
+            Some(text) if to_disk => service.registry_mut().ingest_spec_to_disk(name, text),
             Some(text) => service.registry_mut().ingest_spec(name, text),
             None => return error("`spec` must be a string"),
         },
@@ -237,6 +249,14 @@ fn handle_ingest(service: &mut Service, req: &Value) -> Value {
             .field("fingerprint", entry.fingerprint.to_string())
             .field("n", entry.graph.n())
             .field("m", entry.graph.m())
+            .field(
+                "tier",
+                if entry.graph.is_mapped() {
+                    "mapped"
+                } else {
+                    "resident"
+                },
+            )
             .field("source", entry.source.as_str())
             .field(
                 "certified",
@@ -311,6 +331,8 @@ fn handle_stats(service: &Service) -> Value {
     Value::obj()
         .field("ok", true)
         .field("graphs", s.graphs)
+        .field("resident_graphs", s.resident_graphs)
+        .field("mapped_graphs", s.mapped_graphs)
         .field("cache_slots", s.cache_slots)
         .field("cached_outcomes", s.cached_outcomes)
         .field("warm_hits", s.cache.warm_hits)
@@ -518,6 +540,49 @@ mod tests {
             r.get("families").unwrap().as_arr().unwrap().len(),
             spec::families().len()
         );
+    }
+
+    #[test]
+    fn to_disk_ingest_registers_mapped_and_reports_tier() {
+        let dir = std::env::temp_dir().join(format!("pt_proto_disk_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = Service::new();
+        s.set_state_dir(&dir).unwrap();
+        let r = handle_request(
+            &mut s,
+            &Value::obj()
+                .field("op", "ingest")
+                .field("name", "big")
+                .field("spec", "grid(40,40)")
+                .field("to_disk", true),
+        );
+        assert_eq!(r.get("ok").unwrap().as_bool(), Some(true), "{r}");
+        assert_eq!(r.get("tier").unwrap().as_str(), Some("mapped"));
+        let stats = handle_line(&mut s, "{\"op\":\"stats\"}");
+        assert_eq!(stats.get("mapped_graphs").unwrap().as_u64(), Some(1));
+        assert_eq!(stats.get("resident_graphs").unwrap().as_u64(), Some(0));
+        // Mapped graphs serve queries through the same engine path.
+        let q = handle_line(
+            &mut s,
+            &Value::obj()
+                .field("op", "query")
+                .field("graph", "big")
+                .field("epsilon", 0.2)
+                .field("phases", 5u64)
+                .to_string(),
+        );
+        assert_eq!(q.get("verdict").unwrap().as_str(), Some("accept"));
+        // Without a state dir the flag is a typed error response.
+        let bare = handle_request(
+            &mut Service::new(),
+            &Value::obj()
+                .field("op", "ingest")
+                .field("name", "x")
+                .field("spec", "grid(3,3)")
+                .field("to_disk", true),
+        );
+        assert_eq!(bare.get("ok").unwrap().as_bool(), Some(false));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

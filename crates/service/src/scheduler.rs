@@ -33,7 +33,6 @@
 use std::collections::HashMap;
 use std::io;
 use std::net::SocketAddr;
-#[cfg(unix)]
 use std::path::Path;
 use std::sync::Arc;
 use std::thread;
@@ -44,6 +43,7 @@ use planartest_sim::TrialRunner;
 use crate::cache::{CacheKey, ResultCache};
 use crate::error::ServiceError;
 use crate::exec::{execute_groups, Group, GroupPass};
+use crate::persist::{CertificateLog, CertificateRecord};
 use crate::protocol;
 use crate::query::{CacheStatus, Outcome, Property, Query, QueryId, QueryResponse};
 use crate::registry::GraphRegistry;
@@ -60,8 +60,12 @@ pub type DrainedQuery = (QueryId, Result<QueryResponse, ServiceError>);
 /// Aggregate service telemetry (the `stats` wire op).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceStats {
-    /// Distinct resident graphs.
+    /// Distinct registered graphs (both tiers).
     pub graphs: usize,
+    /// Graphs in the hot heap-CSR tier.
+    pub resident_graphs: usize,
+    /// Graphs served zero-copy from the mmap spill tier.
+    pub mapped_graphs: usize,
     /// `(graph, config, property)` cache slots.
     pub cache_slots: usize,
     /// Stored per-seed outcomes across all slots.
@@ -87,6 +91,20 @@ pub struct ServiceStats {
     /// Drain-loop wake reason counts: `[depth, linger, control,
     /// shutdown]`.
     pub wake: [u64; 4],
+}
+
+/// What [`Service::set_state_dir`] restored from a durable state
+/// directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StateSummary {
+    /// Graphs re-mapped from CSR spills (zero-copy, no rebuild).
+    pub graphs_restored: usize,
+    /// Reject certificates replayed from the write-ahead log into the
+    /// result cache.
+    pub certificates_replayed: usize,
+    /// Log lines skipped during replay: a torn tail from a crash
+    /// mid-append (truncated away) plus any malformed records.
+    pub tail_skipped: usize,
 }
 
 /// A pending query as the scheduler sees it after resolution.
@@ -131,6 +149,10 @@ pub struct Service {
     /// The submission queue this service drains, when server-hosted —
     /// lets `stats` report live queue depth.
     bound_queue: Option<Arc<SubmissionQueue>>,
+    /// The reject-certificate write-ahead log, when a state directory
+    /// is attached. Every *newly formed* certificate is appended
+    /// (fsync'd) before its response goes out.
+    state_log: Option<CertificateLog>,
 }
 
 impl Default for Service {
@@ -145,6 +167,7 @@ impl Default for Service {
             runner: TrialRunner::new(1),
             telemetry: Arc::new(Telemetry::default()),
             bound_queue: None,
+            state_log: None,
         }
     }
 }
@@ -205,6 +228,75 @@ impl Service {
         self.cache.set_accept_capacity(capacity);
     }
 
+    /// Attaches a durable state directory and restores everything in
+    /// it: graphs re-map zero-copy from their CSR spills, and reject
+    /// certificates replay from the write-ahead log into the cache —
+    /// a cold restart answers every previously-certified query without
+    /// a single engine pass. From here on, ingests write through to
+    /// disk and newly formed certificates are appended (fsync'd) to
+    /// the log.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures creating the directory layout or opening the log.
+    /// Torn or malformed log records are *not* errors — they are
+    /// counted in [`StateSummary::tail_skipped`] and truncated away.
+    pub fn set_state_dir(&mut self, dir: &Path) -> Result<StateSummary, ServiceError> {
+        let graphs_restored = self.registry.set_state_dir(dir)?;
+        let (log, replay) = CertificateLog::open(&dir.join("certificates.ldjson"))?;
+        let mut certificates_replayed = 0usize;
+        for record in replay.records {
+            if self
+                .cache
+                .load_certificate(&record.key, record.seed, record.outcome)
+            {
+                certificates_replayed += 1;
+            }
+        }
+        self.state_log = Some(log);
+        Ok(StateSummary {
+            graphs_restored,
+            certificates_replayed,
+            tail_skipped: replay.skipped,
+        })
+    }
+
+    /// Builder form of [`set_state_dir`](Self::set_state_dir),
+    /// discarding the restore summary.
+    ///
+    /// # Errors
+    ///
+    /// See [`set_state_dir`](Self::set_state_dir).
+    pub fn with_state_dir(mut self, dir: &Path) -> Result<Self, ServiceError> {
+        self.set_state_dir(dir)?;
+        Ok(self)
+    }
+
+    /// Rewrites the certificate log to exactly the live certificate
+    /// set (dropping duplicates and torn garbage accumulated across
+    /// restarts), atomically. Returns the number of records written.
+    ///
+    /// # Errors
+    ///
+    /// [`crate::persist::PersistError::NoStateDir`] without a state
+    /// directory; I/O failures writing or swapping the compacted log.
+    pub fn compact_certificates(&mut self) -> Result<usize, ServiceError> {
+        let Some(log) = self.state_log.as_mut() else {
+            return Err(ServiceError::Persist(
+                crate::persist::PersistError::NoStateDir,
+            ));
+        };
+        let live = self
+            .cache
+            .certificates()
+            .map(|(key, seed, outcome)| CertificateRecord {
+                key,
+                seed,
+                outcome: outcome.clone(),
+            });
+        Ok(log.compact(live)?)
+    }
+
     /// The graph registry (immutable view).
     #[must_use]
     pub fn registry(&self) -> &GraphRegistry {
@@ -229,6 +321,8 @@ impl Service {
     pub fn stats(&self) -> ServiceStats {
         ServiceStats {
             graphs: self.registry.len(),
+            resident_graphs: self.registry.resident(),
+            mapped_graphs: self.registry.mapped(),
             cache_slots: self.cache.len(),
             cached_outcomes: self.cache.stored_outcomes(),
             cache: self.cache.stats(),
@@ -436,7 +530,22 @@ impl Service {
             planartest_core::EmbeddingMode::Demoucron
         );
         for (seed, outcome) in &by_seed {
-            self.cache.insert(&group.key, *seed, outcome, certifiable);
+            let formed = self.cache.insert(&group.key, *seed, outcome, certifiable);
+            // A newly formed certificate is durable before its response
+            // goes out. A log failure degrades durability, never
+            // availability: the query is still answered from memory.
+            if formed {
+                if let Some(log) = self.state_log.as_mut() {
+                    let record = CertificateRecord {
+                        key: group.key,
+                        seed: *seed,
+                        outcome: (*outcome).clone(),
+                    };
+                    if let Err(e) = log.append(&record) {
+                        eprintln!("planartest: certificate log append failed: {e}");
+                    }
+                }
+            }
         }
         let mut pass_stats = planartest_sim::SimStats::default();
         for (_, outcome) in &by_seed {
@@ -1021,6 +1130,62 @@ mod tests {
             assert_eq!(a.coalesced, b.coalesced);
             assert_eq!(a.seed, b.seed);
         }
+    }
+
+    #[test]
+    fn cold_restart_replays_certificates_without_engine_passes() {
+        let dir = std::env::temp_dir().join(format!("pt_sched_restart_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let q =
+            |seed: u64| Query::planarity(GraphRef::Name("far".into()), cfg(0.05).with_seed(seed));
+        let cold = {
+            let mut s = Service::new();
+            let summary = s.set_state_dir(&dir).unwrap();
+            assert_eq!(
+                summary,
+                StateSummary::default(),
+                "fresh dir restores nothing"
+            );
+            s.registry_mut().ingest_spec("far", "k5_chain(6)").unwrap();
+            let cold = s.query(q(1)).unwrap();
+            assert!(!cold.outcome.accepted());
+            assert_eq!(s.engine_passes(), 1);
+            cold
+        };
+        // Cold restart: the graph re-maps, the certificate replays, and
+        // the previously-certified query is answered with zero passes —
+        // for the certifying seed *and* for seeds that never ran.
+        let mut s = Service::new();
+        let summary = s.set_state_dir(&dir).unwrap();
+        assert_eq!(
+            summary,
+            StateSummary {
+                graphs_restored: 1,
+                certificates_replayed: 1,
+                tail_skipped: 0,
+            }
+        );
+        // Re-attaching is idempotent: everything is already live.
+        assert_eq!(s.set_state_dir(&dir).unwrap(), StateSummary::default());
+        assert_eq!(s.stats().mapped_graphs, 1);
+        let replayed = s.query(q(1)).unwrap();
+        assert_eq!(replayed.cache, CacheStatus::Certificate);
+        assert_eq!(
+            replayed.outcome.rejecting_nodes(),
+            cold.outcome.rejecting_nodes()
+        );
+        assert_eq!(replayed.outcome.stats(), cold.outcome.stats());
+        let fresh_seed = s.query(q(99)).unwrap();
+        assert_eq!(fresh_seed.cache, CacheStatus::Certificate);
+        assert_eq!(fresh_seed.seed, 1, "stamped with the certifying seed");
+        assert_eq!(s.engine_passes(), 0, "no engine work after restart");
+        // Compaction rewrites the log to exactly the live set.
+        assert_eq!(s.compact_certificates().unwrap(), 1);
+        assert!(matches!(
+            Service::new().compact_certificates(),
+            Err(ServiceError::Persist(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,0 +1,230 @@
+//! Crash-safety properties for the durable certificate log, driven on
+//! a deterministic mock clock.
+//!
+//! The write-ahead log's contract under crashes:
+//!
+//! * every `append` is one `write` + `sync_data` of a full LDJSON line,
+//!   so a crash mid-append can damage **at most the final line** — the
+//!   replay truncates the torn tail, counts it, and every earlier
+//!   record survives verbatim;
+//! * replay is first-wins and idempotent: duplicate records (the log is
+//!   append-only across cache clears) collapse to one certificate;
+//! * compaction is state-identical: restart → compact → restart serves
+//!   exactly the certificates the pre-compaction restart served, and
+//!   compacting twice yields the same record set.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use planartest_core::TesterConfig;
+use planartest_service::{CacheStatus, Clock, GraphRef, Query, Service, StateSummary};
+use proptest::prelude::*;
+
+/// Certified-far corpus: every member rejects at eps = 0.05, so every
+/// first query mints a durable certificate.
+const FAR_SPECS: &[&str] = &[
+    "k5_chain(4)",
+    "complete(8)",
+    "planar_plus_chords(16, 10, seed=2)",
+];
+
+/// The certifying seed — fixed, so recomputing a certificate after a
+/// cache clear appends a byte-identical duplicate record.
+const CERT_SEED: u64 = 5;
+
+fn cfg(seed: u64) -> TesterConfig {
+    TesterConfig::new(0.05).with_phases(4).with_seed(seed)
+}
+
+fn scratch_dir() -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let id = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "planartest-persist-prop-{}-{id}",
+        std::process::id()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A fresh service on a deterministic mock clock, attached to `dir`.
+fn revive(dir: &Path) -> (Service, StateSummary) {
+    let (clock, _handle) = Clock::mock(25);
+    let mut service = Service::new().with_clock(clock);
+    let summary = service.set_state_dir(dir).expect("attach state dir");
+    (service, summary)
+}
+
+fn ingest(service: &mut Service, spec_idx: usize) {
+    let name = format!("far{spec_idx}");
+    if service
+        .registry()
+        .resolve(&GraphRef::Name(name.clone()))
+        .is_err()
+    {
+        service
+            .registry_mut()
+            .ingest_spec(&name, FAR_SPECS[spec_idx])
+            .expect("corpus spec");
+    }
+}
+
+fn query(service: &mut Service, spec_idx: usize, seed: u64) -> (CacheStatus, bool, u64, u64, u64) {
+    let r = service
+        .query(Query::planarity(
+            GraphRef::Name(format!("far{spec_idx}")),
+            cfg(seed),
+        ))
+        .expect("query");
+    (
+        r.cache,
+        r.outcome.accepted(),
+        r.seed,
+        r.outcome.stats().total_rounds(),
+        r.outcome.stats().words,
+    )
+}
+
+fn sorted_log_lines(dir: &Path) -> Vec<String> {
+    let text = std::fs::read_to_string(dir.join("certificates.ldjson")).unwrap_or_default();
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tearing `t ∈ [0, 10)` bytes off the log tail (a crash mid-append)
+    /// loses at most the most recent record: replay counts exactly one
+    /// skipped tail when torn, every earlier certificate replays
+    /// bit-identically without an engine pass, and only the torn
+    /// certificate pays a recompute.
+    #[test]
+    fn torn_tail_loses_at_most_the_last_record(
+        order in prop::collection::vec(0..FAR_SPECS.len(), 1..7),
+        tear in 0usize..10,
+    ) {
+        let dir = scratch_dir();
+        let (mut service, summary) = revive(&dir);
+        prop_assert_eq!(summary, StateSummary::default());
+
+        // Cold pass: log lines appear in first-occurrence order of the
+        // specs; repeats are certificate hits and append nothing.
+        let mut appended: Vec<usize> = Vec::new();
+        let mut cold = vec![None; FAR_SPECS.len()];
+        for &idx in &order {
+            ingest(&mut service, idx);
+            let out = query(&mut service, idx, CERT_SEED);
+            prop_assert!(!out.1, "far corpus must reject");
+            if cold[idx].is_none() {
+                prop_assert_eq!(out.0, CacheStatus::Cold);
+                appended.push(idx);
+                cold[idx] = Some(out);
+            }
+        }
+        drop(service);
+
+        // Crash: tear the tail. Records are far longer than 10 bytes,
+        // so the tear damages only the final line (or nothing at t=0).
+        let log = dir.join("certificates.ldjson");
+        let bytes = std::fs::read(&log).expect("log exists");
+        std::fs::write(&log, &bytes[..bytes.len() - tear]).expect("tear tail");
+        let lost = if tear > 0 { appended.pop() } else { None };
+
+        let (mut revived, summary) = revive(&dir);
+        prop_assert_eq!(summary.graphs_restored, cold.iter().filter(|c| c.is_some()).count());
+        prop_assert_eq!(summary.certificates_replayed, appended.len());
+        prop_assert_eq!(summary.tail_skipped, usize::from(tear > 0));
+
+        // Survivors replay the certifying run bit for bit, engine-free.
+        for &idx in &appended {
+            let expected = cold[idx].expect("cold outcome recorded");
+            let got = query(&mut revived, idx, 777);
+            prop_assert_eq!(got.0, CacheStatus::Certificate);
+            prop_assert_eq!((got.1, got.2, got.3, got.4),
+                            (expected.1, expected.2, expected.3, expected.4));
+        }
+        prop_assert_eq!(revived.engine_passes(), 0, "replay must be engine-free");
+
+        // The torn certificate is gone durable-side: serving it again
+        // is a cold recompute (same verdict, new engine pass).
+        if let Some(idx) = lost {
+            let got = query(&mut revived, idx, CERT_SEED);
+            prop_assert_eq!(got.0, CacheStatus::Cold);
+            prop_assert!(!got.1);
+            prop_assert_eq!(revived.engine_passes(), 1);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Random ingest / evict / crash-restart schedules: cache clears
+    /// append duplicate records, crashes drop the in-memory tier, and
+    /// every restart replays the union of all certificates ever formed
+    /// — first-wins, engine-free, independent of the schedule.
+    /// Compaction then squeezes the duplicates out without changing the
+    /// replayed state, and is idempotent record-for-record.
+    #[test]
+    fn compaction_and_restart_are_state_identical(
+        schedule in prop::collection::vec((0..FAR_SPECS.len(), 0u8..3), 1..10),
+    ) {
+        let dir = scratch_dir();
+        let (mut service, _) = revive(&dir);
+        let mut certified: BTreeSet<usize> = BTreeSet::new();
+        let mut cold = vec![None; FAR_SPECS.len()];
+        for &(idx, op) in &schedule {
+            match op {
+                // Ingest + query: forms (or replays) a certificate.
+                0 | 1 => {
+                    ingest(&mut service, idx);
+                    let out = query(&mut service, idx, CERT_SEED);
+                    prop_assert!(!out.1);
+                    certified.insert(idx);
+                    if cold[idx].is_none() {
+                        cold[idx] = Some(out);
+                    }
+                }
+                // Evict: drops the in-memory tier only; the next query
+                // of an already-certified spec recomputes and appends a
+                // duplicate record (the log is append-only).
+                _ => service.clear_cache(),
+            }
+        }
+        drop(service); // crash
+
+        // Restart 1: the union of everything ever certified comes back.
+        let (mut first, s1) = revive(&dir);
+        prop_assert_eq!(s1.certificates_replayed, certified.len());
+        prop_assert_eq!(s1.tail_skipped, 0);
+        let baseline: Vec<_> = certified
+            .iter()
+            .map(|&idx| query(&mut first, idx, 901))
+            .collect();
+        prop_assert_eq!(first.engine_passes(), 0);
+
+        // Compact: duplicates collapse; one record per certificate.
+        let compacted = first.compact_certificates().expect("compact");
+        prop_assert_eq!(compacted, certified.len());
+        let lines_once = sorted_log_lines(&dir);
+        prop_assert_eq!(lines_once.len(), certified.len());
+        drop(first);
+
+        // Restart 2: state identical to the pre-compaction restart.
+        let (mut second, s2) = revive(&dir);
+        prop_assert_eq!(s2.certificates_replayed, certified.len());
+        prop_assert_eq!(s2.tail_skipped, 0);
+        for (&idx, expected) in certified.iter().zip(&baseline) {
+            let got = query(&mut second, idx, 901);
+            prop_assert_eq!(got.0, CacheStatus::Certificate);
+            prop_assert_eq!(&got, expected, "spec {} diverged after compaction", idx);
+        }
+        prop_assert_eq!(second.engine_passes(), 0);
+
+        // Compaction is idempotent on the record set.
+        let again = second.compact_certificates().expect("recompact");
+        prop_assert_eq!(again, certified.len());
+        prop_assert_eq!(sorted_log_lines(&dir), lines_once);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
