@@ -1,0 +1,41 @@
+//! E15 — open-loop load harness; writes `BENCH_load.json`.
+//!
+//! `--quick` forces CI-sized sweeps (same as setting
+//! `PLANARTEST_QUICK`); `--check` turns the gate into an exit code: a
+//! saturation knee must be located above the lowest sweep rate, p99
+//! end-to-end latency at the highest sub-knee rate must meet the SLO,
+//! the seeded sweep must reproduce bit-identically on a re-run, and no
+//! response may be lost.
+
+use planartest_bench::LoadGate;
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    if std::env::args().any(|a| a == "--quick") {
+        std::env::set_var("PLANARTEST_QUICK", "1");
+    }
+    let gate = planartest_bench::load_bench();
+    if check && !gate.pass() {
+        eprintln!(
+            "load gate FAILED: knee_detected {} (need a saturated rate above the \
+             lowest), sub-knee p99 {}us (SLO <= {}us at {:.0} q/s), deterministic \
+             {}, responses lost {} (need 0)",
+            gate.knee_detected,
+            gate.sub_knee_p99_micros,
+            LoadGate::P99_SLO_MICROS,
+            gate.sub_knee_offered_qps,
+            gate.deterministic,
+            gate.responses_lost,
+        );
+        std::process::exit(1);
+    }
+    if check {
+        println!(
+            "load gate passed: knee located, p99 {}us at the highest sub-knee \
+             rate ({:.0} q/s, SLO {}us), sweep reproducible, zero responses lost",
+            gate.sub_knee_p99_micros,
+            gate.sub_knee_offered_qps,
+            LoadGate::P99_SLO_MICROS,
+        );
+    }
+}

@@ -30,10 +30,15 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 pub mod json;
+mod load_bench;
 mod persist_bench;
 mod runtime_bench;
 mod service_load;
 
+pub use load_bench::{
+    build_workload, load_bench, load_bench_document, Arrival, LoadGate, OpKind, Workload,
+    CONNECTIONS, KNEE_FRACTION, LOAD_SEED,
+};
 pub use persist_bench::{persist_bench, persist_bench_document, PersistGate};
 pub use runtime_bench::{runtime_bench, runtime_bench_document, BenchGate};
 pub use service_load::{service_load, service_load_document, ServiceGate};

@@ -1,0 +1,164 @@
+//! Property tests for the open-loop load harness's deterministic
+//! samplers and workload construction (`e15_load`):
+//!
+//! * the Poisson arrival schedule is bit-identical under one seed,
+//!   strictly inside its horizon, monotone, and statistically sane
+//!   (mean gap near `1/rate` with generous slack);
+//! * the Zipf sampler's draw sequence is bit-identical under one
+//!   seed, its exact per-rank masses are strictly monotone decreasing,
+//!   and empirical draw frequencies are monotone in rank within
+//!   sampling slack;
+//! * the full workload build (arrival times × op mix × Zipf targets ×
+//!   connection assignment) reproduces bit-identically from
+//!   `(seed, rate, horizon)` — the contract `BENCH_load.json`'s
+//!   determinism section relies on.
+
+use planartest_bench::{build_workload, OpKind, CONNECTIONS};
+use planartest_sim::sampling::{PoissonArrivals, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    /// Same seed ⇒ bit-identical schedule; different seeds diverge
+    /// (with overwhelming probability — any schedule with at least a
+    /// few arrivals differs somewhere in its 53-bit gap fractions).
+    #[test]
+    fn poisson_schedule_is_seed_deterministic(
+        seed in 0u64..u64::MAX,
+        rate in 100.0f64..100_000.0,
+    ) {
+        let a = PoissonArrivals::schedule(seed, rate, 300_000);
+        let b = PoissonArrivals::schedule(seed, rate, 300_000);
+        prop_assert_eq!(&a, &b);
+        let other = PoissonArrivals::schedule(seed.wrapping_add(1), rate, 300_000);
+        if a.len() >= 4 && other.len() >= 4 {
+            prop_assert_ne!(a, other);
+        }
+    }
+
+    /// Every arrival is inside the horizon and the sequence is
+    /// monotone non-decreasing (cumulative exponential gaps).
+    #[test]
+    fn poisson_schedule_is_monotone_and_bounded(
+        seed in 0u64..u64::MAX,
+        rate in 50.0f64..50_000.0,
+        horizon in 10_000u64..500_000,
+    ) {
+        let s = PoissonArrivals::schedule(seed, rate, horizon);
+        prop_assert!(s.iter().all(|&t| t < horizon));
+        prop_assert!(s.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    /// The empirical mean inter-arrival gap tracks `1/rate`. With at
+    /// least 500 expected arrivals the sample mean of exponential
+    /// gaps is within a factor of [0.7, 1.4] of the true mean except
+    /// with negligible probability (sd/mean = 1/√n ≈ 4.5%).
+    #[test]
+    fn poisson_mean_gap_tracks_the_rate(
+        seed in 0u64..u64::MAX,
+        rate in 5_000.0f64..50_000.0,
+    ) {
+        let horizon = (500.0 * 1_000_000.0 / rate) as u64 * 2;
+        let s = PoissonArrivals::schedule(seed, rate, horizon);
+        prop_assert!(s.len() >= 500, "horizon sized for >=1000 expected arrivals");
+        let mean_gap = *s.last().unwrap() as f64 / s.len() as f64;
+        let expected = 1_000_000.0 / rate;
+        prop_assert!(
+            mean_gap > 0.7 * expected && mean_gap < 1.4 * expected,
+            "mean gap {mean_gap:.1}us vs expected {expected:.1}us over {} arrivals",
+            s.len()
+        );
+    }
+
+    /// Same seed ⇒ identical Zipf draw sequence; every draw in range.
+    #[test]
+    fn zipf_draws_are_seed_deterministic(
+        seed in 0u64..u64::MAX,
+        n in 1usize..64,
+        s in 0.5f64..2.0,
+    ) {
+        let zipf = Zipf::new(n, s);
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..512).map(|_| zipf.sample(&mut rng)).collect()
+        };
+        let a = draw(seed);
+        prop_assert_eq!(&a, &draw(seed));
+        prop_assert!(a.iter().all(|&r| r < n));
+    }
+
+    /// The distribution itself is exactly monotone: rank k's mass is
+    /// strictly greater than rank k+1's, and the masses sum to 1.
+    #[test]
+    fn zipf_masses_are_strictly_monotone(
+        n in 2usize..128,
+        s in 0.1f64..3.0,
+    ) {
+        let zipf = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|k| zipf.probability(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..n {
+            prop_assert!(
+                zipf.probability(k - 1) > zipf.probability(k),
+                "mass must strictly decrease in rank (k={k})"
+            );
+        }
+    }
+
+    /// Empirical draw frequencies are monotone in rank within
+    /// sampling slack (3·√total per comparison), and the most popular
+    /// rank strictly dominates the least popular one.
+    #[test]
+    fn zipf_empirical_frequencies_are_monotone_in_rank(
+        seed in 0u64..u64::MAX,
+        n in 2usize..12,
+        s in 0.8f64..1.6,
+    ) {
+        const DRAWS: usize = 40_000;
+        let zipf = Zipf::new(n, s);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut counts = vec![0u64; n];
+        for _ in 0..DRAWS {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        let slack = 3.0 * (DRAWS as f64).sqrt();
+        for k in 1..n {
+            prop_assert!(
+                counts[k - 1] as f64 >= counts[k] as f64 - slack,
+                "rank {} drew {} < rank {} drew {} beyond slack {slack:.0}",
+                k - 1, counts[k - 1], k, counts[k]
+            );
+        }
+        prop_assert!(
+            counts[0] > counts[n - 1],
+            "head rank must strictly dominate tail rank: {counts:?}"
+        );
+    }
+
+    /// The complete workload build reproduces bit-identically from its
+    /// inputs: arrival times, op kinds, wire lines, and connection
+    /// assignment all come off seeded streams.
+    #[test]
+    fn workload_build_is_deterministic(
+        seed in 0u64..u64::MAX,
+        rate in 500.0f64..20_000.0,
+    ) {
+        let a = build_workload(seed, rate, 120_000);
+        let b = build_workload(seed, rate, 120_000);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.per_conn.len(), CONNECTIONS);
+        let lines: usize = a.per_conn.iter().map(Vec::len).sum();
+        prop_assert_eq!(lines, a.requests);
+        // Batch members count as queries; batches count as one request.
+        let (mut queries, mut batches) = (0usize, 0usize);
+        for arr in a.per_conn.iter().flatten() {
+            match arr.kind {
+                OpKind::Query => queries += 1,
+                OpKind::Batch => batches += 1,
+                _ => {}
+            }
+        }
+        prop_assert_eq!(a.queries, queries + 3 * batches);
+    }
+}

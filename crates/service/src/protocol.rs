@@ -344,6 +344,8 @@ fn handle_stats(service: &Service) -> Value {
         .field("engine_passes", s.engine_passes)
         .field("queries_served", s.queries_served)
         .field("queue_depth", s.queue_depth)
+        .field("queue_depth_hwm", s.queue_depth_hwm)
+        .field("responses_lost", s.responses_lost)
         .field("uptime_micros", s.uptime_micros)
         .field("drain_cycles", s.drain_cycles)
         .field(
@@ -366,6 +368,8 @@ fn handle_metrics(service: &Service) -> Value {
         .field("graphs", s.graphs)
         .field("cache_slots", s.cache_slots)
         .field("queue_depth", s.queue_depth)
+        .field("queue_depth_hwm", s.queue_depth_hwm)
+        .field("responses_lost", s.responses_lost)
         .field("engine_passes", s.engine_passes)
         .field("queries_served", s.queries_served);
     v

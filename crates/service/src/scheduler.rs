@@ -84,6 +84,14 @@ pub struct ServiceStats {
     /// Submissions waiting in the bound queue right now (0 when no
     /// queue is bound — the lib-embedded, serverless case).
     pub queue_depth: usize,
+    /// Deepest the bound queue has ever been (0 when no queue is
+    /// bound). Unlike `queue_depth` this survives the drain, so an
+    /// overload episode stays diagnosable after the backlog clears.
+    pub queue_depth_hwm: usize,
+    /// Responses computed but never delivered because the addressed
+    /// connection was gone or its write failed (0 when no connection
+    /// table is bound).
+    pub responses_lost: u64,
     /// Microseconds since the service's telemetry epoch.
     pub uptime_micros: u64,
     /// Drain-loop cycles executed.
@@ -147,8 +155,11 @@ pub struct Service {
     /// The shared telemetry sink (histograms, stage spans, trace log).
     telemetry: Arc<Telemetry>,
     /// The submission queue this service drains, when server-hosted —
-    /// lets `stats` report live queue depth.
+    /// lets `stats` report live queue depth and its high-water mark.
     bound_queue: Option<Arc<SubmissionQueue>>,
+    /// The connection table responses route through, when
+    /// server-hosted — lets `stats` report response losses.
+    bound_connections: Option<Arc<Connections>>,
     /// The reject-certificate write-ahead log, when a state directory
     /// is attached. Every *newly formed* certificate is appended
     /// (fsync'd) before its response goes out.
@@ -167,6 +178,7 @@ impl Default for Service {
             runner: TrialRunner::new(1),
             telemetry: Arc::new(Telemetry::default()),
             bound_queue: None,
+            bound_connections: None,
             state_log: None,
         }
     }
@@ -198,6 +210,13 @@ impl Service {
     /// [`Server::start`]).
     pub fn bind_queue(&mut self, queue: Arc<SubmissionQueue>) {
         self.bound_queue = Some(queue);
+    }
+
+    /// Binds the connection table responses route through, so
+    /// [`stats`](Self::stats) can report per-connection response
+    /// losses (done by [`Server::start`]).
+    pub fn bind_connections(&mut self, connections: Arc<Connections>) {
+        self.bound_connections = Some(connections);
     }
 
     /// Sets the worker count independent groups fan across during a
@@ -331,6 +350,11 @@ impl Service {
             engine_passes: self.engine_passes,
             queries_served: self.queries_served,
             queue_depth: self.bound_queue.as_ref().map_or(0, |q| q.depth()),
+            queue_depth_hwm: self.bound_queue.as_ref().map_or(0, |q| q.depth_hwm()),
+            responses_lost: self
+                .bound_connections
+                .as_ref()
+                .map_or(0, |c| c.lost_responses()),
             uptime_micros: self.telemetry.uptime_micros(),
             drain_cycles: self.telemetry.cycles(),
             wake: self.telemetry.wake_counts(),
@@ -679,6 +703,7 @@ impl Server {
         queue.set_clock(service.telemetry.clock());
         service.bind_queue(Arc::clone(&queue));
         let connections = Arc::new(Connections::new());
+        service.bind_connections(Arc::clone(&connections));
         let handle = {
             let queue = Arc::clone(&queue);
             let connections = Arc::clone(&connections);

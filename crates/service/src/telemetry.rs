@@ -315,6 +315,44 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Bucket-wise subtraction of an **earlier snapshot of the same
+    /// histogram stream**: `self` becomes the distribution of
+    /// everything recorded after `earlier` was cloned. Load drivers
+    /// use this to window the cumulative telemetry histograms (one
+    /// slice per sweep rate, cache-warmup traffic excluded).
+    ///
+    /// `min`/`max` are re-derived from the surviving buckets' bounds,
+    /// so like every quantile they are bucket-edge accurate rather
+    /// than exact.
+    ///
+    /// # Panics
+    ///
+    /// If `earlier` is not an earlier snapshot of this stream (a
+    /// bucket count would go negative).
+    pub fn subtract(&mut self, earlier: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(earlier.counts.iter()) {
+            *a = a
+                .checked_sub(*b)
+                .expect("subtract: not an earlier snapshot of this stream");
+        }
+        self.count = self
+            .count
+            .checked_sub(earlier.count)
+            .expect("subtract: not an earlier snapshot of this stream");
+        self.sum = self.sum.saturating_sub(earlier.sum);
+        let (mut min, mut max) = (u64::MAX, 0);
+        for (lo, hi, _) in self.nonzero_buckets() {
+            min = min.min(lo);
+            max = max.max(hi);
+        }
+        self.min = min;
+        self.max = if self.count == 0 {
+            0
+        } else {
+            max.min(self.max)
+        };
+    }
+
     /// Non-empty buckets as `(lower, upper, count)` triples in
     /// ascending value order.
     pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
@@ -883,6 +921,48 @@ mod tests {
         assert_eq!(h.count(), 1000);
         assert_eq!(h.max(), 999 * 999);
         assert_eq!(h.min(), 0);
+    }
+
+    #[test]
+    fn subtract_windows_a_cumulative_stream() {
+        let mut h = Histogram::new();
+        for v in [3u64, 900, 17] {
+            h.record(v); // the "warmup" prefix
+        }
+        let snapshot = h.clone();
+        for v in [5u64, 5, 40, 2000] {
+            h.record(v); // the measured window
+        }
+        h.subtract(&snapshot);
+        assert_eq!(h.count(), 4);
+        let mut exact = Histogram::new();
+        for v in [5u64, 5, 40, 2000] {
+            exact.record(v);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(h.value_at_quantile(q), exact.value_at_quantile(q));
+        }
+        assert_eq!(h.min(), exact.min());
+        // Max is re-derived from bucket bounds: upper edge, never under.
+        assert!(h.max() >= 2000 && h.max() <= 2000 + 2000 / SUB + 1);
+
+        // Subtracting everything leaves a well-formed empty histogram.
+        let full = h.clone();
+        h.subtract(&full);
+        assert!(h.is_empty());
+        assert_eq!(h.value_at_quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not an earlier snapshot")]
+    fn subtract_rejects_a_non_prefix() {
+        let mut a = Histogram::new();
+        a.record(7);
+        let mut b = Histogram::new();
+        b.record(9);
+        a.subtract(&b);
     }
 
     #[test]

@@ -37,7 +37,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -115,6 +115,10 @@ pub struct SubmissionQueue {
     state: Mutex<QueueState>,
     wake: Condvar,
     shutdown: AtomicBool,
+    /// Deepest the queue has ever been (updated by [`push`]
+    /// (SubmissionQueue::push), never reset): the after-the-fact
+    /// overload witness the `stats` op reports as `queue_depth_hwm`.
+    depth_hwm: AtomicUsize,
     /// The clock arrival stamps are taken on. Replaced with the
     /// service's telemetry clock by `Server::start`, so queue-wait
     /// spans and scheduler stage spans share one timebase.
@@ -127,6 +131,7 @@ impl Default for SubmissionQueue {
             state: Mutex::default(),
             wake: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            depth_hwm: AtomicUsize::new(0),
             clock: Mutex::new(Clock::wall()),
         }
     }
@@ -156,6 +161,7 @@ impl SubmissionQueue {
         }
         st.urgent |= !sub.coalescable();
         st.items.push(sub);
+        self.depth_hwm.fetch_max(st.items.len(), Ordering::Relaxed);
         self.wake.notify_all();
     }
 
@@ -163,6 +169,15 @@ impl SubmissionQueue {
     #[must_use]
     pub fn depth(&self) -> usize {
         self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// Deepest the queue has ever been since the server started.
+    /// Unlike [`depth`](SubmissionQueue::depth) this survives the
+    /// drain, so a past overload episode stays visible in `stats`
+    /// after the backlog clears.
+    #[must_use]
+    pub fn depth_hwm(&self) -> usize {
+        self.depth_hwm.load(Ordering::Relaxed)
     }
 
     /// Flags the server for graceful shutdown: the drain loop flushes
@@ -234,11 +249,19 @@ type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 ///
 /// The drain loop is the only writer, so per-connection response
 /// order is exactly submission order. A failed write (client went
-/// away) silently drops the connection.
+/// away) drops the connection and is tallied per connection in the
+/// response-loss counters, so "how many answers never reached a
+/// client" is answerable from the `stats` op after the fact.
 #[derive(Default)]
 pub struct Connections {
     writers: Mutex<HashMap<ConnectionId, SharedWriter>>,
     next: AtomicU64,
+    /// Responses computed but never delivered, keyed by the connection
+    /// they were addressed to (gone or mid-write failure). Entries
+    /// outlive deregistration — that is the point.
+    lost: Mutex<HashMap<ConnectionId, u64>>,
+    /// Sum of every count in `lost`, readable without the map lock.
+    lost_total: AtomicU64,
 }
 
 impl fmt::Debug for Connections {
@@ -294,14 +317,50 @@ impl Connections {
             .expect("connections lock")
             .get(&conn)
             .cloned();
-        let Some(writer) = writer else { return false };
+        let Some(writer) = writer else {
+            self.record_loss(conn);
+            return false;
+        };
         let mut w = writer.lock().expect("writer lock");
         let ok = writeln!(w, "{line}").and_then(|()| w.flush()).is_ok();
         drop(w);
         if !ok {
             self.deregister(conn);
+            self.record_loss(conn);
         }
         ok
+    }
+
+    fn record_loss(&self, conn: ConnectionId) {
+        *self
+            .lost
+            .lock()
+            .expect("loss lock")
+            .entry(conn)
+            .or_insert(0) += 1;
+        self.lost_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total responses computed but never delivered, across every
+    /// connection that ever existed.
+    #[must_use]
+    pub fn lost_responses(&self) -> u64 {
+        self.lost_total.load(Ordering::Relaxed)
+    }
+
+    /// Per-connection response-loss counts, sorted by connection id.
+    /// Connections with zero losses are absent.
+    #[must_use]
+    pub fn lost_by_connection(&self) -> Vec<(ConnectionId, u64)> {
+        let mut rows: Vec<(ConnectionId, u64)> = self
+            .lost
+            .lock()
+            .expect("loss lock")
+            .iter()
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        rows.sort_unstable();
+        rows
     }
 }
 
@@ -590,6 +649,51 @@ mod tests {
             .wait_cycle(Duration::from_secs(3600), usize::MAX)
             .is_none());
         assert!(q.shutting_down());
+    }
+
+    #[test]
+    fn depth_hwm_survives_the_drain() {
+        let q = SubmissionQueue::new();
+        assert_eq!(q.depth_hwm(), 0);
+        q.push(query_sub(1));
+        q.push(query_sub(2));
+        q.push(query_sub(3));
+        assert_eq!(q.depth_hwm(), 3);
+        let (cycle, _) = q.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
+        assert_eq!(cycle.len(), 3);
+        assert_eq!(q.depth(), 0, "instantaneous depth resets on drain");
+        assert_eq!(q.depth_hwm(), 3, "high-water mark does not");
+        // A shallower refill cannot lower it.
+        q.push(query_sub(4));
+        assert_eq!(q.depth_hwm(), 3);
+    }
+
+    #[test]
+    fn undeliverable_responses_are_counted_per_connection() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let conns = Connections::new();
+        let ok = conns.register(Box::new(io::sink()));
+        let broken = conns.register(Box::new(FailingWriter));
+        assert_eq!(conns.lost_responses(), 0);
+        assert!(conns.send(ok, "delivered"));
+        assert!(!conns.send(broken, "first loss drops the connection"));
+        assert!(!conns.send(broken, "second loss hits a gone connection"));
+        assert!(!conns.send(777, "never-registered target"));
+        assert_eq!(conns.lost_responses(), 3);
+        assert_eq!(
+            conns.lost_by_connection(),
+            vec![(broken, 2), (777, 1)],
+            "losses are attributed to the addressed connection"
+        );
+        assert_eq!(conns.len(), 1, "the broken connection was dropped");
     }
 
     #[test]

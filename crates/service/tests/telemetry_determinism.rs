@@ -234,6 +234,173 @@ fn metrics_ops_snapshot_the_histograms() {
 }
 
 #[test]
+fn latency_cells_account_for_every_query_in_a_mixed_sweep() {
+    let mut service = mock_service();
+
+    // A deterministic mixed sweep: cold and warm planarity on both
+    // graphs, the seed-independent properties, and one batch. Every
+    // query must land in exactly one (property, cache) latency cell.
+    let mut requests = Vec::new();
+    for seed in 0..4 {
+        requests.push(format!(
+            r#"{{"op":"query","graph":"tri","epsilon":0.2,"phases":5,"seed":{seed}}}"#
+        ));
+    }
+    requests.push(requests[0].clone()); // warm replay
+    for seed in 0..3 {
+        requests.push(format!(
+            r#"{{"op":"query","graph":"far","epsilon":0.2,"phases":5,"seed":{seed}}}"#
+        ));
+    }
+    for property in ["cycle_freeness", "bipartiteness"] {
+        for graph in ["tri", "far"] {
+            requests.push(format!(
+                r#"{{"op":"query","graph":"{graph}","property":"{property}","epsilon":0.2,"phases":5,"seed":0}}"#
+            ));
+        }
+    }
+    let sent = requests.len() + 3; // the batch below carries 3 queries
+    requests.push(
+        r#"{"op":"batch","queries":[
+            {"op":"query","graph":"tri","epsilon":0.2,"phases":5,"seed":1},
+            {"op":"query","graph":"far","epsilon":0.2,"phases":5,"seed":1},
+            {"op":"query","graph":"tri","property":"cycle_freeness","epsilon":0.2,"phases":5,"seed":0}
+        ]}"#
+            .to_string(),
+    );
+    for request in &requests {
+        let response = handle_line(&mut service, request);
+        assert_eq!(
+            response.get("ok").unwrap().as_bool(),
+            Some(true),
+            "request failed: {request}"
+        );
+    }
+
+    // Conservation: the per-cell histogram counts sum to exactly the
+    // number of queries sent — nothing double-counted, nothing dropped
+    // — and the scheduler's own ledger agrees.
+    let metrics = handle_line(&mut service, r#"{"op":"metrics"}"#);
+    let cell_total: u64 = metrics
+        .get("latency")
+        .unwrap()
+        .as_arr()
+        .expect("latency array")
+        .iter()
+        .map(|entry| {
+            entry
+                .get("latency_micros")
+                .unwrap()
+                .get("count")
+                .unwrap()
+                .as_u64()
+                .expect("cell count")
+        })
+        .sum();
+    assert_eq!(cell_total, sent as u64);
+    assert_eq!(
+        metrics.get("queries_served").unwrap().as_u64(),
+        Some(sent as u64)
+    );
+}
+
+#[test]
+fn queue_depth_hwm_ratchets_across_a_load_ramp() {
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+    use std::time::Duration;
+
+    use planartest_service::wire::Value;
+    use planartest_service::{ServeOptions, Server, Submission};
+
+    #[derive(Clone, Default)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    let mut service = Service::new();
+    service
+        .registry_mut()
+        .ingest_spec("g", "tri_grid(4,4)")
+        .expect("spec");
+    // A long linger with no depth wake parks the drain loop, so each
+    // round's burst accumulates in the queue in full; the trailing
+    // `stats` op is non-coalescable and flushes the round on demand.
+    let server = Server::start(
+        service,
+        ServeOptions {
+            linger: Duration::from_secs(30),
+            ..ServeOptions::default()
+        },
+    );
+    let queue = server.submission_queue();
+    let sink = Sink::default();
+    let conn = server.connections().register(Box::new(sink.clone()));
+
+    let query = |seed: usize| {
+        let line =
+            format!(r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":{seed}}}"#);
+        Submission::new(conn, Ok(Value::parse(&line).expect("query parses")))
+    };
+    let lines_in = |sink: &Sink| {
+        let buf = sink.0.lock().unwrap();
+        buf.iter().filter(|&&b| b == b'\n').count()
+    };
+
+    // Ramp the per-round burst up; the high-water mark must ratchet:
+    // it tracks each new deepest backlog and never moves back down
+    // after the drain empties the queue.
+    let mut responses_expected = 0;
+    let mut hwm_seen = 0;
+    for (round, burst) in [2usize, 5, 9].into_iter().enumerate() {
+        for i in 0..burst {
+            queue.push(query(round * 100 + i));
+        }
+        assert_eq!(queue.depth(), burst, "burst parked until the flush op");
+        queue.push(Submission::new(
+            conn,
+            Ok(Value::parse(r#"{"op":"stats"}"#).unwrap()),
+        ));
+
+        responses_expected += burst + 1;
+        let deadline = std::time::Instant::now() + Duration::from_secs(20);
+        while lines_in(&sink) < responses_expected {
+            assert!(std::time::Instant::now() < deadline, "drain stalled");
+            std::thread::sleep(Duration::from_millis(5));
+        }
+
+        let hwm = queue.depth_hwm();
+        assert_eq!(hwm, burst + 1, "deepest backlog this ramp so far");
+        assert!(hwm > hwm_seen, "the mark ratchets upward across rounds");
+        hwm_seen = hwm;
+
+        // The `stats` response (the round's last line) reports the
+        // same mark on the wire, even though the queue is empty again.
+        let buf = sink.0.lock().unwrap();
+        let text = String::from_utf8(buf.clone()).expect("utf8 responses");
+        let stats = Value::parse(text.lines().last().unwrap()).expect("stats parses");
+        assert_eq!(
+            stats.get("queue_depth_hwm").unwrap().as_u64(),
+            Some(hwm as u64)
+        );
+        assert_eq!(stats.get("responses_lost").unwrap().as_u64(), Some(0));
+        drop(buf);
+        assert_eq!(queue.depth(), 0, "flush op drains the whole round");
+    }
+
+    server.request_shutdown();
+    let service = server.join();
+    assert_eq!(service.stats().queue_depth_hwm, 10, "mark survives join");
+}
+
+#[test]
 fn trace_log_replays_the_stage_stamps() {
     use std::sync::{Arc, Mutex};
 

@@ -314,6 +314,84 @@ fn no_stdio_daemon_survives_stdin_eof_and_stops_on_sigterm() {
 }
 
 #[test]
+fn concurrent_open_loop_clients_drain_exactly_and_in_order() {
+    const CLIENTS: usize = 6;
+    const QUERIES: usize = 80;
+
+    let path = socket_path("stress");
+    let mut child = spawn_serve(&["--unix", path.to_str().unwrap()]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    // Shared corpus: an accepting graph, so every verdict is known
+    // regardless of how the drain loop interleaves the six clients.
+    let (mut setup, mut setup_rx) = connect(&path);
+    let ingested = ask(
+        &mut setup,
+        &mut setup_rx,
+        r#"{"op":"ingest","name":"g","spec":"tri_grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+
+    // Each client fires all of its queries open-loop (no waiting for
+    // responses), then drains. Unique seeds mark every request, so the
+    // echoed `seed` field proves per-connection ordering and exactness:
+    // one response per query, none lost, none duplicated, none garbled.
+    std::thread::scope(|scope| {
+        for c in 0..CLIENTS {
+            let path = &path;
+            scope.spawn(move || {
+                let (mut tx, mut rx) = connect(path);
+                for i in 0..QUERIES {
+                    writeln!(
+                        tx,
+                        r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":{}}}"#,
+                        c * 1000 + i
+                    )
+                    .expect("write query");
+                }
+                tx.flush().expect("flush burst");
+                for i in 0..QUERIES {
+                    let mut line = String::new();
+                    rx.read_line(&mut line).expect("read response");
+                    let response = Value::parse(line.trim()).expect("response parses");
+                    assert_eq!(response.get("ok").unwrap().as_bool(), Some(true));
+                    assert_eq!(response.get("verdict").unwrap().as_str(), Some("accept"));
+                    assert_eq!(
+                        response.get("seed").unwrap().as_u64(),
+                        Some((c * 1000 + i) as u64),
+                        "client {c} got response {i} out of submission order"
+                    );
+                }
+                // The stream is exactly drained: the next response on
+                // this connection is the stats echo, nothing stale.
+                let stats = ask(&mut tx, &mut rx, r#"{"op":"stats"}"#);
+                assert!(stats.get("queries_served").is_some(), "stream misaligned");
+            });
+        }
+    });
+
+    // Server-side ledger: every query served, no response lost, and the
+    // queue's high-water mark recorded the concurrent burst.
+    let stats = ask(&mut setup, &mut setup_rx, r#"{"op":"stats"}"#);
+    assert_eq!(
+        stats.get("queries_served").unwrap().as_u64(),
+        Some((CLIENTS * QUERIES) as u64)
+    );
+    assert_eq!(stats.get("responses_lost").unwrap().as_u64(), Some(0));
+    let hwm = stats.get("queue_depth_hwm").unwrap().as_u64().unwrap();
+    assert!(hwm >= 1, "burst must register on the queue high-water mark");
+    assert!(
+        hwm >= stats.get("queue_depth").unwrap().as_u64().unwrap(),
+        "high-water mark can never trail the instantaneous depth"
+    );
+
+    drop((setup, setup_rx));
+    drop(child.stdin.take());
+    assert!(child.wait().expect("serve exits").success());
+}
+
+#[test]
 fn cache_accepts_flag_bounds_stripes_and_reports_evictions() {
     let path = socket_path("cache-accepts");
     let mut child = spawn_serve(&["--unix", path.to_str().unwrap(), "--cache-accepts", "2"]);

@@ -59,6 +59,7 @@
 pub mod bfs;
 mod engine;
 pub mod runtime;
+pub mod sampling;
 mod stats;
 pub mod tree;
 

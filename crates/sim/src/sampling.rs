@@ -1,0 +1,193 @@
+//! Seeded samplers for open-loop load generation.
+//!
+//! The load harness (`crates/bench`, `e15_load`) needs two
+//! distributions, both **deterministic under a seed** so a sweep is
+//! bit-reproducible across runs and machines:
+//!
+//! * [`PoissonArrivals`] — an open-loop arrival schedule. A Poisson
+//!   process at rate λ has i.i.d. exponential inter-arrival gaps; each
+//!   gap is drawn by inverse-CDF transform `-ln(1 - U) / λ` over the
+//!   vendored xoshiro256** stream, accumulated in microseconds.
+//! * [`Zipf`] — graph popularity. Rank `k` (0-based) carries weight
+//!   `1 / (k + 1)^s`; sampling is one uniform draw plus a binary
+//!   search over the precomputed CDF, so a draw consumes exactly one
+//!   `u64` of the RNG stream (a property the determinism proptests
+//!   rely on).
+//!
+//! Both samplers consume the [`StdRng`] stream only through the
+//! standard `f64` sample, which is platform-independent (53-bit
+//! mantissa fill), so schedules agree across hosts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic Poisson arrival-time generator.
+///
+/// Yields strictly non-decreasing arrival offsets in microseconds
+/// since the schedule origin. The same `(seed, rate)` pair always
+/// yields the identical sequence.
+#[derive(Debug)]
+pub struct PoissonArrivals {
+    rng: StdRng,
+    /// Mean inter-arrival gap in microseconds (`1e6 / rate`).
+    mean_gap_micros: f64,
+    /// Cumulative arrival time, kept in f64 so sub-microsecond gap
+    /// fractions accumulate instead of truncating away at high rates.
+    next_micros: f64,
+}
+
+impl PoissonArrivals {
+    /// A schedule at `rate_per_sec` arrivals per second.
+    ///
+    /// # Panics
+    /// If `rate_per_sec` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(seed: u64, rate_per_sec: f64) -> Self {
+        assert!(
+            rate_per_sec.is_finite() && rate_per_sec > 0.0,
+            "arrival rate must be positive and finite, got {rate_per_sec}"
+        );
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            mean_gap_micros: 1_000_000.0 / rate_per_sec,
+            next_micros: 0.0,
+        }
+    }
+
+    /// The next arrival offset in microseconds since the origin.
+    pub fn next_arrival_micros(&mut self) -> u64 {
+        // U ∈ [0, 1) ⇒ 1 - U ∈ (0, 1] ⇒ ln is finite and ≤ 0.
+        let u: f64 = self.rng.random();
+        self.next_micros += -(1.0 - u).ln() * self.mean_gap_micros;
+        self.next_micros as u64
+    }
+
+    /// Every arrival strictly before `horizon_micros`, in order.
+    #[must_use]
+    pub fn schedule(seed: u64, rate_per_sec: f64, horizon_micros: u64) -> Vec<u64> {
+        let mut gen = Self::new(seed, rate_per_sec);
+        let mut out = Vec::with_capacity(
+            ((rate_per_sec * horizon_micros as f64 / 1_000_000.0) as usize).saturating_add(16),
+        );
+        loop {
+            let at = gen.next_arrival_micros();
+            if at >= horizon_micros {
+                return out;
+            }
+            out.push(at);
+        }
+    }
+}
+
+/// A Zipf(s) distribution over ranks `0..n` (rank 0 most popular).
+///
+/// Weight of rank `k` is `1 / (k + 1)^s`, normalized. Strictly
+/// monotone decreasing in rank for any `s > 0`, so the harness's
+/// "popular graphs dominate" assumption is exact, not just empirical.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// `cdf[k]` = P(rank ≤ k); the last entry is exactly 1.0.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// If `n == 0` or `s` is not finite and positive.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(
+            s.is_finite() && s > 0.0,
+            "Zipf exponent must be positive and finite, got {s}"
+        );
+        let weights: Vec<f64> = (0..n).map(|k| ((k + 1) as f64).powf(-s)).collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let mut cdf: Vec<f64> = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        // Float summation can land a hair under 1.0; pin the tail so a
+        // uniform draw of 0.999999… can never fall off the end.
+        *cdf.last_mut().expect("n > 0") = 1.0;
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    #[must_use]
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Exact probability mass of `rank`.
+    ///
+    /// # Panics
+    /// If `rank >= n`.
+    #[must_use]
+    pub fn probability(&self, rank: usize) -> f64 {
+        let above = if rank == 0 { 0.0 } else { self.cdf[rank - 1] };
+        self.cdf[rank] - above
+    }
+
+    /// Draw a rank. Consumes exactly one `u64` from the RNG stream.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        // First index whose CDF strictly exceeds u; u < 1.0 ≤ last
+        // entry guarantees the partition point is in range.
+        self.cdf.partition_point(|&c| c <= u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_is_seed_deterministic_and_monotone() {
+        let a = PoissonArrivals::schedule(9, 5_000.0, 200_000);
+        let b = PoissonArrivals::schedule(9, 5_000.0, 200_000);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        assert!(a.iter().all(|&t| t < 200_000));
+        // ~1000 expected arrivals; a factor-of-two band is enormous
+        // slack for a unit smoke test.
+        assert!(a.len() > 500 && a.len() < 2000, "got {} arrivals", a.len());
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        assert_ne!(
+            PoissonArrivals::schedule(1, 1_000.0, 100_000),
+            PoissonArrivals::schedule(2, 1_000.0, 100_000),
+        );
+    }
+
+    #[test]
+    fn zipf_masses_are_monotone_and_sum_to_one() {
+        let z = Zipf::new(12, 1.1);
+        let total: f64 = (0..z.n()).map(|k| z.probability(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        for k in 1..z.n() {
+            assert!(z.probability(k - 1) > z.probability(k));
+        }
+    }
+
+    #[test]
+    fn zipf_draws_are_seed_deterministic_and_in_range() {
+        let z = Zipf::new(7, 0.9);
+        let draw = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..256).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(3);
+        assert_eq!(a, draw(3));
+        assert!(a.iter().all(|&r| r < 7));
+        // Rank 0 carries the most mass; in 256 draws it must appear.
+        assert!(a.contains(&0));
+    }
+}
