@@ -2,10 +2,13 @@
 //!
 //! `--quick` forces CI-sized sweeps (same as setting
 //! `PLANARTEST_QUICK`); `--check` turns the gate into an exit code: a
-//! saturation knee must be located above the lowest sweep rate, p99
-//! end-to-end latency at the highest sub-knee rate must meet the SLO,
-//! the seeded sweep must reproduce bit-identically on a re-run, and no
-//! response may be lost.
+//! saturation knee must be located above the lowest sweep rate and at
+//! or above the capacity floor, p99 end-to-end latency at the highest
+//! sub-knee rate must meet the SLO and its warm-hit slice the
+//! fast-path ceiling, the seeded sweep must reproduce bit-identically
+//! on a re-run, no response may be lost mid-flight, and the
+//! slow-reader scenario must leave healthy connections inside the
+//! fairness envelope.
 
 use planartest_bench::LoadGate;
 
@@ -18,24 +21,40 @@ fn main() {
     if check && !gate.pass() {
         eprintln!(
             "load gate FAILED: knee_detected {} (need a saturated rate above the \
-             lowest), sub-knee p99 {}us (SLO <= {}us at {:.0} q/s), deterministic \
-             {}, responses lost {} (need 0)",
+             lowest), knee at {:.0} q/s (floor {:.0}), sub-knee p99 {}us (SLO <= \
+             {}us at {:.0} q/s), warm-hit p99 {}us (ceiling {}us), deterministic \
+             {}, responses lost mid-flight {} (need 0), healthy-conn p99 {}us \
+             beside a slow reader vs {}us all-healthy (bound {}x + {}us)",
             gate.knee_detected,
+            gate.knee_offered_qps,
+            LoadGate::KNEE_FLOOR_QPS,
             gate.sub_knee_p99_micros,
             LoadGate::P99_SLO_MICROS,
             gate.sub_knee_offered_qps,
+            gate.warm_p99_micros,
+            LoadGate::WARM_P99_CEIL_MICROS,
             gate.deterministic,
             gate.responses_lost,
+            gate.slow_reader_healthy_p99_micros,
+            gate.all_healthy_p99_micros,
+            LoadGate::FAIRNESS_FACTOR,
+            LoadGate::FAIRNESS_SLACK_MICROS,
         );
         std::process::exit(1);
     }
     if check {
         println!(
-            "load gate passed: knee located, p99 {}us at the highest sub-knee \
-             rate ({:.0} q/s, SLO {}us), sweep reproducible, zero responses lost",
+            "load gate passed: knee at {:.0} q/s (floor {:.0}), p99 {}us and \
+             warm-hit p99 {}us at the highest sub-knee rate ({:.0} q/s), sweep \
+             reproducible, zero mid-flight losses, slow reader contained \
+             (healthy p99 {}us vs {}us)",
+            gate.knee_offered_qps,
+            LoadGate::KNEE_FLOOR_QPS,
             gate.sub_knee_p99_micros,
+            gate.warm_p99_micros,
             gate.sub_knee_offered_qps,
-            LoadGate::P99_SLO_MICROS,
+            gate.slow_reader_healthy_p99_micros,
+            gate.all_healthy_p99_micros,
         );
     }
 }

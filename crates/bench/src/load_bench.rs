@@ -38,10 +38,23 @@
 //! under the same seed and the per-connection response digests are
 //! asserted identical — the reproducibility contract.
 //!
+//! After the sweep, a **slow-reader fairness scenario** runs the same
+//! rate point twice — once with four healthy clients, once with one
+//! client throttled to ~1 byte/ms — and compares the *healthy*
+//! connections' client-side p99 between the runs. With per-connection
+//! outbound writers a stalled reader sheds only its own responses;
+//! the gate rejects any regression toward the old shared write path,
+//! where one unread socket buffer stalled the drain cycle for
+//! everyone.
+//!
 //! The `--check` gate ([`LoadGate`]): a knee was found above the
-//! lowest rate, p99 at the highest sub-knee rate meets the
-//! [`LoadGate::P99_SLO_MICROS`] SLO, no response was lost, and the
-//! double-run digests matched.
+//! lowest rate and at or above the [`LoadGate::KNEE_FLOOR_QPS`]
+//! ratchet, p99 at the highest sub-knee rate meets the
+//! [`LoadGate::P99_SLO_MICROS`] SLO, the warm-hit p99 there meets the
+//! (much tighter) [`LoadGate::WARM_P99_CEIL_MICROS`] fast-path
+//! ceiling, no response was lost mid-flight, the double-run digests
+//! matched, and the slow-reader scenario left healthy connections
+//! within [`LoadGate::FAIRNESS_FACTOR`]× of their all-healthy p99.
 
 use crate::json::Json;
 use crate::quick;
@@ -259,16 +272,31 @@ pub fn build_workload(seed: u64, rate_per_sec: f64, horizon_micros: u64) -> Work
 pub struct LoadGate {
     /// A saturation knee was located above the lowest sweep rate.
     pub knee_detected: bool,
+    /// Realized offered QPS at the knee itself (the first saturated
+    /// rate) — the capacity ratchet [`LoadGate::KNEE_FLOOR_QPS`]
+    /// guards.
+    pub knee_offered_qps: f64,
     /// Realized offered QPS at the highest sub-knee rate.
     pub sub_knee_offered_qps: f64,
     /// p99 end-to-end latency (µs) at the highest sub-knee rate.
     pub sub_knee_p99_micros: u64,
+    /// Warm-hit (warm + certificate) p99 latency (µs) at the highest
+    /// sub-knee rate — the pipelined fast path answers these at
+    /// resolve time, ahead of the execute barrier.
+    pub warm_p99_micros: u64,
     /// The lowest rate re-run under the same seed produced identical
     /// per-connection response digests and request schedules.
     pub deterministic: bool,
-    /// Responses lost across the whole sweep (must be 0: every client
-    /// reads to completion).
+    /// Responses lost *mid-flight* across the whole sweep (must be 0:
+    /// every client reads to completion; shutdown-flush and shed
+    /// ledgers are separate).
     pub responses_lost: u64,
+    /// Client-side p99 (µs) of the fairness scenario's healthy
+    /// connections when every client reads promptly.
+    pub all_healthy_p99_micros: u64,
+    /// Client-side p99 (µs) of the *same* connections when one peer
+    /// connection is throttled to ~1 byte/ms.
+    pub slow_reader_healthy_p99_micros: u64,
 }
 
 impl LoadGate {
@@ -278,22 +306,67 @@ impl LoadGate {
     /// horizon-scale latencies queueing collapse produces.
     pub const P99_SLO_MICROS: u64 = 100_000;
 
+    /// Capacity ratchet: the realized offered rate at the knee must
+    /// not fall below this. The quick-mode ladder saturates its third
+    /// rung at a realized ≈6.6k q/s offered on the single-core CI
+    /// box — engine passes are CPU-bound, so pipelining moves the
+    /// sub-knee tail, not the saturation point, there. The floor sits
+    /// just under the measured knee so a scheduling regression that
+    /// drags the knee down a rung (to ≈1.5k) trips loudly.
+    pub const KNEE_FLOOR_QPS: f64 = 6_000.0;
+
+    /// Warm-hit p99 ceiling at the highest sub-knee rate. Hits are
+    /// answered at resolve time instead of waiting out the execute
+    /// barrier: the pipelined cycle measures a ≈11–25 ms warm p99
+    /// (median ≈12 ms across calibration runs on the single-core CI
+    /// box) where the synchronous cycle's all-query p99 ran ≈23.5 ms
+    /// *median* — the ceiling takes the observed worst case with
+    /// ≈60% noise margin, and a hit path regressing back behind the
+    /// barrier (≥ full-cycle latency, ≈100 ms at this rate) clears it
+    /// by a wide margin.
+    pub const WARM_P99_CEIL_MICROS: u64 = 40_000;
+
+    /// Slow-reader fairness: healthy connections' p99 may grow at
+    /// most this factor (plus [`LoadGate::FAIRNESS_SLACK_MICROS`])
+    /// when a peer connection stops reading.
+    pub const FAIRNESS_FACTOR: u64 = 2;
+
+    /// Absolute slack on the fairness bound: keeps a near-zero
+    /// all-healthy p99 on fast hardware from degenerating the factor
+    /// test, and absorbs single-core scheduler jitter (calibration
+    /// runs measured factors 1.0–1.8 against ≈70–140 ms baselines).
+    pub const FAIRNESS_SLACK_MICROS: u64 = 25_000;
+
+    /// Whether the slow-reader scenario left healthy connections
+    /// inside the fairness envelope.
+    #[must_use]
+    pub fn fairness_ok(&self) -> bool {
+        self.slow_reader_healthy_p99_micros
+            <= Self::FAIRNESS_FACTOR * self.all_healthy_p99_micros + Self::FAIRNESS_SLACK_MICROS
+    }
+
     /// Whether the gate passes: knee found (with at least one healthy
-    /// rate below it), the sub-knee p99 meets the SLO, the sweep was
-    /// reproducible, and no response went missing.
+    /// rate below it) at or above the capacity floor, the sub-knee
+    /// p99 meets the SLO and its warm-hit slice meets the fast-path
+    /// ceiling, the sweep was reproducible, no response went missing
+    /// mid-flight, and a slow reader hurt only itself.
     #[must_use]
     pub fn pass(&self) -> bool {
         self.knee_detected
+            && self.knee_offered_qps >= Self::KNEE_FLOOR_QPS
             && self.sub_knee_p99_micros <= Self::P99_SLO_MICROS
+            && self.warm_p99_micros <= Self::WARM_P99_CEIL_MICROS
             && self.deterministic
             && self.responses_lost == 0
+            && self.fairness_ok()
     }
 }
 
 #[cfg(unix)]
 mod sweep {
-    use std::io::{BufRead, BufReader, Write};
+    use std::io::{BufRead, BufReader, Read, Write};
     use std::os::unix::net::UnixStream;
+    use std::sync::atomic::{AtomicBool, Ordering};
     use std::time::{Duration, Instant};
 
     use planartest_core::TesterConfig;
@@ -321,14 +394,46 @@ mod sweep {
         pub p999_micros: u64,
         pub mean_micros: f64,
         pub latency_count: u64,
+        /// Warm-hit (warm + certificate) p99 — the fast-path slice of
+        /// the same telemetry window.
+        pub warm_p99_micros: u64,
+        /// Client-side p99 across all connections: response receipt
+        /// minus *scheduled* send, so schedule slip under overload is
+        /// charged to the server, open-loop style.
+        pub client_p99_micros: u64,
         pub queue_depth_hwm: usize,
         pub responses_lost: u64,
+        pub responses_lost_shutdown: u64,
+        pub responses_shed: u64,
+        pub outbound_depth_hwm: usize,
+        pub writer_stalls: u64,
         pub engine_passes: u64,
         pub coalesce_ratio: f64,
         pub drain_cycles: u64,
+        /// Per-connection client-side latencies (µs), submission
+        /// order (empty for a throttled connection).
+        pub client_latencies: Vec<Vec<u64>>,
         /// Per-connection response digests, submission order: the
         /// reproducibility witness.
         pub digests: Vec<Vec<String>>,
+    }
+
+    /// Per-run knobs beyond the offered rate (the fairness scenario
+    /// throttles one reader and bounds the outbound queues).
+    #[derive(Debug, Clone, Copy, Default)]
+    pub(super) struct RunOpts {
+        /// Throttle this connection's reader to ~1 byte/ms; it stops
+        /// digesting responses entirely (its responses are shed once
+        /// its outbound queue fills — the policy under test).
+        pub slow_conn: Option<usize>,
+        /// Override the rate-derived schedule horizon.
+        pub horizon_micros: Option<u64>,
+        /// Per-connection outbound queue bound (0 = unbounded). The
+        /// sweep runs unbounded — every client reads promptly, and an
+        /// unbounded queue keeps the zero-responses-lost contract
+        /// exact; the fairness scenario bounds it so the slow reader
+        /// actually triggers shedding.
+        pub outbound_depth: usize,
     }
 
     fn horizon_micros_for(rate: f64) -> u64 {
@@ -381,17 +486,40 @@ mod sweep {
         CacheStatus::Certificate,
     ];
 
-    /// All per-`(property, cache)` latency cells merged into one
-    /// distribution, minus an earlier snapshot of the same cells.
-    fn merged_latency(telemetry: &Telemetry, baseline: &[Histogram; 9]) -> Histogram {
+    /// The per-`(property, cache)` latency cells passing `keep`,
+    /// merged into one distribution, minus an earlier snapshot of the
+    /// same cells.
+    fn merged_latency_where(
+        telemetry: &Telemetry,
+        baseline: &[Histogram; 9],
+        keep: impl Fn(CacheStatus) -> bool,
+    ) -> Histogram {
         let mut merged = Histogram::new();
         for (i, (p, s)) in cell_ids().into_iter().enumerate() {
+            if !keep(s) {
+                continue;
+            }
             if let Some(mut h) = telemetry.latency_histogram(p, s) {
                 h.subtract(&baseline[i]);
                 merged.merge(&h);
             }
         }
         merged
+    }
+
+    /// All cells merged (the end-to-end distribution).
+    fn merged_latency(telemetry: &Telemetry, baseline: &[Histogram; 9]) -> Histogram {
+        merged_latency_where(telemetry, baseline, |_| true)
+    }
+
+    /// Exact percentile over raw client-side samples.
+    fn percentile(mut samples: Vec<u64>, q: f64) -> u64 {
+        if samples.is_empty() {
+            return 0;
+        }
+        samples.sort_unstable();
+        let idx = ((samples.len() - 1) as f64 * q).round() as usize;
+        samples[idx]
     }
 
     fn cell_ids() -> Vec<(Property, CacheStatus)> {
@@ -452,8 +580,11 @@ mod sweep {
     }
 
     /// Drives one rate point end to end against a fresh server.
-    pub(super) fn run_rate(rate: f64, socket_tag: usize) -> RateOutcome {
-        let workload = build_workload(LOAD_SEED ^ rate.to_bits(), rate, horizon_micros_for(rate));
+    pub(super) fn run_rate(rate: f64, socket_tag: usize, opts: RunOpts) -> RateOutcome {
+        let horizon = opts
+            .horizon_micros
+            .unwrap_or_else(|| horizon_micros_for(rate));
+        let workload = build_workload(LOAD_SEED ^ rate.to_bits(), rate, horizon);
 
         let mut service = Service::new().with_group_threads(0);
         for (name, spec_text, _) in corpus() {
@@ -469,76 +600,147 @@ mod sweep {
         let equeries_before = engine_queries(&telemetry);
         let cycles_before = telemetry.cycles();
 
-        let server = Server::start(service, ServeOptions::default());
+        let server = Server::start(
+            service,
+            ServeOptions {
+                outbound_depth: opts.outbound_depth,
+                ..ServeOptions::default()
+            },
+        );
         let socket = std::env::temp_dir().join(format!(
             "planartest-e15-{}-{socket_tag}.sock",
             std::process::id()
         ));
         server.listen_unix(&socket).expect("bind load socket");
 
+        // Connect outside the client scope and keep the originals
+        // alive until after the server's shutdown flush: a throttled
+        // connection still has responses queued at shutdown, and
+        // closing its socket early would turn those into *mid-flight*
+        // losses instead of shutdown-flush ones.
+        let streams: Vec<UnixStream> = workload
+            .per_conn
+            .iter()
+            .map(|_| UnixStream::connect(&socket).expect("connect load client"))
+            .collect();
+        let stop_slow = AtomicBool::new(false);
         let started = Instant::now();
-        let per_conn: Vec<(Vec<String>, Instant)> = std::thread::scope(|scope| {
-            let readers: Vec<_> = workload
-                .per_conn
-                .iter()
-                .map(|arrivals| {
-                    let stream = UnixStream::connect(&socket).expect("connect load client");
-                    let reader = BufReader::new(stream.try_clone().expect("clone stream"));
-                    // Open-loop writer: send at the scheduled instant,
-                    // never waiting for responses; when behind
-                    // schedule, send immediately (standard open-loop
-                    // catch-up — the backlog is the server's problem,
-                    // which is the point).
-                    scope.spawn({
-                        let mut stream = stream;
-                        move || {
-                            for a in arrivals {
-                                let target = started + Duration::from_micros(a.at_micros);
-                                let now = Instant::now();
-                                if target > now {
-                                    std::thread::sleep(target - now);
-                                }
-                                stream
-                                    .write_all(a.line.as_bytes())
-                                    .expect("send load request");
+        type ClientResult = (Vec<String>, Vec<u64>, Instant);
+        let per_conn: Vec<ClientResult> = std::thread::scope(|scope| {
+            let mut handles: Vec<Option<std::thread::ScopedJoinHandle<'_, ClientResult>>> =
+                Vec::new();
+            for (ci, arrivals) in workload.per_conn.iter().enumerate() {
+                // Open-loop writer: send at the scheduled instant,
+                // never waiting for responses; when behind schedule,
+                // send immediately (standard open-loop catch-up — the
+                // backlog is the server's problem, which is the
+                // point).
+                let mut wstream = streams[ci].try_clone().expect("clone stream");
+                scope.spawn(move || {
+                    for a in arrivals {
+                        let target = started + Duration::from_micros(a.at_micros);
+                        let now = Instant::now();
+                        if target > now {
+                            std::thread::sleep(target - now);
+                        }
+                        wstream
+                            .write_all(a.line.as_bytes())
+                            .expect("send load request");
+                    }
+                });
+                if opts.slow_conn == Some(ci) {
+                    // Pathological reader: ~1 byte/ms, never a full
+                    // response. Its outbound queue fills and sheds;
+                    // the fairness gate checks nobody else noticed.
+                    let mut rstream = streams[ci].try_clone().expect("clone stream");
+                    rstream
+                        .set_read_timeout(Some(Duration::from_millis(20)))
+                        .expect("set read timeout");
+                    let stop = &stop_slow;
+                    handles.push(Some(scope.spawn(move || {
+                        let mut byte = [0u8; 1];
+                        while !stop.load(Ordering::Relaxed) {
+                            match rstream.read(&mut byte) {
+                                Ok(0) => break,
+                                Ok(_) => std::thread::sleep(Duration::from_millis(1)),
+                                Err(e)
+                                    if e.kind() == std::io::ErrorKind::WouldBlock
+                                        || e.kind() == std::io::ErrorKind::TimedOut => {}
+                                Err(_) => break,
                             }
                         }
-                    });
-                    scope.spawn(move || {
+                        (Vec::new(), Vec::new(), Instant::now())
+                    })));
+                } else {
+                    let reader = BufReader::new(streams[ci].try_clone().expect("clone stream"));
+                    handles.push(Some(scope.spawn(move || {
                         let mut reader = reader;
                         let mut digests = Vec::with_capacity(arrivals.len());
+                        let mut latencies = Vec::with_capacity(arrivals.len());
                         let mut line = String::new();
                         for a in arrivals {
                             line.clear();
                             let n = reader.read_line(&mut line).expect("read load response");
                             assert!(n > 0, "connection closed before all responses arrived");
+                            let recv =
+                                u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                            latencies.push(recv.saturating_sub(a.at_micros));
                             let v = Value::parse(line.trim()).expect("response parses");
                             digests.push(digest(a.kind, &v));
                         }
-                        (digests, Instant::now())
-                    })
-                })
-                .collect();
-            readers
+                        (digests, latencies, Instant::now())
+                    })));
+                }
+            }
+            // Healthy clients finish on their own; the throttled one
+            // is released only after they have, so it stays slow for
+            // the entire measured window.
+            let mut results: Vec<Option<ClientResult>> = (0..handles.len()).map(|_| None).collect();
+            for ci in 0..handles.len() {
+                if opts.slow_conn == Some(ci) {
+                    continue;
+                }
+                results[ci] = Some(
+                    handles[ci]
+                        .take()
+                        .expect("handle present")
+                        .join()
+                        .expect("load client"),
+                );
+            }
+            stop_slow.store(true, Ordering::Relaxed);
+            if let Some(ci) = opts.slow_conn {
+                results[ci] = Some(
+                    handles[ci]
+                        .take()
+                        .expect("handle present")
+                        .join()
+                        .expect("slow load client"),
+                );
+            }
+            results
                 .into_iter()
-                .map(|h| h.join().expect("load client"))
+                .map(|r| r.expect("client joined"))
                 .collect()
         });
         let wall_secs = per_conn
             .iter()
-            .map(|(_, done)| done.duration_since(started).as_secs_f64())
+            .map(|(_, _, done)| done.duration_since(started).as_secs_f64())
             .fold(0.0f64, f64::max);
 
         server.request_shutdown();
         let service = server.join();
+        drop(streams);
         let _ = std::fs::remove_file(&socket);
 
         let stats = service.stats();
         let latency = merged_latency(&telemetry, &baseline);
+        let warm = merged_latency_where(&telemetry, &baseline, |s| s != CacheStatus::Cold);
         let passes = service.engine_passes() - passes_before;
         let equeries = engine_queries(&telemetry) - equeries_before;
         let realized =
             workload.requests as f64 / (workload.last_arrival_micros.max(1) as f64 / 1_000_000.0);
+        let client_latencies: Vec<Vec<u64>> = per_conn.iter().map(|(_, l, _)| l.clone()).collect();
         RateOutcome {
             offered_qps: rate,
             realized_offered_qps: realized,
@@ -551,8 +753,17 @@ mod sweep {
             p999_micros: latency.value_at_quantile(0.999),
             mean_micros: latency.mean(),
             latency_count: latency.count(),
+            warm_p99_micros: warm.value_at_quantile(0.99),
+            client_p99_micros: percentile(
+                client_latencies.iter().flatten().copied().collect(),
+                0.99,
+            ),
             queue_depth_hwm: stats.queue_depth_hwm,
             responses_lost: stats.responses_lost,
+            responses_lost_shutdown: stats.responses_lost_shutdown,
+            responses_shed: stats.responses_shed,
+            outbound_depth_hwm: stats.outbound_depth_hwm,
+            writer_stalls: stats.writer_stalls,
             engine_passes: passes,
             coalesce_ratio: if passes == 0 {
                 1.0
@@ -560,7 +771,59 @@ mod sweep {
                 equeries as f64 / passes as f64
             },
             drain_cycles: telemetry.cycles() - cycles_before,
-            digests: per_conn.into_iter().map(|(d, _)| d).collect(),
+            client_latencies,
+            digests: per_conn.into_iter().map(|(d, _, _)| d).collect(),
+        }
+    }
+
+    /// What the slow-reader fairness scenario measured.
+    pub(super) struct FairnessOutcome {
+        pub rate_qps: f64,
+        pub requests: usize,
+        pub all_healthy_p99_micros: u64,
+        pub slow_reader_healthy_p99_micros: u64,
+        pub responses_shed: u64,
+        pub mid_flight_losses: u64,
+    }
+
+    /// Runs one comfortably sub-knee rate twice — all clients healthy,
+    /// then with connection 0 throttled to ~1 byte/ms — and compares
+    /// the healthy connections' client-side p99 between the runs. The
+    /// horizon is stretched so the throttled connection's response
+    /// volume overflows its socket buffer and its bounded outbound
+    /// queue: the shed policy has to actually engage for the isolation
+    /// claim to mean anything.
+    pub(super) fn fairness_scenario() -> FairnessOutcome {
+        let rate = if quick() { 1_600.0 } else { 2_000.0 };
+        let opts = RunOpts {
+            slow_conn: None,
+            horizon_micros: Some(2_000_000),
+            outbound_depth: 256,
+        };
+        let healthy = run_rate(rate, 901, opts);
+        let slowed = run_rate(
+            rate,
+            902,
+            RunOpts {
+                slow_conn: Some(0),
+                ..opts
+            },
+        );
+        let healthy_conns = |o: &RateOutcome| -> Vec<u64> {
+            o.client_latencies
+                .iter()
+                .skip(1)
+                .flatten()
+                .copied()
+                .collect()
+        };
+        FairnessOutcome {
+            rate_qps: rate,
+            requests: slowed.requests,
+            all_healthy_p99_micros: percentile(healthy_conns(&healthy), 0.99),
+            slow_reader_healthy_p99_micros: percentile(healthy_conns(&slowed), 0.99),
+            responses_shed: slowed.responses_shed,
+            mid_flight_losses: healthy.responses_lost + slowed.responses_lost,
         }
     }
 
@@ -581,8 +844,14 @@ mod sweep {
             .field("p999_micros", o.p999_micros)
             .field("mean_micros", o.mean_micros)
             .field("latency_count", o.latency_count)
+            .field("warm_p99_micros", o.warm_p99_micros)
+            .field("client_p99_micros", o.client_p99_micros)
             .field("queue_depth_hwm", o.queue_depth_hwm)
             .field("responses_lost", o.responses_lost)
+            .field("responses_lost_shutdown", o.responses_lost_shutdown)
+            .field("responses_shed", o.responses_shed)
+            .field("outbound_depth_hwm", o.outbound_depth_hwm)
+            .field("writer_stalls", o.writer_stalls)
             .field("engine_passes", o.engine_passes)
             .field("coalesce_ratio", o.coalesce_ratio)
             .field("drain_cycles", o.drain_cycles)
@@ -605,15 +874,15 @@ mod sweep {
         let mut knee_idx: Option<usize> = None;
         let mut i = 0;
         while i < rates.len() {
-            let o = run_rate(rates[i], i);
+            let o = run_rate(rates[i], i, RunOpts::default());
             println!(
                 "rate {:>9.0} q/s offered  {:>9.0} achieved  p50 {:>7}us  p99 {:>8}us  \
-                 p999 {:>8}us  hwm {:>5}  coalesce {:>5.1}x{}",
+                 warm-p99 {:>7}us  hwm {:>5}  coalesce {:>5.1}x{}",
                 o.realized_offered_qps,
                 o.achieved_qps,
                 o.p50_micros,
                 o.p99_micros,
-                o.p999_micros,
+                o.warm_p99_micros,
                 o.queue_depth_hwm,
                 o.coalesce_ratio,
                 if saturated(&o) { "  << knee" } else { "" },
@@ -634,7 +903,7 @@ mod sweep {
         // Reproducibility: the lowest rate again, same seed — the
         // schedule is identical by construction, and the response
         // digests (verdict content) must match bit for bit.
-        let rerun = run_rate(rates[0], rates.len() + 1);
+        let rerun = run_rate(rates[0], rates.len() + 1, RunOpts::default());
         let deterministic =
             rerun.requests == outcomes[0].requests && rerun.digests == outcomes[0].digests;
         println!(
@@ -648,24 +917,41 @@ mod sweep {
             rerun.requests,
         );
 
+        let fairness = fairness_scenario();
+        println!(
+            "slow-reader fairness at {:.0} q/s: healthy-conn p99 {}us beside a throttled \
+             peer vs {}us all-healthy ({} responses shed to the slow reader)",
+            fairness.rate_qps,
+            fairness.slow_reader_healthy_p99_micros,
+            fairness.all_healthy_p99_micros,
+            fairness.responses_shed,
+        );
+
         let sub_knee = knee_idx
             .and_then(|k| k.checked_sub(1))
             .map(|k| &outcomes[k]);
-        let responses_lost: u64 = outcomes.iter().map(|o| o.responses_lost).sum();
+        let responses_lost: u64 =
+            outcomes.iter().map(|o| o.responses_lost).sum::<u64>() + fairness.mid_flight_losses;
         let gate = LoadGate {
             knee_detected: sub_knee.is_some(),
+            knee_offered_qps: knee_idx.map_or(0.0, |k| outcomes[k].realized_offered_qps),
             sub_knee_offered_qps: sub_knee.map_or(0.0, |o| o.realized_offered_qps),
             sub_knee_p99_micros: sub_knee.map_or(u64::MAX, |o| o.p99_micros),
+            warm_p99_micros: sub_knee.map_or(u64::MAX, |o| o.warm_p99_micros),
             deterministic,
             responses_lost,
+            all_healthy_p99_micros: fairness.all_healthy_p99_micros,
+            slow_reader_healthy_p99_micros: fairness.slow_reader_healthy_p99_micros,
         };
         if let (Some(k), Some(s)) = (knee_idx, sub_knee) {
             println!(
-                "knee at {:.0} q/s offered (achieved {:.0}); highest healthy rate {:.0} q/s, p99 {}us",
+                "knee at {:.0} q/s offered (achieved {:.0}); highest healthy rate {:.0} q/s, \
+                 p99 {}us (warm {}us)",
                 outcomes[k].realized_offered_qps,
                 outcomes[k].achieved_qps,
                 s.realized_offered_qps,
                 s.p99_micros,
+                s.warm_p99_micros,
             );
         }
 
@@ -679,7 +965,7 @@ mod sweep {
             })
             .collect();
         let doc = Json::obj()
-            .field("schema", "planartest-bench/load/v1")
+            .field("schema", "planartest-bench/load/v2")
             .field("quick_mode", quick())
             .field("seed", LOAD_SEED)
             .field("connections", CONNECTIONS as u64)
@@ -714,13 +1000,33 @@ mod sweep {
                     .field("responses_compared", rerun.requests),
             )
             .field(
+                "fairness",
+                Json::obj()
+                    .field("rate_qps", fairness.rate_qps)
+                    .field("requests", fairness.requests)
+                    .field("all_healthy_p99_micros", fairness.all_healthy_p99_micros)
+                    .field(
+                        "slow_reader_healthy_p99_micros",
+                        fairness.slow_reader_healthy_p99_micros,
+                    )
+                    .field("responses_shed", fairness.responses_shed)
+                    .field("factor", LoadGate::FAIRNESS_FACTOR)
+                    .field("slack_micros", LoadGate::FAIRNESS_SLACK_MICROS)
+                    .field("pass", gate.fairness_ok()),
+            )
+            .field(
                 "gate",
                 Json::obj()
                     .field("knee_detected", gate.knee_detected)
+                    .field("knee_offered_qps", gate.knee_offered_qps)
+                    .field("knee_floor_qps", LoadGate::KNEE_FLOOR_QPS)
                     .field("sub_knee_p99_micros", gate.sub_knee_p99_micros)
                     .field("p99_slo_micros", LoadGate::P99_SLO_MICROS)
+                    .field("warm_p99_micros", gate.warm_p99_micros)
+                    .field("warm_p99_ceil_micros", LoadGate::WARM_P99_CEIL_MICROS)
                     .field("deterministic", gate.deterministic)
                     .field("responses_lost", gate.responses_lost)
+                    .field("fairness_pass", gate.fairness_ok())
                     .field("pass", gate.pass()),
             );
         (doc, gate)
@@ -742,14 +1048,18 @@ pub fn load_bench_document() -> (Json, LoadGate) {
     println!("load sweep skipped (no unix sockets on this platform)");
     (
         Json::obj()
-            .field("schema", "planartest-bench/load/v1")
+            .field("schema", "planartest-bench/load/v2")
             .field("skipped", true),
         LoadGate {
             knee_detected: true,
+            knee_offered_qps: LoadGate::KNEE_FLOOR_QPS,
             sub_knee_offered_qps: 0.0,
             sub_knee_p99_micros: 0,
+            warm_p99_micros: 0,
             deterministic: true,
             responses_lost: 0,
+            all_healthy_p99_micros: 0,
+            slow_reader_healthy_p99_micros: 0,
         },
     )
 }
@@ -810,18 +1120,54 @@ mod tests {
 
     #[test]
     fn gate_thresholds() {
-        let gate = |knee: bool, p99: u64, det: bool, lost: u64| LoadGate {
-            knee_detected: knee,
+        let base = LoadGate {
+            knee_detected: true,
+            knee_offered_qps: LoadGate::KNEE_FLOOR_QPS,
             sub_knee_offered_qps: 1000.0,
-            sub_knee_p99_micros: p99,
-            deterministic: det,
-            responses_lost: lost,
+            sub_knee_p99_micros: LoadGate::P99_SLO_MICROS,
+            warm_p99_micros: LoadGate::WARM_P99_CEIL_MICROS,
+            deterministic: true,
+            responses_lost: 0,
+            all_healthy_p99_micros: 1_000,
+            slow_reader_healthy_p99_micros: LoadGate::FAIRNESS_FACTOR * 1_000
+                + LoadGate::FAIRNESS_SLACK_MICROS,
         };
-        assert!(gate(true, LoadGate::P99_SLO_MICROS, true, 0).pass());
-        assert!(!gate(false, 10, true, 0).pass());
-        assert!(!gate(true, LoadGate::P99_SLO_MICROS + 1, true, 0).pass());
-        assert!(!gate(true, 10, false, 0).pass());
-        assert!(!gate(true, 10, true, 1).pass());
+        assert!(base.pass(), "every bound exactly at its limit passes");
+        assert!(!LoadGate {
+            knee_detected: false,
+            ..base
+        }
+        .pass());
+        assert!(!LoadGate {
+            knee_offered_qps: LoadGate::KNEE_FLOOR_QPS - 1.0,
+            ..base
+        }
+        .pass());
+        assert!(!LoadGate {
+            sub_knee_p99_micros: LoadGate::P99_SLO_MICROS + 1,
+            ..base
+        }
+        .pass());
+        assert!(!LoadGate {
+            warm_p99_micros: LoadGate::WARM_P99_CEIL_MICROS + 1,
+            ..base
+        }
+        .pass());
+        assert!(!LoadGate {
+            deterministic: false,
+            ..base
+        }
+        .pass());
+        assert!(!LoadGate {
+            responses_lost: 1,
+            ..base
+        }
+        .pass());
+        assert!(!LoadGate {
+            slow_reader_healthy_p99_micros: base.slow_reader_healthy_p99_micros + 1,
+            ..base
+        }
+        .pass());
     }
 
     #[test]

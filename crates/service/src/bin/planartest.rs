@@ -13,7 +13,8 @@
 //! start), `--resident-graphs N` (heap-tier cap before LRU demotion
 //! to mmap), `--linger-ms N` (coalescing window), `--wake-depth N`,
 //! `--group-threads N`, `--cache-accepts N`, `--max-frame-bytes N`,
-//! `--trace FILE` (per-query LDJSON event log).
+//! `--outbound-depth N` / `--max-in-flight N` (per-connection
+//! backpressure bounds), `--trace FILE` (per-query LDJSON event log).
 //!
 //! `metrics` flags: `--unix PATH` or `--tcp ADDR` (the running
 //! server's listener), `--json` (the `metrics` snapshot instead of
@@ -37,7 +38,8 @@ USAGE:
   planartest serve [--unix PATH] [--tcp ADDR] [--no-stdio]
       [--state-dir DIR] [--resident-graphs N]
       [--linger-ms N] [--wake-depth N] [--group-threads N]
-      [--cache-accepts N] [--max-frame-bytes N] [--trace FILE]
+      [--cache-accepts N] [--max-frame-bytes N]
+      [--outbound-depth N] [--max-in-flight N] [--trace FILE]
       Serve one JSON request per line, one JSON response per line
       (ops: ingest, query, batch, stats, metrics, metrics-text,
       families), multiplexing
@@ -50,7 +52,13 @@ USAGE:
       groups across workers; --cache-accepts bounds the per-seed
       result-cache stripes (LRU; reject certificates are permanent);
       --max-frame-bytes caps a request line (oversized frames get an
-      error response, not a dead server); --trace FILE appends one
+      error response, not a dead server); --outbound-depth (default
+      1024, 0 = unbounded) bounds each connection's outbound response
+      queue — a client that stops reading has further responses shed
+      (counted in stats.responses_shed) instead of blocking anyone;
+      --max-in-flight (default 1024, 0 = unbounded) caps a
+      connection's unanswered submissions, pausing its reader so one
+      firehose cannot starve the shared queue; --trace FILE appends one
       LDJSON record per query stage (submit/resolve/execute/respond)
       for offline latency analysis and load replay. EOF on stdin or
       SIGTERM shuts down gracefully, answering everything already
@@ -167,6 +175,14 @@ fn serve(args: &[String]) -> ExitCode {
             },
             "max-frame-bytes" => match parse_u64() {
                 Ok(b) => opts.max_frame = b as usize,
+                Err(code) => return code,
+            },
+            "outbound-depth" => match parse_u64() {
+                Ok(d) => opts.outbound_depth = d as usize,
+                Err(code) => return code,
+            },
+            "max-in-flight" => match parse_u64() {
+                Ok(n) => opts.max_in_flight = n as usize,
                 Err(code) => return code,
             },
             "trace" => trace_path = Some(value.clone()),

@@ -11,7 +11,10 @@
 //! the scheduler, sequentially, in group order. That split is what
 //! makes parallel group drains bit-for-bit equal to sequential ones
 //! (proven by `tests/drain_proptests.rs`) no matter how the pool
-//! schedules the work.
+//! schedules the work — and what lets the pipelined server run this
+//! stage on a scoped thread while the drain thread resolves the *next*
+//! cycle's arrivals against the cache: [`execute_groups`] only ever
+//! holds shared borrows of the registry and runner.
 
 use planartest_core::applications::{test_bipartiteness, test_cycle_freeness, HereditaryOutcome};
 use planartest_core::{CoreError, PlanarityTester, TesterConfig};

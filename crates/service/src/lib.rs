@@ -38,14 +38,19 @@
 //! * [`scheduler::Server`] — the concurrent form: a dedicated thread
 //!   owns the service and drains a shared submission queue on
 //!   queue-depth or linger-timer wakeups, so *independent clients'*
-//!   same-graph queries coalesce automatically; graceful shutdown
-//!   (stdin EOF, SIGTERM) flushes everything pending first.
+//!   same-graph queries coalesce automatically. The server cycle is
+//!   *pipelined*: warm/certificate hits are answered at resolve time
+//!   (ahead of the execute barrier), next-cycle arrivals resolve while
+//!   the engine runs, and graceful shutdown (stdin EOF, SIGTERM)
+//!   flushes everything pending first.
 //! * [`transport`] — how requests arrive: stdio, unix-socket and TCP
 //!   listeners all frame LDJSON requests
 //!   ([`wire::FrameReader`]) into that one queue, tagged with a
 //!   connection id; responses route back per connection in submission
-//!   order, and a hostile frame costs its sender one error response,
-//!   never the server.
+//!   order through bounded per-connection outbound queues drained by
+//!   dedicated writer threads (a stalled reader sheds its own
+//!   responses, never anyone else's), and a hostile frame costs its
+//!   sender one error response, never the server.
 //! * [`protocol`] / [`wire`] — the line-delimited JSON protocol served
 //!   by the `planartest` binary (`serve` over any transport, `query`
 //!   one-shots).
@@ -79,6 +84,7 @@ pub mod cache;
 mod error;
 mod exec;
 pub mod persist;
+mod pipeline;
 pub mod protocol;
 mod query;
 pub mod registry;
@@ -95,7 +101,10 @@ pub use crate::query::{
 };
 pub use crate::registry::{GraphEntry, GraphRegistry};
 pub use crate::scheduler::{
-    DrainedQuery, ServeOptions, Server, Service, ServiceStats, StateSummary,
+    DrainedQuery, ServeOptions, Server, Service, ServiceStats, StateSummary, DEFAULT_MAX_IN_FLIGHT,
+    DEFAULT_OUTBOUND_DEPTH,
 };
-pub use crate::telemetry::{Clock, Histogram, MockClock, StageTimes, Telemetry, WakeReason};
+pub use crate::telemetry::{
+    Clock, Histogram, MockClock, Route, StageTimes, Telemetry, WakeReason, WAKE_REASONS,
+};
 pub use crate::transport::{ConnectionId, Connections, Submission, SubmissionQueue};

@@ -1,0 +1,147 @@
+//! Per-connection response sequencing for the pipelined drain loop.
+//!
+//! The pipelined server answers submissions out of order — warm hits
+//! at resolve time, engine misses after the execute barrier, carried
+//! work a cycle later — but every connection is promised its responses
+//! in submission order. The [`ResponseRouter`] restores that order:
+//! each submission is [`admit`](ResponseRouter::admit)ted in arrival
+//! order and handed a [`Token`]; fulfilling a token buffers its
+//! response until the connection's contiguous prefix is complete, then
+//! flushes the prefix to the connection's outbound writer queue
+//! ([`Connections::enqueue`]).
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::transport::{ConnectionId, Connections};
+use crate::wire::Value;
+
+/// An admission ticket: one response owed to a connection, delivered
+/// in sequence order relative to the connection's other tickets.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Token {
+    conn: ConnectionId,
+    seq: u64,
+}
+
+/// One connection's sequencing state.
+#[derive(Debug, Default)]
+struct Lane {
+    /// Next sequence number to hand out at admission.
+    next_assign: u64,
+    /// Next sequence number the wire is waiting on.
+    next_flush: u64,
+    /// Fulfilled responses still ahead of `next_flush`.
+    buffered: BTreeMap<u64, String>,
+}
+
+/// Sequences out-of-order fulfilments back into per-connection
+/// submission order (see the module docs).
+#[derive(Debug, Default)]
+pub(crate) struct ResponseRouter {
+    lanes: HashMap<ConnectionId, Lane>,
+}
+
+impl ResponseRouter {
+    /// Reserves the next response slot for `conn`, in call order.
+    pub(crate) fn admit(&mut self, conn: ConnectionId) -> Token {
+        let lane = self.lanes.entry(conn).or_default();
+        let seq = lane.next_assign;
+        lane.next_assign += 1;
+        Token { conn, seq }
+    }
+
+    /// Delivers `value` for an admitted token: buffers it, then
+    /// flushes the connection's complete prefix to its outbound
+    /// writer queue.
+    pub(crate) fn fulfill(&mut self, token: Token, value: &Value, connections: &Connections) {
+        let lane = self
+            .lanes
+            .get_mut(&token.conn)
+            .expect("fulfilled token was admitted");
+        lane.buffered.insert(token.seq, value.to_string());
+        while let Some(line) = lane.buffered.remove(&lane.next_flush) {
+            lane.next_flush += 1;
+            connections.enqueue(token.conn, &line);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+    use std::time::{Duration, Instant};
+
+    #[derive(Clone, Default)]
+    struct Sink(Arc<Mutex<Vec<u8>>>);
+    impl Write for Sink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn lines_of(sink: &Sink) -> Vec<String> {
+        String::from_utf8(sink.0.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn await_lines(sink: &Sink, want: usize) -> Vec<String> {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let lines = lines_of(sink);
+            if lines.len() >= want || Instant::now() > deadline {
+                return lines;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    #[test]
+    fn out_of_order_fulfilment_flushes_in_admission_order() {
+        let connections = Connections::new();
+        let sink = Sink::default();
+        let conn = connections.register(Box::new(sink.clone()));
+        let mut router = ResponseRouter::default();
+        let t0 = router.admit(conn);
+        let t1 = router.admit(conn);
+        let t2 = router.admit(conn);
+        router.fulfill(t2, &Value::obj().field("i", 2u64), &connections);
+        router.fulfill(t0, &Value::obj().field("i", 0u64), &connections);
+        assert_eq!(await_lines(&sink, 1).len(), 1, "prefix [0] flushes alone");
+        router.fulfill(t1, &Value::obj().field("i", 1u64), &connections);
+        let lines = await_lines(&sink, 3);
+        let order: Vec<u64> = lines
+            .iter()
+            .map(|l| Value::parse(l).unwrap().get("i").unwrap().as_u64().unwrap())
+            .collect();
+        assert_eq!(order, [0, 1, 2]);
+        connections.finish_shutdown_flush();
+    }
+
+    #[test]
+    fn lanes_are_independent_across_connections() {
+        let connections = Connections::new();
+        let (a_sink, b_sink) = (Sink::default(), Sink::default());
+        let a = connections.register(Box::new(a_sink.clone()));
+        let b = connections.register(Box::new(b_sink.clone()));
+        let mut router = ResponseRouter::default();
+        let ta = router.admit(a);
+        let tb = router.admit(b);
+        // B's first response is not gated on A's.
+        router.fulfill(tb, &Value::obj().field("who", "b"), &connections);
+        assert_eq!(await_lines(&b_sink, 1).len(), 1);
+        assert!(lines_of(&a_sink).is_empty());
+        router.fulfill(ta, &Value::obj().field("who", "a"), &connections);
+        assert_eq!(await_lines(&a_sink, 1).len(), 1);
+        connections.finish_shutdown_flush();
+    }
+}

@@ -18,8 +18,8 @@
 //! | `ingest` | `name`, and `edge_list` *or* `spec`; `to_disk?` | register a graph, build + fingerprint once (`to_disk` streams it straight to the `--state-dir` CSR spill, registered mapped) |
 //! | `query` | `graph` (name) or `fingerprint`, `property?`, `epsilon?`, `seed?`, `phases?`, `backend?`, `embedding?` | test one property, cache-aware |
 //! | `batch` | `queries`: array of query objects | coalesced drain: same-graph queries share engine passes |
-//! | `stats` | — | registry/cache/scheduler counters, queue depth, uptime, wake reasons |
-//! | `metrics` | — | full telemetry snapshot: latency histograms per `(property, cache)`, stage timings, cycle accounting |
+//! | `stats` | — | registry/cache/scheduler counters, queue depth, outbound shed/loss ledgers, uptime, wake reasons |
+//! | `metrics` | — | full telemetry snapshot: latency histograms per `(property, cache, route)`, stage timings, cycle accounting |
 //! | `metrics-text` | — | the same metrics as Prometheus exposition text (in the `text` field) |
 //! | `families` | — | the spec-addressable generator corpus |
 //!
@@ -346,6 +346,10 @@ fn handle_stats(service: &Service) -> Value {
         .field("queue_depth", s.queue_depth)
         .field("queue_depth_hwm", s.queue_depth_hwm)
         .field("responses_lost", s.responses_lost)
+        .field("responses_lost_shutdown", s.responses_lost_shutdown)
+        .field("responses_shed", s.responses_shed)
+        .field("outbound_depth_hwm", s.outbound_depth_hwm)
+        .field("writer_stalls", s.writer_stalls)
         .field("uptime_micros", s.uptime_micros)
         .field("drain_cycles", s.drain_cycles)
         .field(
@@ -354,7 +358,8 @@ fn handle_stats(service: &Service) -> Value {
                 .field("depth", s.wake[0])
                 .field("linger", s.wake[1])
                 .field("control", s.wake[2])
-                .field("shutdown", s.wake[3]),
+                .field("shutdown", s.wake[3])
+                .field("pipeline", s.wake[4]),
         )
 }
 
@@ -370,6 +375,10 @@ fn handle_metrics(service: &Service) -> Value {
         .field("queue_depth", s.queue_depth)
         .field("queue_depth_hwm", s.queue_depth_hwm)
         .field("responses_lost", s.responses_lost)
+        .field("responses_lost_shutdown", s.responses_lost_shutdown)
+        .field("responses_shed", s.responses_shed)
+        .field("outbound_depth_hwm", s.outbound_depth_hwm)
+        .field("writer_stalls", s.writer_stalls)
         .field("engine_passes", s.engine_passes)
         .field("queries_served", s.queries_served);
     v
@@ -379,9 +388,26 @@ fn handle_metrics(service: &Service) -> Value {
 /// `text` field of a one-line JSON response (the wire layer escapes
 /// the newlines; `planartest metrics` unescapes and prints it).
 fn handle_metrics_text(service: &Service) -> Value {
-    Value::obj()
-        .field("ok", true)
-        .field("text", service.telemetry().prometheus_text())
+    use std::fmt::Write as _;
+    let mut text = service.telemetry().prometheus_text();
+    // Outbound-path counters live on `Connections`, not `Telemetry`,
+    // so the protocol layer appends them to the exposition.
+    let s = service.stats();
+    for (name, kind, v) in [
+        ("responses_lost", "counter", s.responses_lost),
+        (
+            "responses_lost_shutdown",
+            "counter",
+            s.responses_lost_shutdown,
+        ),
+        ("responses_shed", "counter", s.responses_shed),
+        ("outbound_depth_hwm", "gauge", s.outbound_depth_hwm as u64),
+        ("writer_stalls", "counter", s.writer_stalls),
+    ] {
+        let _ = writeln!(text, "# TYPE planartest_{name} {kind}");
+        let _ = writeln!(text, "planartest_{name} {v}");
+    }
+    Value::obj().field("ok", true).field("text", text)
 }
 
 fn handle_families() -> Value {

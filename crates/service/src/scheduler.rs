@@ -20,17 +20,33 @@
 //!
 //! [`Service::drain`] is the synchronous, caller-driven form of that
 //! pipeline (one cycle, responses returned). [`Server`] is the
-//! concurrent form: a dedicated thread owns the service and runs the
-//! same cycle against the shared
+//! concurrent form: a dedicated thread owns the service and runs a
+//! *pipelined* version of the same cycle against the shared
 //! [`SubmissionQueue`] that every transport
 //! ([`crate::transport`]) feeds, waking on queue depth, a control op,
 //! or a configurable linger timer — so *independent clients'*
 //! same-graph queries coalesce into shared engine passes without any
-//! client knowing about the others. Responses are routed back
-//! per-connection in submission order, and a shutdown request (stdin
-//! EOF, SIGTERM) flushes everything pending before the loop exits.
+//! client knowing about the others. The pipelined loop differs from
+//! the synchronous drain in wall-clock shape only, never in results:
+//!
+//! - **writes are off the critical path** — responses go to bounded
+//!   per-connection outbound queues drained by dedicated writer
+//!   threads ([`Connections`]), so one stalled client cannot block
+//!   the cycle;
+//! - **hits take a fast path** — warm-cache and certificate answers
+//!   are enqueued to their connection's writer at resolve time,
+//!   before the cycle's execute barrier;
+//! - **cycles overlap** — while the group-execution pool runs cycle
+//!   N's engine passes, the drain thread resolves cycle N+1's
+//!   arrivals against the cache (deferring anything that touches an
+//!   in-flight group or needs mutable service state).
+//!
+//! Responses are still routed back per-connection in submission order
+//! (a sequencing router re-orders out-of-order fulfilments), and a
+//! shutdown request (stdin EOF, SIGTERM) flushes everything pending —
+//! including the outbound writer queues — before the loop exits.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io;
 use std::net::SocketAddr;
 use std::path::Path;
@@ -44,10 +60,11 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::error::ServiceError;
 use crate::exec::{execute_groups, Group, GroupPass};
 use crate::persist::{CertificateLog, CertificateRecord};
+use crate::pipeline::{ResponseRouter, Token};
 use crate::protocol;
 use crate::query::{CacheStatus, Outcome, Property, Query, QueryId, QueryResponse};
 use crate::registry::GraphRegistry;
-use crate::telemetry::{Clock, StageTimes, Telemetry, WakeReason};
+use crate::telemetry::{Clock, Route, StageTimes, Telemetry, WakeReason, WAKE_REASONS};
 use crate::transport::{
     spawn_stdio, spawn_tcp_listener, ConnectionId, Connections, Submission, SubmissionQueue,
 };
@@ -88,17 +105,31 @@ pub struct ServiceStats {
     /// bound). Unlike `queue_depth` this survives the drain, so an
     /// overload episode stays diagnosable after the backlog clears.
     pub queue_depth_hwm: usize,
-    /// Responses computed but never delivered because the addressed
-    /// connection was gone or its write failed (0 when no connection
-    /// table is bound).
+    /// Responses computed but never delivered *mid-flight* — the
+    /// addressed connection was gone, or its writer died on a write
+    /// failure — while the server was live (0 when no connection table
+    /// is bound). Shutdown-flush casualties are counted separately in
+    /// [`responses_lost_shutdown`](Self::responses_lost_shutdown).
     pub responses_lost: u64,
+    /// Responses dropped during the final shutdown flush (the client
+    /// hung up while the server was draining its outbound queue).
+    pub responses_lost_shutdown: u64,
+    /// Responses shed because the addressed connection's bounded
+    /// outbound queue was full (`--outbound-depth`): the slow-reader
+    /// backpressure policy chose dropping over blocking the cycle.
+    pub responses_shed: u64,
+    /// Deepest any per-connection outbound queue has ever been.
+    pub outbound_depth_hwm: usize,
+    /// Writer-thread stalls: single response writes that took longer
+    /// than the stall threshold (a slow or unreading client).
+    pub writer_stalls: u64,
     /// Microseconds since the service's telemetry epoch.
     pub uptime_micros: u64,
     /// Drain-loop cycles executed.
     pub drain_cycles: u64,
     /// Drain-loop wake reason counts: `[depth, linger, control,
-    /// shutdown]`.
-    pub wake: [u64; 4],
+    /// shutdown, pipeline]`.
+    pub wake: [u64; WAKE_REASONS],
 }
 
 /// What [`Service::set_state_dir`] restored from a durable state
@@ -355,6 +386,22 @@ impl Service {
                 .bound_connections
                 .as_ref()
                 .map_or(0, |c| c.lost_responses()),
+            responses_lost_shutdown: self
+                .bound_connections
+                .as_ref()
+                .map_or(0, |c| c.lost_shutdown_responses()),
+            responses_shed: self
+                .bound_connections
+                .as_ref()
+                .map_or(0, |c| c.shed_responses()),
+            outbound_depth_hwm: self
+                .bound_connections
+                .as_ref()
+                .map_or(0, |c| c.outbound_depth_hwm()),
+            writer_stalls: self
+                .bound_connections
+                .as_ref()
+                .map_or(0, |c| c.writer_stalls()),
             uptime_micros: self.telemetry.uptime_micros(),
             drain_cycles: self.telemetry.cycles(),
             wake: self.telemetry.wake_counts(),
@@ -422,7 +469,7 @@ impl Service {
         // Stage 1: resolve (cache hits answered in place).
         let mut misses: Vec<(usize, Resolved)> = Vec::new();
         for (slot, (id, query, at)) in pending.into_iter().enumerate() {
-            match self.resolve_one(id, query, at, None) {
+            match self.resolve_one(id, query, at, None, Route::Cycle) {
                 Resolution::Done(result) => results[slot] = Some((id, result)),
                 Resolution::Miss(resolved) => misses.push((slot, resolved)),
             }
@@ -444,70 +491,29 @@ impl Service {
             .collect()
     }
 
-    /// Stage 1 for one query: registry resolution + cache lookup.
-    ///
-    /// Stage spans stay contiguous by construction: the queue span ends
-    /// on the single stamp taken at entry, and the resolve span ends on
-    /// the single stamp taken when the walk finishes — so
-    /// `queue + resolve (+ execute + respond)` sums *exactly* to
-    /// end-to-end on the service clock.
+    /// Stage 1 for one query: registry resolution + cache lookup. See
+    /// [`resolve_query`] (the pipelined drain loop calls the free form
+    /// with split field borrows while the execute stage holds the
+    /// registry).
     pub(crate) fn resolve_one(
         &mut self,
         id: QueryId,
         query: Query,
         submitted_micros: u64,
         conn: Option<ConnectionId>,
+        route: Route,
     ) -> Resolution {
-        self.queries_served += 1;
-        let resolve_start = self.telemetry.now_micros();
-        let mut stages = StageTimes {
-            submitted_micros,
-            queue_micros: resolve_start.saturating_sub(submitted_micros),
-            ..StageTimes::default()
-        };
-        let close = |stages: &mut StageTimes, telemetry: &Telemetry| {
-            stages.resolve_micros = telemetry.now_micros().saturating_sub(resolve_start);
-        };
-        let entry = match self.registry.resolve(&query.graph) {
-            Ok(e) => e,
-            Err(err) => {
-                close(&mut stages, &self.telemetry);
-                self.telemetry.record_failed_query(stages);
-                return Resolution::Done(Err(err));
-            }
-        };
-        let key = CacheKey {
-            graph: entry.fingerprint,
-            config: query.cfg.fingerprint(),
-            property: query.property,
-        };
-        let seed = query.cfg.seed;
-        if let Some((outcome, status, stored_seed)) = self.cache.lookup(&key, seed) {
-            close(&mut stages, &self.telemetry);
-            self.telemetry
-                .record_query(conn, id, query.property, status, stages, 0, 0);
-            return Resolution::Done(Ok(QueryResponse {
-                id,
-                graph: key.graph,
-                property: query.property,
-                seed: stored_seed,
-                outcome,
-                cache: status,
-                coalesced: 0,
-                engine_micros: 0,
-                attributed_micros: 0,
-                stages,
-            }));
-        }
-        close(&mut stages, &self.telemetry);
-        Resolution::Miss(Resolved {
+        resolve_query(
+            &self.registry,
+            &mut self.cache,
+            &self.telemetry,
+            &mut self.queries_served,
             id,
-            key,
-            seed,
             query,
+            submitted_micros,
             conn,
-            stages,
-        })
+            route,
+        )
     }
 
     /// Stage 4 for one group: bump the pass counter, record outcomes in
@@ -594,6 +600,7 @@ impl Service {
                 r.id,
                 group.key.property,
                 CacheStatus::Cold,
+                Route::Cycle,
                 stages,
                 coalesced,
                 engine_micros,
@@ -615,6 +622,79 @@ impl Service {
             ));
         }
     }
+}
+
+/// Stage 1 for one query, in free form: registry resolution + cache
+/// lookup against explicitly-borrowed service fields, so the pipelined
+/// drain loop can resolve cycle N+1's arrivals while the execute stage
+/// holds shared borrows of the registry and runner.
+///
+/// Stage spans stay contiguous by construction: the queue span ends
+/// on the single stamp taken at entry, and the resolve span ends on
+/// the single stamp taken when the walk finishes — so
+/// `queue + resolve (+ execute + respond)` sums *exactly* to
+/// end-to-end on the service clock.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_query(
+    registry: &GraphRegistry,
+    cache: &mut ResultCache,
+    telemetry: &Telemetry,
+    queries_served: &mut u64,
+    id: QueryId,
+    query: Query,
+    submitted_micros: u64,
+    conn: Option<ConnectionId>,
+    route: Route,
+) -> Resolution {
+    *queries_served += 1;
+    let resolve_start = telemetry.now_micros();
+    let mut stages = StageTimes {
+        submitted_micros,
+        queue_micros: resolve_start.saturating_sub(submitted_micros),
+        ..StageTimes::default()
+    };
+    let close = |stages: &mut StageTimes, telemetry: &Telemetry| {
+        stages.resolve_micros = telemetry.now_micros().saturating_sub(resolve_start);
+    };
+    let entry = match registry.resolve(&query.graph) {
+        Ok(e) => e,
+        Err(err) => {
+            close(&mut stages, telemetry);
+            telemetry.record_failed_query(stages);
+            return Resolution::Done(Err(err));
+        }
+    };
+    let key = CacheKey {
+        graph: entry.fingerprint,
+        config: query.cfg.fingerprint(),
+        property: query.property,
+    };
+    let seed = query.cfg.seed;
+    if let Some((outcome, status, stored_seed)) = cache.lookup(&key, seed) {
+        close(&mut stages, telemetry);
+        telemetry.record_query(conn, id, query.property, status, route, stages, 0, 0);
+        return Resolution::Done(Ok(QueryResponse {
+            id,
+            graph: key.graph,
+            property: query.property,
+            seed: stored_seed,
+            outcome,
+            cache: status,
+            coalesced: 0,
+            engine_micros: 0,
+            attributed_micros: 0,
+            stages,
+        }));
+    }
+    close(&mut stages, telemetry);
+    Resolution::Miss(Resolved {
+        id,
+        key,
+        seed,
+        query,
+        conn,
+        stages,
+    })
 }
 
 /// Stage 2: bucket resolve-stage misses into engine groups by cache
@@ -668,7 +748,24 @@ pub struct ServeOptions {
     /// Per-frame byte cap on every transport
     /// ([`DEFAULT_MAX_FRAME`]).
     pub max_frame: usize,
+    /// Per-connection outbound queue bound (`--outbound-depth`; `0` =
+    /// unbounded). When a connection's writer falls this many responses
+    /// behind, further responses to it are *shed* (counted in
+    /// [`ServiceStats::responses_shed`]) instead of blocking the drain
+    /// cycle.
+    pub outbound_depth: usize,
+    /// Per-connection in-flight submission cap (`--max-in-flight`;
+    /// `0` = unbounded). A connection with this many unanswered
+    /// submissions has its reader paused until responses drain, so one
+    /// firehose client cannot starve the shared submission queue.
+    pub max_in_flight: usize,
 }
+
+/// Default per-connection outbound queue bound.
+pub const DEFAULT_OUTBOUND_DEPTH: usize = 1024;
+
+/// Default per-connection in-flight submission cap.
+pub const DEFAULT_MAX_IN_FLIGHT: usize = 1024;
 
 impl Default for ServeOptions {
     fn default() -> Self {
@@ -676,6 +773,8 @@ impl Default for ServeOptions {
             linger: Duration::ZERO,
             wake_depth: usize::MAX,
             max_frame: DEFAULT_MAX_FRAME,
+            outbound_depth: DEFAULT_OUTBOUND_DEPTH,
+            max_in_flight: DEFAULT_MAX_IN_FLIGHT,
         }
     }
 }
@@ -703,6 +802,9 @@ impl Server {
         queue.set_clock(service.telemetry.clock());
         service.bind_queue(Arc::clone(&queue));
         let connections = Arc::new(Connections::new());
+        connections.set_limits(opts.outbound_depth, opts.max_in_flight);
+        // Writer threads time their writes on the service clock.
+        connections.set_telemetry(service.telemetry());
         service.bind_connections(Arc::clone(&connections));
         let handle = {
             let queue = Arc::clone(&queue);
@@ -780,25 +882,427 @@ impl Server {
     }
 }
 
-/// The background drain loop: cycles until shutdown, then flushes.
+/// A response owed from an earlier cycle, carried into the next one by
+/// the pipelined drain loop. Its router token was assigned at arrival,
+/// so delivery order per connection is preserved no matter how many
+/// cycles it rides.
+enum Pending {
+    /// A submission that arrived during overlap but could not be
+    /// resolved early (control op, connection behind a control op, or
+    /// a cache key with an in-flight engine group): replayed through
+    /// the full dispatch next cycle.
+    Raw(Token, Submission),
+    /// A query resolved to a cache miss during overlap: goes straight
+    /// to the group stage next cycle. Boxed to keep the carried-raw
+    /// variant (the common case) small.
+    Miss(Token, Box<Resolved>),
+    /// A `batch` op resolved member-by-member during overlap with at
+    /// least one miss: hits keep their already-recorded responses
+    /// (re-resolving would double-count telemetry), misses go to the
+    /// group stage next cycle.
+    Batch(Token, Vec<BatchMember>),
+}
+
+/// One member of an overlap-resolved `batch` op.
+enum BatchMember {
+    /// Resolved at overlap time (hit or error), response in hand.
+    Done(DrainedQuery),
+    /// A cache miss: rides the next cycle's group stage.
+    Miss(Resolved),
+}
+
+/// A response the pipelined loop owes after the execute barrier (the
+/// fast path never creates one of these).
+enum Deferred {
+    /// One query miss: its response lives in the flat slot.
+    Single(Token, usize),
+    /// A `batch` op with at least one miss: one slot per member,
+    /// re-assembled into a single `{"responses": [...]}` line.
+    Batch(Token, Vec<usize>),
+}
+
+fn render_result(result: Result<QueryResponse, ServiceError>) -> Value {
+    match result {
+        Ok(response) => protocol::response_value(&response),
+        Err(e) => protocol::error_value(&e),
+    }
+}
+
+fn take_slot(flat: &mut [Option<DrainedQuery>], slot: usize) -> Value {
+    render_result(flat[slot].take().expect("every cycle slot answered").1)
+}
+
+fn render_batch(slots: &[usize], flat: &mut [Option<DrainedQuery>]) -> Value {
+    Value::obj().field("ok", true).field(
+        "responses",
+        slots
+            .iter()
+            .map(|&s| take_slot(flat, s))
+            .collect::<Vec<Value>>(),
+    )
+}
+
+/// Phase 1 of the pipelined cycle, for one submission: dispatch it
+/// exactly like [`process_cycle`] would, but fulfil everything that
+/// does not need the execute barrier — hits, control answers, errors —
+/// through the router *immediately* (the hit fast path).
+#[allow(clippy::too_many_arguments)]
+fn dispatch_submission(
+    service: &mut Service,
+    router: &mut ResponseRouter,
+    connections: &Connections,
+    token: Token,
+    sub: Submission,
+    flat: &mut Vec<Option<DrainedQuery>>,
+    misses: &mut Vec<(usize, Resolved)>,
+    deferred: &mut Vec<Deferred>,
+) {
+    let (conn, at) = (sub.conn, sub.at_micros);
+    match sub.request {
+        Err(message) => router.fulfill(token, &protocol::error_value(&message), connections),
+        Ok(req) => match req.get("op").and_then(Value::as_str) {
+            Some("query") => match protocol::parse_query(&req) {
+                Ok(q) => {
+                    let id = service.next_query_id();
+                    match service.resolve_one(id, q, at, Some(conn), Route::Fast) {
+                        Resolution::Done(result) => {
+                            router.fulfill(token, &render_result(result), connections);
+                        }
+                        Resolution::Miss(resolved) => {
+                            let slot = flat.len();
+                            flat.push(None);
+                            misses.push((slot, resolved));
+                            deferred.push(Deferred::Single(token, slot));
+                        }
+                    }
+                }
+                Err(e) => router.fulfill(token, &protocol::error_value(&e), connections),
+            },
+            Some("batch") => match protocol::parse_batch(&req) {
+                Ok(queries) => {
+                    let mut slots = Vec::with_capacity(queries.len());
+                    let mut all_done = true;
+                    for q in queries {
+                        let id = service.next_query_id();
+                        let slot = flat.len();
+                        match service.resolve_one(id, q, at, Some(conn), Route::Fast) {
+                            Resolution::Done(result) => flat.push(Some((id, result))),
+                            Resolution::Miss(resolved) => {
+                                flat.push(None);
+                                misses.push((slot, resolved));
+                                all_done = false;
+                            }
+                        }
+                        slots.push(slot);
+                    }
+                    if all_done {
+                        router.fulfill(token, &render_batch(&slots, flat), connections);
+                    } else {
+                        deferred.push(Deferred::Batch(token, slots));
+                    }
+                }
+                Err(e) => router.fulfill(token, &protocol::error_value(&e), connections),
+            },
+            // Control ops (ingest/stats/families) and unknown ops:
+            // handled in place, in arrival order, answered immediately.
+            _ => router.fulfill(token, &protocol::handle_request(service, &req), connections),
+        },
+    }
+}
+
+/// The background drain loop: pipelined cycles until shutdown, then a
+/// full flush of the per-connection outbound writer queues.
+///
+/// Each iteration: resolve carried work plus (when nothing is carried)
+/// one `wait_cycle` batch, answering hits and control ops at resolve
+/// time; then, while the group-execution pool runs the cycle's engine
+/// passes, keep resolving newly-arrived submissions against the cache
+/// (`wait_overlap`). A control op defers itself *and everything behind
+/// it on its own connection* to the next cycle, so the per-connection
+/// semantics of the synchronous cycle (an `ingest` is visible to every
+/// query behind it on that connection) are preserved exactly; queries
+/// whose cache key has an in-flight engine group defer without
+/// blocking anyone. Deferred work is carried into the next iteration
+/// with its delivery order pinned by the router tokens assigned at
+/// arrival.
 fn drain_loop(
     mut service: Service,
     queue: &SubmissionQueue,
     connections: &Connections,
     opts: ServeOptions,
 ) -> Service {
-    let telemetry = service.telemetry();
-    while let Some((submissions, reason)) = queue.wait_cycle(opts.linger, opts.wake_depth) {
-        for (conn, response) in process_cycle(&mut service, submissions, reason) {
-            let write_start = telemetry.now_micros();
-            connections.send(conn, &response.to_string());
-            telemetry.record_write(telemetry.now_micros().saturating_sub(write_start));
+    let mut router = ResponseRouter::default();
+    let mut carry: Vec<Pending> = Vec::new();
+    loop {
+        // Fresh submissions only when no carried work is waiting: a
+        // carried miss must reach the engine before anything newer on
+        // its connection is dispatched.
+        let fresh = if carry.is_empty() {
+            match queue.wait_cycle(opts.linger, opts.wake_depth) {
+                Some(cycle) => Some(cycle),
+                None => break,
+            }
+        } else {
+            None
+        };
+        if matches!(fresh, Some((_, WakeReason::Shutdown))) {
+            // From here on, undeliverable responses are shutdown-flush
+            // casualties, not mid-flight losses.
+            connections.begin_shutdown_flush();
+        }
+
+        // Phase 1: resolve in arrival order — carried items first
+        // (their router tokens predate every fresh submission).
+        let mut flat: Vec<Option<DrainedQuery>> = Vec::new();
+        let mut misses: Vec<(usize, Resolved)> = Vec::new();
+        let mut deferred: Vec<Deferred> = Vec::new();
+        for pending in std::mem::take(&mut carry) {
+            match pending {
+                Pending::Raw(token, sub) => dispatch_submission(
+                    &mut service,
+                    &mut router,
+                    connections,
+                    token,
+                    sub,
+                    &mut flat,
+                    &mut misses,
+                    &mut deferred,
+                ),
+                Pending::Miss(token, resolved) => {
+                    let slot = flat.len();
+                    flat.push(None);
+                    misses.push((slot, *resolved));
+                    deferred.push(Deferred::Single(token, slot));
+                }
+                Pending::Batch(token, members) => {
+                    let mut slots = Vec::with_capacity(members.len());
+                    for member in members {
+                        let slot = flat.len();
+                        match member {
+                            BatchMember::Done(drained) => flat.push(Some(drained)),
+                            BatchMember::Miss(resolved) => {
+                                flat.push(None);
+                                misses.push((slot, resolved));
+                            }
+                        }
+                        slots.push(slot);
+                    }
+                    deferred.push(Deferred::Batch(token, slots));
+                }
+            }
+        }
+        let recorded = fresh.as_ref().map(|(subs, reason)| (*reason, subs.len()));
+        if let Some((submissions, _)) = fresh {
+            for sub in submissions {
+                let token = router.admit(sub.conn);
+                dispatch_submission(
+                    &mut service,
+                    &mut router,
+                    connections,
+                    token,
+                    sub,
+                    &mut flat,
+                    &mut misses,
+                    &mut deferred,
+                );
+            }
+        }
+
+        // Phase 2: group. (Overlap batches were already recorded as
+        // `pipeline` wakes when they were collected.)
+        let groups = group_misses(misses);
+        if let Some((reason, width)) = recorded {
+            service.telemetry.record_cycle(reason, width, groups.len());
+        }
+        if groups.is_empty() {
+            debug_assert!(deferred.is_empty(), "no groups, nothing can be deferred");
+            continue;
+        }
+
+        // Phase 3: execute on a scoped thread while this thread keeps
+        // resolving next-cycle arrivals against the cache. The borrows
+        // split by field: the execute stage is pure over `registry` +
+        // `runner`, the overlap walk mutates `cache` / the id counters.
+        let in_flight: HashSet<(u128, u128, Property)> = groups
+            .iter()
+            .map(|g| (g.key.graph.0, g.key.config.0, g.key.property))
+            .collect();
+        queue.pipeline_begin();
+        let registry = &service.registry;
+        let runner = &service.runner;
+        let telemetry = &service.telemetry;
+        let cache = &mut service.cache;
+        let queries_served = &mut service.queries_served;
+        let next_id = &mut service.next_id;
+        let passes = thread::scope(|scope| {
+            let clock = telemetry.clock();
+            let exec = scope.spawn({
+                let groups = &groups;
+                move || {
+                    let passes = execute_groups(registry, groups, runner, &clock);
+                    queue.pipeline_done();
+                    passes
+                }
+            });
+            // A deferral is a *per-connection* barrier: a control op
+            // (ingest, stats, …) defers itself and everything behind
+            // it on its own connection, so same-connection effects
+            // (ingest-then-query) replay in arrival order next cycle —
+            // while every other connection keeps flowing through the
+            // fast path. Cross-connection arrival order around a
+            // pending control op is not preserved; concurrent clients
+            // race those orderings anyway.
+            //
+            // What each overlap arrival may do, decided before any
+            // state moves:
+            enum EarlyAction {
+                /// Syntactic failure (bad frame, bad fields): the
+                /// answer depends on no service state — fulfil now.
+                Error(String),
+                /// A plain query with no in-flight engine group on its
+                /// key: resolve against the cache now.
+                Query(Box<Query>),
+                /// A batch whose members all avoid in-flight keys:
+                /// resolve member-by-member now.
+                Batch(Vec<Query>),
+                /// A query touching an in-flight key: the running pass
+                /// may be its answer, so it re-resolves next cycle
+                /// (no barrier — later queries depend on nothing it
+                /// does).
+                Defer,
+                /// A control op: defer it and barrier its connection.
+                Block,
+            }
+            let key_in_flight = |q: &Query| {
+                registry.resolve(&q.graph).is_ok_and(|entry| {
+                    in_flight.contains(&(entry.fingerprint.0, q.cfg.fingerprint().0, q.property))
+                })
+            };
+            let mut blocked: HashSet<ConnectionId> = HashSet::new();
+            while let Some(batch) = queue.wait_overlap() {
+                telemetry.record_cycle(WakeReason::Pipeline, batch.len(), 0);
+                for sub in batch {
+                    let (conn, at_micros) = (sub.conn, sub.at_micros);
+                    let token = router.admit(conn);
+                    let action = if blocked.contains(&conn) {
+                        EarlyAction::Defer
+                    } else {
+                        match &sub.request {
+                            Err(message) => EarlyAction::Error(message.clone()),
+                            Ok(req) => match req.get("op").and_then(Value::as_str) {
+                                Some("query") => match protocol::parse_query(req) {
+                                    Ok(q) if key_in_flight(&q) => EarlyAction::Defer,
+                                    Ok(q) => EarlyAction::Query(Box::new(q)),
+                                    Err(e) => EarlyAction::Error(e),
+                                },
+                                Some("batch") => match protocol::parse_batch(req) {
+                                    Ok(qs) if qs.iter().any(&key_in_flight) => EarlyAction::Defer,
+                                    Ok(qs) => EarlyAction::Batch(qs),
+                                    Err(e) => EarlyAction::Error(e),
+                                },
+                                _ => EarlyAction::Block,
+                            },
+                        }
+                    };
+                    let mut resolve_early = |q: Query| {
+                        let id = *next_id;
+                        *next_id += 1;
+                        let resolution = resolve_query(
+                            registry,
+                            cache,
+                            telemetry,
+                            queries_served,
+                            id,
+                            q,
+                            at_micros,
+                            Some(conn),
+                            Route::Fast,
+                        );
+                        (id, resolution)
+                    };
+                    match action {
+                        EarlyAction::Error(message) => {
+                            router.fulfill(token, &protocol::error_value(&message), connections);
+                        }
+                        EarlyAction::Query(q) => match resolve_early(*q) {
+                            (_, Resolution::Done(result)) => {
+                                router.fulfill(token, &render_result(result), connections);
+                            }
+                            (_, Resolution::Miss(resolved)) => {
+                                carry.push(Pending::Miss(token, Box::new(resolved)));
+                            }
+                        },
+                        EarlyAction::Batch(qs) => {
+                            let mut members = Vec::with_capacity(qs.len());
+                            let mut any_miss = false;
+                            for q in qs {
+                                members.push(match resolve_early(q) {
+                                    (id, Resolution::Done(result)) => {
+                                        BatchMember::Done((id, result))
+                                    }
+                                    (_, Resolution::Miss(resolved)) => {
+                                        any_miss = true;
+                                        BatchMember::Miss(resolved)
+                                    }
+                                });
+                            }
+                            if any_miss {
+                                carry.push(Pending::Batch(token, members));
+                            } else {
+                                let responses: Vec<Value> = members
+                                    .into_iter()
+                                    .map(|m| match m {
+                                        BatchMember::Done((_, result)) => render_result(result),
+                                        BatchMember::Miss(_) => unreachable!("no member missed"),
+                                    })
+                                    .collect();
+                                router.fulfill(
+                                    token,
+                                    &Value::obj().field("ok", true).field("responses", responses),
+                                    connections,
+                                );
+                            }
+                        }
+                        EarlyAction::Defer => carry.push(Pending::Raw(token, sub)),
+                        EarlyAction::Block => {
+                            blocked.insert(conn);
+                            carry.push(Pending::Raw(token, sub));
+                        }
+                    }
+                }
+            }
+            exec.join().expect("group execution thread panicked")
+        });
+
+        // Phase 4: respond — apply passes in group order, then fulfil
+        // the deferred responses (the router restores per-connection
+        // submission order around anything answered early).
+        for (group, pass) in groups.into_iter().zip(passes) {
+            service.apply_group(group, pass, &mut flat);
+        }
+        for d in deferred {
+            match d {
+                Deferred::Single(token, slot) => {
+                    let value = take_slot(&mut flat, slot);
+                    router.fulfill(token, &value, connections);
+                }
+                Deferred::Batch(token, slots) => {
+                    let value = render_batch(&slots, &mut flat);
+                    router.fulfill(token, &value, connections);
+                }
+            }
         }
     }
+    // Graceful shutdown: every computed response is already enqueued;
+    // wait for the writers to put them on the wire (stuck connections
+    // are force-closed after a grace period), then join the writers.
+    connections.finish_shutdown_flush();
     service
 }
 
-/// What one submission is waiting on after the resolve walk.
+/// What one submission is waiting on after the resolve walk (the
+/// synchronous [`process_cycle`] reference path).
+#[cfg_attr(not(test), allow(dead_code))]
 enum Plan {
     /// Fully answered during the walk (control op, parse error, …).
     Ready(Value),
@@ -816,6 +1320,12 @@ enum Plan {
 /// submission, in arrival order, ready for per-connection routing.
 /// `reason` is why this cycle fired; it lands in the wake-reason
 /// counters along with the cycle's width and group fan-out.
+///
+/// This is the *synchronous reference* for the pipelined
+/// [`drain_loop`]: the pipelined form must be per-connection
+/// bit-for-bit equivalent to routing these responses in order (the
+/// drain-equivalence proptests hold both to it).
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn process_cycle(
     service: &mut Service,
     submissions: Vec<Submission>,
@@ -836,7 +1346,7 @@ pub(crate) fn process_cycle(
     ) -> usize {
         let id = service.next_query_id();
         let slot = flat.len();
-        match service.resolve_one(id, query, at_micros, Some(conn)) {
+        match service.resolve_one(id, query, at_micros, Some(conn), Route::Cycle) {
             Resolution::Done(result) => flat.push(Some((id, result))),
             Resolution::Miss(resolved) => {
                 flat.push(None);

@@ -444,7 +444,15 @@ pub enum WakeReason {
     Control,
     /// Shutdown flush.
     Shutdown,
+    /// Submissions collected *during* an overlapped engine pass (the
+    /// pipelined drain loop resolving cycle N+1 under cycle N's
+    /// execute stage).
+    Pipeline,
 }
+
+/// The number of [`WakeReason`] variants (the length of every wake
+/// counter array).
+pub const WAKE_REASONS: usize = 5;
 
 impl WakeReason {
     /// Wire name.
@@ -455,6 +463,7 @@ impl WakeReason {
             WakeReason::Linger => "linger",
             WakeReason::Control => "control",
             WakeReason::Shutdown => "shutdown",
+            WakeReason::Pipeline => "pipeline",
         }
     }
 
@@ -464,6 +473,33 @@ impl WakeReason {
             WakeReason::Linger => 1,
             WakeReason::Control => 2,
             WakeReason::Shutdown => 3,
+            WakeReason::Pipeline => 4,
+        }
+    }
+}
+
+/// Which serving path answered a query: the pipelined fast path
+/// (warm/certificate hits enqueued to their connection's writer at
+/// resolve time, never waiting on an execute barrier) or the full
+/// drain cycle. Latency cells are keyed by route so the µs/ms split
+/// the one-sided cache creates is directly observable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Route {
+    /// Answered at resolve time, ahead of the cycle's execute barrier
+    /// (the pipelined server's hit fast path).
+    Fast,
+    /// Answered by a full resolve → group → execute → respond cycle
+    /// (engine misses, and every query in lib-embedded drains).
+    Cycle,
+}
+
+impl Route {
+    /// Wire name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Route::Fast => "fast",
+            Route::Cycle => "cycle",
         }
     }
 }
@@ -483,11 +519,12 @@ struct Metrics {
     /// Per-connection response write time (the respond half the drain
     /// loop spends inside `Connections::send`).
     write: Histogram,
-    /// End-to-end latency per `(property, cache outcome)`: cold engine
-    /// passes vs. certificate replays vs. warm accepts.
-    latency: BTreeMap<(Property, CacheStatus), Histogram>,
+    /// End-to-end latency per `(property, cache outcome, route)`:
+    /// cold engine passes vs. certificate replays vs. warm accepts,
+    /// split by which serving path answered.
+    latency: BTreeMap<(Property, CacheStatus, Route), Histogram>,
     /// Wake reason counts, indexed by [`WakeReason::slot`].
-    wake: [u64; 4],
+    wake: [u64; WAKE_REASONS],
     /// Drain cycles executed (lib `drain()` and server cycles alike).
     cycles: u64,
     /// Submissions (or pending queries) per cycle.
@@ -580,6 +617,7 @@ impl Telemetry {
         query: u64,
         property: Property,
         cache: CacheStatus,
+        route: Route,
         stages: StageTimes,
         coalesced: usize,
         engine_micros: u64,
@@ -591,7 +629,7 @@ impl Telemetry {
             m.stage_execute.record(stages.execute_micros);
             m.stage_respond.record(stages.respond_micros);
             m.latency
-                .entry((property, cache))
+                .entry((property, cache, route))
                 .or_default()
                 .record(stages.total_micros());
         }
@@ -693,9 +731,10 @@ impl Telemetry {
         m.write.record(micros);
     }
 
-    /// Wake reason counters as `[depth, linger, control, shutdown]`.
+    /// Wake reason counters as `[depth, linger, control, shutdown,
+    /// pipeline]`.
     #[must_use]
-    pub fn wake_counts(&self) -> [u64; 4] {
+    pub fn wake_counts(&self) -> [u64; WAKE_REASONS] {
         self.inner.lock().expect("telemetry lock").wake
     }
 
@@ -706,14 +745,36 @@ impl Telemetry {
     }
 
     /// The end-to-end latency histogram for one `(property, cache)`
-    /// cell, if any query landed there.
+    /// cell, merged across serving routes, if any query landed there.
     #[must_use]
     pub fn latency_histogram(&self, property: Property, cache: CacheStatus) -> Option<Histogram> {
+        let m = self.inner.lock().expect("telemetry lock");
+        let mut merged: Option<Histogram> = None;
+        for route in [Route::Fast, Route::Cycle] {
+            if let Some(h) = m.latency.get(&(property, cache, route)) {
+                match merged.as_mut() {
+                    Some(acc) => acc.merge(h),
+                    None => merged = Some(h.clone()),
+                }
+            }
+        }
+        merged
+    }
+
+    /// The end-to-end latency histogram for one `(property, cache,
+    /// route)` cell, if any query landed there.
+    #[must_use]
+    pub fn latency_histogram_for(
+        &self,
+        property: Property,
+        cache: CacheStatus,
+        route: Route,
+    ) -> Option<Histogram> {
         self.inner
             .lock()
             .expect("telemetry lock")
             .latency
-            .get(&(property, cache))
+            .get(&(property, cache, route))
             .cloned()
     }
 
@@ -725,10 +786,11 @@ impl Telemetry {
         let latency: Vec<Value> = m
             .latency
             .iter()
-            .map(|((property, cache), h)| {
+            .map(|((property, cache, route), h)| {
                 Value::obj()
                     .field("property", property.name())
                     .field("cache", cache.name())
+                    .field("route", route.name())
                     .field("latency_micros", h.snapshot_value())
             })
             .collect();
@@ -749,7 +811,8 @@ impl Telemetry {
                             .field("depth", m.wake[0])
                             .field("linger", m.wake[1])
                             .field("control", m.wake[2])
-                            .field("shutdown", m.wake[3]),
+                            .field("shutdown", m.wake[3])
+                            .field("pipeline", m.wake[4]),
                     )
                     .field("width", m.cycle_width.snapshot_value())
                     .field("groups", m.cycle_groups.snapshot_value()),
@@ -795,6 +858,7 @@ impl Telemetry {
             WakeReason::Linger,
             WakeReason::Control,
             WakeReason::Shutdown,
+            WakeReason::Pipeline,
         ] {
             let _ = writeln!(
                 out,
@@ -827,14 +891,15 @@ impl Telemetry {
         ] {
             write_prometheus_histogram(&mut out, &format!("planartest_{name}"), "", h);
         }
-        for ((property, cache), h) in &m.latency {
+        for ((property, cache, route), h) in &m.latency {
             write_prometheus_histogram(
                 &mut out,
                 "planartest_query_latency_micros",
                 &format!(
-                    "property=\"{}\",cache=\"{}\"",
+                    "property=\"{}\",cache=\"{}\",route=\"{}\"",
                     property.name(),
-                    cache.name()
+                    cache.name(),
+                    route.name()
                 ),
                 h,
             );
@@ -1038,6 +1103,7 @@ mod tests {
             9,
             Property::Planarity,
             CacheStatus::Cold,
+            Route::Cycle,
             StageTimes {
                 submitted_micros: 1000,
                 queue_micros: 10,
@@ -1084,6 +1150,7 @@ mod tests {
             0,
             Property::Planarity,
             CacheStatus::Cold,
+            Route::Cycle,
             StageTimes {
                 submitted_micros: 0,
                 queue_micros: 2,
@@ -1112,11 +1179,12 @@ mod tests {
         assert!(text.contains("planartest_drain_wake_total{reason=\"linger\"} 0"));
         assert!(text.contains("planartest_engine_rounds_total 100"));
         assert!(text.contains("planartest_engine_charged_rounds_total 5"));
+        assert!(text.contains("planartest_drain_wake_total{reason=\"pipeline\"} 0"));
         assert!(text.contains(
-            "planartest_query_latency_micros_bucket{property=\"planarity\",cache=\"cold\",le="
+            "planartest_query_latency_micros_bucket{property=\"planarity\",cache=\"cold\",route=\"cycle\",le="
         ));
         assert!(text.contains(
-            "planartest_query_latency_micros_count{property=\"planarity\",cache=\"cold\"} 1"
+            "planartest_query_latency_micros_count{property=\"planarity\",cache=\"cold\",route=\"cycle\"} 1"
         ));
         assert!(text.contains("planartest_stage_queue_micros_bucket{le=\"2\"} 1"));
         // Every histogram closes with +Inf at the total count.
@@ -1130,5 +1198,6 @@ mod tests {
         let latency = snapshot.get("latency").unwrap().as_arr().unwrap();
         assert_eq!(latency.len(), 1);
         assert_eq!(latency[0].get("cache").unwrap().as_str(), Some("cold"),);
+        assert_eq!(latency[0].get("route").unwrap().as_str(), Some("cycle"),);
     }
 }

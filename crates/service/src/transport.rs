@@ -1,5 +1,5 @@
-//! The transport layer: listeners, connections, and the shared
-//! submission queue.
+//! The transport layer: listeners, connections, outbound writers, and
+//! the shared submission queue.
 //!
 //! `planartest serve` used to be a synchronous loop over one stdin
 //! pipe. This module decouples *how requests arrive* from *how they
@@ -15,11 +15,19 @@
 //! garbage frame becomes an in-band `{"ok":false,...}` response (the
 //! reader resynchronises on the next newline), and a dead socket just
 //! drops its connection. No *frame* a client sends can take the
-//! server down. One known limitation on the output side: the drain
-//! loop writes responses inline, so a live client that stops
-//! *reading* while responses pile into its full socket buffer can
-//! stall the respond stage (per-connection outbound queues are the
-//! ROADMAP "backpressure" item).
+//! server down.
+//!
+//! The output side is decoupled the same way. Each connection owns a
+//! bounded **outbound queue** drained by a dedicated writer thread, so
+//! a live client that stops *reading* while responses pile into its
+//! full socket buffer stalls only its own writer — never the drain
+//! loop. When a connection's outbound queue is full the newest
+//! response for it is **shed** (counted separately from undeliverable
+//! losses): the client asked faster than it reads, so it pays, nobody
+//! else. On the inbound side a per-connection **in-flight cap** blocks
+//! that connection's reader once too many of its submissions are
+//! unanswered, so a firehose cannot starve the shared submission
+//! queue either.
 //!
 //! End-of-life: read-side EOF never tears down a connection's write
 //! half — a client may close its sending side and still collect its
@@ -27,12 +35,17 @@
 //! connection is dropped when a *write* to it fails; EOF on *stdin*
 //! additionally requests a graceful shutdown of the whole server (the
 //! drain loop flushes every pending query before exiting), which is
-//! also what the CLI's SIGTERM handler triggers.
+//! also what the CLI's SIGTERM handler triggers. The shutdown flush
+//! closes every outbound queue, waits a short grace period for the
+//! writers to drain, force-closes sockets whose writers are stuck on a
+//! non-reading peer, and joins the writer threads — responses that
+//! could not be delivered during that window are tallied separately
+//! from mid-flight losses.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
@@ -43,7 +56,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::protocol;
-use crate::telemetry::{Clock, WakeReason};
+use crate::telemetry::{Clock, Telemetry, WakeReason};
 use crate::wire::{FrameError, FrameReader, Value};
 
 /// Identifies one client connection for the lifetime of the server.
@@ -54,9 +67,17 @@ use crate::wire::{FrameError, FrameReader, Value};
 /// first socket client.
 pub type ConnectionId = u64;
 
-/// How often blocked waits re-check the shutdown flag (accept loops
-/// and the empty-queue wait in the drain loop).
+/// How often blocked waits re-check the shutdown flag (accept loops,
+/// the empty-queue wait in the drain loop, and the in-flight gate).
 const POLL: Duration = Duration::from_millis(25);
+
+/// A single response write slower than this counts as a writer stall
+/// (a peer that is alive but not keeping up with its socket).
+const WRITER_STALL_MICROS: u64 = 5_000;
+
+/// How long the shutdown flush waits for outbound writers to drain
+/// before force-closing their sockets.
+const FLUSH_GRACE: Duration = Duration::from_secs(2);
 
 /// One framed request as the scheduler sees it: where it came from,
 /// and either the parsed JSON document or the per-frame failure to
@@ -101,6 +122,12 @@ struct QueueState {
     first_at: Option<Instant>,
     /// Whether anything pending is non-coalescable.
     urgent: bool,
+    /// Whether the exec pool has finished the overlapped cycle (the
+    /// pipelined drain loop's rendezvous; see [`SubmissionQueue::
+    /// wait_overlap`]). Lives under the queue mutex so the done signal
+    /// and the new-submission signal share one condvar without lost
+    /// wakeups.
+    exec_done: bool,
 }
 
 /// The shared submission queue between all transports and the one
@@ -241,27 +268,147 @@ impl SubmissionQueue {
             st = self.wake.wait_timeout(st, remaining).expect("queue lock").0;
         }
     }
+
+    /// Marks the start of an overlapped engine pass: until
+    /// [`pipeline_done`](SubmissionQueue::pipeline_done) the drain
+    /// thread collects fresh submissions through
+    /// [`wait_overlap`](SubmissionQueue::wait_overlap).
+    pub(crate) fn pipeline_begin(&self) {
+        self.state.lock().expect("queue lock").exec_done = false;
+    }
+
+    /// Signals that the overlapped engine pass finished (called by the
+    /// exec thread); wakes the drain thread out of
+    /// [`wait_overlap`](SubmissionQueue::wait_overlap).
+    pub(crate) fn pipeline_done(&self) {
+        self.state.lock().expect("queue lock").exec_done = true;
+        self.wake.notify_all();
+    }
+
+    /// Waits while an overlapped engine pass runs: returns
+    /// `Some(batch)` as soon as fresh submissions arrive (so the drain
+    /// thread can resolve them under the exec pass), or `None` once
+    /// the pass finished or shutdown was requested — in which case any
+    /// pending submissions stay queued for the next
+    /// [`wait_cycle`](SubmissionQueue::wait_cycle).
+    pub(crate) fn wait_overlap(&self) -> Option<Vec<Submission>> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.exec_done || self.shutting_down() {
+                return None;
+            }
+            if !st.items.is_empty() {
+                st.first_at = None;
+                st.urgent = false;
+                return Some(std::mem::take(&mut st.items));
+            }
+            st = self.wake.wait_timeout(st, POLL).expect("queue lock").0;
+        }
+    }
 }
 
 type SharedWriter = Arc<Mutex<Box<dyn Write + Send>>>;
 
-/// The write half of every live connection, keyed by [`ConnectionId`].
-///
-/// The drain loop is the only writer, so per-connection response
-/// order is exactly submission order. A failed write (client went
-/// away) drops the connection and is tallied per connection in the
-/// response-loss counters, so "how many answers never reached a
-/// client" is answerable from the `stats` op after the fact.
+/// One connection's bounded outbound queue, drained by its dedicated
+/// writer thread.
 #[derive(Default)]
-pub struct Connections {
-    writers: Mutex<HashMap<ConnectionId, SharedWriter>>,
-    next: AtomicU64,
-    /// Responses computed but never delivered, keyed by the connection
-    /// they were addressed to (gone or mid-write failure). Entries
-    /// outlive deregistration — that is the point.
+struct Outbound {
+    state: Mutex<OutboundState>,
+    /// Signals the writer thread: new line queued, or queue closed.
+    ready: Condvar,
+    /// Signals the shutdown flush: queue drained (or writer died).
+    drained: Condvar,
+}
+
+#[derive(Default)]
+struct OutboundState {
+    lines: VecDeque<String>,
+    /// No further enqueues; the writer drains what is queued and
+    /// exits.
+    closed: bool,
+    /// The writer hit a write failure; the queue is abandoned.
+    dead: bool,
+    /// The writer popped a line and is mid-write (so "drained" is
+    /// `lines.is_empty() && !writing`).
+    writing: bool,
+}
+
+/// Counters shared between [`Connections`] and every writer thread.
+#[derive(Default)]
+struct OutboundTotals {
+    /// Mid-flight losses (server running, response undeliverable),
+    /// keyed by the addressed connection. Entries outlive
+    /// deregistration — that is the point.
     lost: Mutex<HashMap<ConnectionId, u64>>,
     /// Sum of every count in `lost`, readable without the map lock.
     lost_total: AtomicU64,
+    /// Losses during the shutdown flush window (peer gone or still
+    /// not reading when the grace period expired) — deliberately a
+    /// separate ledger from mid-flight losses.
+    lost_shutdown: AtomicU64,
+    /// Responses dropped because the addressed connection's outbound
+    /// queue was full: the shed policy, not a delivery failure.
+    shed: AtomicU64,
+    /// Deepest any single connection's outbound queue has been.
+    outbound_hwm: AtomicUsize,
+    /// Single response writes slower than [`WRITER_STALL_MICROS`].
+    stalls: AtomicU64,
+    /// Set once the drain loop enters its shutdown flush; flips loss
+    /// attribution from `lost` to `lost_shutdown`.
+    flushing: AtomicBool,
+    /// Write-span telemetry sink (installed by `Server::start`).
+    telemetry: Mutex<Option<Arc<Telemetry>>>,
+}
+
+impl OutboundTotals {
+    fn record_losses(&self, conn: ConnectionId, count: u64) {
+        if count == 0 {
+            return;
+        }
+        if self.flushing.load(Ordering::Relaxed) {
+            self.lost_shutdown.fetch_add(count, Ordering::Relaxed);
+        } else {
+            *self
+                .lost
+                .lock()
+                .expect("loss lock")
+                .entry(conn)
+                .or_insert(0) += count;
+            self.lost_total.fetch_add(count, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The write half of every live connection, keyed by [`ConnectionId`].
+///
+/// Responses are enqueued onto a bounded per-connection outbound
+/// queue and written by that connection's dedicated writer thread, so
+/// one stalled client never blocks the drain loop or its neighbours.
+/// Per-connection response order is exactly submission order (one
+/// queue, one writer). A full queue sheds the newest response for
+/// that connection (`responses_shed`); a failed write (client went
+/// away) drops the connection and is tallied per connection in the
+/// response-loss counters, so "how many answers never reached a
+/// client" is answerable from the `stats` op after the fact —
+/// mid-flight losses and shutdown-flush losses on separate ledgers.
+#[derive(Default)]
+pub struct Connections {
+    writers: Mutex<HashMap<ConnectionId, SharedWriter>>,
+    outbounds: Mutex<HashMap<ConnectionId, Arc<Outbound>>>,
+    writer_threads: Mutex<Vec<thread::JoinHandle<()>>>,
+    /// Force-close hooks (socket `shutdown(Both)`) used to unstick
+    /// writers blocked on a non-reading peer during the flush.
+    closers: Mutex<HashMap<ConnectionId, Box<dyn Fn() + Send>>>,
+    next: AtomicU64,
+    totals: Arc<OutboundTotals>,
+    /// Submissions admitted but not yet answered, per connection (the
+    /// inbound backpressure gate).
+    in_flight: Mutex<HashMap<ConnectionId, usize>>,
+    in_flight_wake: Condvar,
+    /// Outbound queue capacity per connection; 0 = unbounded.
+    outbound_depth: AtomicUsize,
+    /// In-flight submission cap per connection; 0 = unbounded.
+    max_in_flight: AtomicUsize,
 }
 
 impl fmt::Debug for Connections {
@@ -273,26 +420,77 @@ impl fmt::Debug for Connections {
 }
 
 impl Connections {
-    /// An empty connection table.
+    /// An empty connection table (unbounded queues until
+    /// [`set_limits`](Connections::set_limits)).
     #[must_use]
     pub fn new() -> Self {
         Connections::default()
     }
 
-    /// Registers a connection's write half; returns its id.
+    /// Sets the per-connection backpressure caps: `outbound_depth`
+    /// responses may queue for a slow reader before shedding starts,
+    /// and `max_in_flight` submissions may be unanswered before a
+    /// connection's reader blocks. 0 means unbounded.
+    pub fn set_limits(&self, outbound_depth: usize, max_in_flight: usize) {
+        self.outbound_depth.store(outbound_depth, Ordering::Relaxed);
+        self.max_in_flight.store(max_in_flight, Ordering::Relaxed);
+    }
+
+    /// Installs the telemetry sink writer threads stamp response-write
+    /// spans on.
+    pub(crate) fn set_telemetry(&self, telemetry: Arc<Telemetry>) {
+        *self.totals.telemetry.lock().expect("telemetry lock") = Some(telemetry);
+    }
+
+    /// Registers a connection's write half; returns its id. A
+    /// dedicated writer thread is spawned to drain the connection's
+    /// outbound queue.
     pub fn register(&self, writer: Box<dyn Write + Send>) -> ConnectionId {
         let conn = self.next.fetch_add(1, Ordering::SeqCst);
+        let writer: SharedWriter = Arc::new(Mutex::new(writer));
+        let outbound = Arc::new(Outbound::default());
         self.writers
             .lock()
             .expect("connections lock")
-            .insert(conn, Arc::new(Mutex::new(writer)));
+            .insert(conn, Arc::clone(&writer));
+        self.outbounds
+            .lock()
+            .expect("outbounds lock")
+            .insert(conn, Arc::clone(&outbound));
+        let totals = Arc::clone(&self.totals);
+        let handle = thread::Builder::new()
+            .name(format!("planartest-writer-{conn}"))
+            .spawn(move || writer_loop(conn, &outbound, &writer, &totals))
+            .expect("spawn outbound writer");
+        self.writer_threads
+            .lock()
+            .expect("writer threads lock")
+            .push(handle);
         conn
     }
 
+    /// Installs the force-close hook for a connection (socket
+    /// transports only; used by the shutdown flush to unstick a writer
+    /// blocked on a peer that stopped reading).
+    fn set_closer(&self, conn: ConnectionId, closer: Box<dyn Fn() + Send>) {
+        self.closers
+            .lock()
+            .expect("closers lock")
+            .insert(conn, closer);
+    }
+
     /// Drops a connection (its reader saw EOF or an error). Responses
-    /// already computed for it are discarded at write time.
+    /// already computed for it are discarded at write time; responses
+    /// already queued outbound are still written by the writer thread
+    /// before it exits.
     pub fn deregister(&self, conn: ConnectionId) {
         self.writers.lock().expect("connections lock").remove(&conn);
+        let outbound = self.outbounds.lock().expect("outbounds lock").remove(&conn);
+        if let Some(outbound) = outbound {
+            outbound.state.lock().expect("outbound lock").closed = true;
+            outbound.ready.notify_all();
+        }
+        self.closers.lock().expect("closers lock").remove(&conn);
     }
 
     /// Number of live connections.
@@ -307,9 +505,11 @@ impl Connections {
         self.len() == 0
     }
 
-    /// Writes one response line to `conn`, flushing so single-request
-    /// clients see their answer immediately. Returns whether the write
-    /// succeeded; on failure the connection is dropped.
+    /// Writes one response line to `conn` synchronously, bypassing the
+    /// outbound queue (embedders driving [`Connections`] directly;
+    /// the server's drain loop uses the queued `enqueue` path).
+    /// Returns whether the write succeeded; on failure the connection
+    /// is dropped.
     pub fn send(&self, conn: ConnectionId, line: &str) -> bool {
         let writer = self
             .writers
@@ -318,7 +518,7 @@ impl Connections {
             .get(&conn)
             .cloned();
         let Some(writer) = writer else {
-            self.record_loss(conn);
+            self.totals.record_losses(conn, 1);
             return false;
         };
         let mut w = writer.lock().expect("writer lock");
@@ -326,33 +526,187 @@ impl Connections {
         drop(w);
         if !ok {
             self.deregister(conn);
-            self.record_loss(conn);
+            self.totals.record_losses(conn, 1);
         }
         ok
     }
 
-    fn record_loss(&self, conn: ConnectionId) {
-        *self
-            .lost
+    /// Hands one response line to `conn`'s writer thread, releasing
+    /// the submission slot the response answers. Returns `false` when
+    /// the response could not be queued: the connection is gone (a
+    /// loss) or its outbound queue is full (a shed).
+    pub(crate) fn enqueue(&self, conn: ConnectionId, line: &str) -> bool {
+        self.release_submission_slot(conn);
+        let outbound = self
+            .outbounds
             .lock()
-            .expect("loss lock")
-            .entry(conn)
-            .or_insert(0) += 1;
-        self.lost_total.fetch_add(1, Ordering::Relaxed);
+            .expect("outbounds lock")
+            .get(&conn)
+            .cloned();
+        let Some(outbound) = outbound else {
+            self.totals.record_losses(conn, 1);
+            return false;
+        };
+        let cap = self.outbound_depth.load(Ordering::Relaxed);
+        let mut st = outbound.state.lock().expect("outbound lock");
+        if st.closed || st.dead {
+            drop(st);
+            self.totals.record_losses(conn, 1);
+            return false;
+        }
+        if cap > 0 && st.lines.len() >= cap {
+            drop(st);
+            self.totals.shed.fetch_add(1, Ordering::Relaxed);
+            return false;
+        }
+        st.lines.push_back(line.to_string());
+        self.totals
+            .outbound_hwm
+            .fetch_max(st.lines.len(), Ordering::Relaxed);
+        drop(st);
+        outbound.ready.notify_all();
+        true
     }
 
-    /// Total responses computed but never delivered, across every
-    /// connection that ever existed.
+    /// Blocks until `conn` may have another submission in flight (or
+    /// `abort` turns true, e.g. server shutdown). Returns whether the
+    /// slot was acquired. Connections under the cap — or an unbounded
+    /// (0) cap — acquire immediately.
+    pub(crate) fn acquire_submission_slot(
+        &self,
+        conn: ConnectionId,
+        abort: &dyn Fn() -> bool,
+    ) -> bool {
+        loop {
+            if abort() {
+                return false;
+            }
+            let cap = self.max_in_flight.load(Ordering::Relaxed);
+            let mut m = self.in_flight.lock().expect("in-flight lock");
+            let count = m.entry(conn).or_insert(0);
+            if cap == 0 || *count < cap {
+                *count += 1;
+                return true;
+            }
+            let _ = self
+                .in_flight_wake
+                .wait_timeout(m, POLL)
+                .expect("in-flight lock");
+        }
+    }
+
+    /// Releases one in-flight slot for `conn` (its response's fate was
+    /// decided: queued, shed or lost). Saturates at zero so responses
+    /// to submissions that never went through the gate are harmless.
+    fn release_submission_slot(&self, conn: ConnectionId) {
+        let mut m = self.in_flight.lock().expect("in-flight lock");
+        if let Some(count) = m.get_mut(&conn) {
+            *count = count.saturating_sub(1);
+        }
+        drop(m);
+        self.in_flight_wake.notify_all();
+    }
+
+    /// Flips loss attribution to the shutdown ledger. Called by the
+    /// drain loop the moment it starts its shutdown flush, so
+    /// responses that fail delivery from here on are "lost during
+    /// shutdown", not mid-flight.
+    pub(crate) fn begin_shutdown_flush(&self) {
+        self.totals.flushing.store(true, Ordering::Relaxed);
+    }
+
+    /// Closes every outbound queue, waits up to a grace period for the
+    /// writers to drain, force-closes sockets whose writers are stuck
+    /// on a non-reading peer, and joins all writer threads. After this
+    /// returns, every deliverable response has been written.
+    pub(crate) fn finish_shutdown_flush(&self) {
+        self.begin_shutdown_flush();
+        let outbounds: Vec<(ConnectionId, Arc<Outbound>)> = self
+            .outbounds
+            .lock()
+            .expect("outbounds lock")
+            .iter()
+            .map(|(&c, ob)| (c, Arc::clone(ob)))
+            .collect();
+        for (_, outbound) in &outbounds {
+            outbound.state.lock().expect("outbound lock").closed = true;
+            outbound.ready.notify_all();
+        }
+        let deadline = Instant::now() + FLUSH_GRACE;
+        for (conn, outbound) in &outbounds {
+            let mut st = outbound.state.lock().expect("outbound lock");
+            loop {
+                if st.dead || (st.lines.is_empty() && !st.writing) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                st = outbound
+                    .drained
+                    .wait_timeout(st, deadline - now)
+                    .expect("outbound lock")
+                    .0;
+            }
+            let stuck = !st.dead && (!st.lines.is_empty() || st.writing);
+            drop(st);
+            if stuck {
+                if let Some(closer) = self.closers.lock().expect("closers lock").get(conn) {
+                    closer();
+                }
+            }
+        }
+        let handles =
+            std::mem::take(&mut *self.writer_threads.lock().expect("writer threads lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+
+    /// Total responses computed but never delivered while the server
+    /// was running (shutdown-flush losses are on a separate ledger:
+    /// [`lost_shutdown_responses`](Connections::lost_shutdown_responses)).
     #[must_use]
     pub fn lost_responses(&self) -> u64 {
-        self.lost_total.load(Ordering::Relaxed)
+        self.totals.lost_total.load(Ordering::Relaxed)
     }
 
-    /// Per-connection response-loss counts, sorted by connection id.
-    /// Connections with zero losses are absent.
+    /// Responses that could not be delivered during the shutdown
+    /// flush (peer gone, or still not reading when the grace period
+    /// expired).
+    #[must_use]
+    pub fn lost_shutdown_responses(&self) -> u64 {
+        self.totals.lost_shutdown.load(Ordering::Relaxed)
+    }
+
+    /// Responses shed because the addressed connection's outbound
+    /// queue was full — the bounded-queue policy working, not a
+    /// delivery failure.
+    #[must_use]
+    pub fn shed_responses(&self) -> u64 {
+        self.totals.shed.load(Ordering::Relaxed)
+    }
+
+    /// Deepest any single connection's outbound queue has been.
+    #[must_use]
+    pub fn outbound_depth_hwm(&self) -> usize {
+        self.totals.outbound_hwm.load(Ordering::Relaxed)
+    }
+
+    /// Single response writes that took suspiciously long (a live peer
+    /// not keeping up with its socket).
+    #[must_use]
+    pub fn writer_stalls(&self) -> u64 {
+        self.totals.stalls.load(Ordering::Relaxed)
+    }
+
+    /// Per-connection mid-flight response-loss counts, sorted by
+    /// connection id. Connections with zero losses are absent.
     #[must_use]
     pub fn lost_by_connection(&self) -> Vec<(ConnectionId, u64)> {
         let mut rows: Vec<(ConnectionId, u64)> = self
+            .totals
             .lost
             .lock()
             .expect("loss lock")
@@ -364,17 +718,100 @@ impl Connections {
     }
 }
 
+/// One connection's writer thread: takes *everything* queued on the
+/// outbound in one gulp and writes it with a single flush — queue
+/// depth amortizes straight into fewer syscalls under load — stamping
+/// one write span per line on the service telemetry. A failed write
+/// marks the queue dead and counts the whole unflushed gulp plus
+/// everything still queued as losses (mid-flight or shutdown,
+/// depending on the flush flag).
+fn writer_loop(
+    conn: ConnectionId,
+    outbound: &Outbound,
+    writer: &SharedWriter,
+    totals: &OutboundTotals,
+) {
+    loop {
+        let batch = {
+            let mut st = outbound.state.lock().expect("outbound lock");
+            loop {
+                if !st.lines.is_empty() {
+                    st.writing = true;
+                    break Some(std::mem::take(&mut st.lines));
+                }
+                if st.closed || st.dead {
+                    break None;
+                }
+                st = outbound.ready.wait(st).expect("outbound lock");
+            }
+        };
+        let Some(batch) = batch else {
+            outbound.drained.notify_all();
+            return;
+        };
+        let telemetry = totals.telemetry.lock().expect("telemetry lock").clone();
+        let started_micros = telemetry.as_ref().map(|t| t.now_micros());
+        let started = Instant::now();
+        let ok = {
+            let mut w = writer.lock().expect("writer lock");
+            let mut payload = String::with_capacity(batch.iter().map(|l| l.len() + 1).sum());
+            for line in &batch {
+                payload.push_str(line);
+                payload.push('\n');
+            }
+            w.write_all(payload.as_bytes())
+                .and_then(|()| w.flush())
+                .is_ok()
+        };
+        let took_micros = match (&telemetry, started_micros) {
+            (Some(t), Some(at)) => {
+                let took = t.now_micros().saturating_sub(at);
+                // The flush covered the whole batch; attribute the
+                // span evenly so per-line write telemetry stays sane.
+                let per_line = took / batch.len() as u64;
+                for _ in 0..batch.len() {
+                    t.record_write(per_line);
+                }
+                took
+            }
+            _ => u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+        };
+        if took_micros > WRITER_STALL_MICROS {
+            totals.stalls.fetch_add(1, Ordering::Relaxed);
+        }
+        let mut st = outbound.state.lock().expect("outbound lock");
+        st.writing = false;
+        if !ok {
+            st.dead = true;
+            let undelivered = batch.len() as u64 + st.lines.len() as u64;
+            st.lines.clear();
+            drop(st);
+            totals.record_losses(conn, undelivered);
+            outbound.drained.notify_all();
+            return;
+        }
+        if st.lines.is_empty() {
+            outbound.drained.notify_all();
+        }
+    }
+}
+
 /// Reads frames off `reader` and feeds them into the queue tagged with
 /// `conn`, until EOF or a connection-level I/O error. Per-frame
 /// failures (oversized, bad UTF-8) are pushed as error submissions so
-/// the scheduler answers them in-band, and reading continues.
+/// the scheduler answers them in-band, and reading continues. Each
+/// submission first acquires `conn`'s in-flight slot, so a firehose
+/// connection blocks here — in its own reader thread — instead of
+/// flooding the shared queue.
 pub fn pump_frames<R: Read>(
     reader: R,
     conn: ConnectionId,
     queue: &SubmissionQueue,
+    connections: &Connections,
     max_frame: usize,
 ) {
     let mut frames = FrameReader::new(reader, max_frame);
+    let abort = || queue.shutting_down();
     loop {
         match frames.next_frame() {
             Ok(None) => break,
@@ -383,10 +820,16 @@ pub fn pump_frames<R: Read>(
                     continue;
                 }
                 let request = Value::parse(&line).map_err(|e| format!("bad request: {e}"));
+                if !connections.acquire_submission_slot(conn, &abort) {
+                    break;
+                }
                 queue.push(Submission::new(conn, request));
             }
             Err(FrameError::Io(_)) => break,
             Err(recoverable) => {
+                if !connections.acquire_submission_slot(conn, &abort) {
+                    break;
+                }
                 queue.push(Submission::new(conn, Err(recoverable.to_string())));
             }
         }
@@ -409,10 +852,11 @@ pub fn spawn_stdio(
 ) -> ConnectionId {
     let conn = connections.register(Box::new(io::stdout()));
     let queue = Arc::clone(queue);
+    let connections = Arc::clone(connections);
     thread::Builder::new()
         .name("planartest-stdio".into())
         .spawn(move || {
-            pump_frames(io::stdin(), conn, &queue, max_frame);
+            pump_frames(io::stdin(), conn, &queue, &connections, max_frame);
             // EOF on stdin does NOT close stdout: the shutdown flush
             // still answers everything this pipe submitted (the
             // classic `printf '…' | planartest serve` usage).
@@ -422,10 +866,13 @@ pub fn spawn_stdio(
     conn
 }
 
-/// Registers an accepted socket and spawns its reader thread.
+/// Registers an accepted socket and spawns its reader thread. The
+/// optional `closer` force-closes the socket (used by the shutdown
+/// flush to unstick a writer blocked on a non-reading peer).
 fn adopt_stream<S>(
     stream: S,
     writer: Box<dyn Write + Send>,
+    closer: Option<Box<dyn Fn() + Send>>,
     connections: &Arc<Connections>,
     queue: &Arc<SubmissionQueue>,
     max_frame: usize,
@@ -433,18 +880,26 @@ fn adopt_stream<S>(
     S: Read + Send + 'static,
 {
     let conn = connections.register(writer);
+    if let Some(closer) = closer {
+        connections.set_closer(conn, closer);
+    }
     let queue = Arc::clone(queue);
+    let connections = Arc::clone(connections);
     thread::Builder::new()
         .name(format!("planartest-conn-{conn}"))
         .spawn(move || {
-            pump_frames(stream, conn, &queue, max_frame);
+            pump_frames(stream, conn, &queue, &connections, max_frame);
             // Read-side EOF is NOT deregistration: a client may close
             // its write half and still read its answers (`printf … |
             // nc -U sock`). A fully-gone peer is cleaned up by the
-            // first failing write in `Connections::send`.
+            // first failing write in the writer thread.
         })
         .expect("spawn connection reader");
 }
+
+/// What a listener's `split` hands to [`adopt_stream`]: the read half,
+/// the boxed write half, and an optional force-close hook.
+type SplitStream<S> = (S, Box<dyn Write + Send>, Option<Box<dyn Fn() + Send>>);
 
 /// Starts a unix-socket listener feeding the queue. Any stale socket
 /// file at `path` is replaced. The accept loop runs until shutdown.
@@ -471,7 +926,15 @@ pub fn spawn_unix_listener(
                 let stream: UnixStream = stream;
                 stream.set_nonblocking(false)?;
                 let writer = stream.try_clone()?;
-                Ok((stream, Box::new(writer) as Box<dyn Write + Send>))
+                let close_half = stream.try_clone()?;
+                let closer = Box::new(move || {
+                    let _ = close_half.shutdown(Shutdown::Both);
+                });
+                Ok((
+                    stream,
+                    Box::new(writer) as Box<dyn Write + Send>,
+                    Some(closer as Box<dyn Fn() + Send>),
+                ))
             });
         })
         .expect("spawn unix accept loop");
@@ -503,7 +966,15 @@ pub fn spawn_tcp_listener(
                 let stream: TcpStream = stream;
                 stream.set_nonblocking(false)?;
                 let writer = stream.try_clone()?;
-                Ok((stream, Box::new(writer) as Box<dyn Write + Send>))
+                let close_half = stream.try_clone()?;
+                let closer = Box::new(move || {
+                    let _ = close_half.shutdown(Shutdown::Both);
+                });
+                Ok((
+                    stream,
+                    Box::new(writer) as Box<dyn Write + Send>,
+                    Some(closer as Box<dyn Fn() + Send>),
+                ))
             });
         })
         .expect("spawn tcp accept loop");
@@ -513,7 +984,7 @@ pub fn spawn_tcp_listener(
 /// Shared accept loop over any nonblocking listener: polls for new
 /// clients, re-checking the shutdown flag between attempts, and adopts
 /// each accepted stream. `split` turns the accepted stream into its
-/// (read half, boxed write half) pair.
+/// (read half, boxed write half, force-close hook) triple.
 fn accept_loop<L, S, F>(
     listener: &L,
     connections: &Arc<Connections>,
@@ -523,13 +994,13 @@ fn accept_loop<L, S, F>(
 ) where
     L: Accept<Stream = S>,
     S: Read + Send + 'static,
-    F: Fn(S) -> io::Result<(S, Box<dyn Write + Send>)>,
+    F: Fn(S) -> io::Result<SplitStream<S>>,
 {
     while !queue.shutting_down() {
         match listener.accept_stream() {
             Ok(stream) => match split(stream) {
-                Ok((reader, writer)) => {
-                    adopt_stream(reader, writer, connections, queue, max_frame);
+                Ok((reader, writer, closer)) => {
+                    adopt_stream(reader, writer, closer, connections, queue, max_frame);
                 }
                 // A client that vanished between accept and setup.
                 Err(_) => continue,
@@ -575,6 +1046,38 @@ mod tests {
 
     fn control_sub(conn: ConnectionId) -> Submission {
         Submission::new(conn, Ok(Value::obj().field("op", "stats")))
+    }
+
+    struct SharedSink(Arc<Mutex<Vec<u8>>>);
+    impl Write for SharedSink {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn sink_contents(sink: &Arc<Mutex<Vec<u8>>>) -> String {
+        String::from_utf8(sink.lock().unwrap().clone()).unwrap()
+    }
+
+    /// Polls until the sink holds `lines` newline-terminated lines
+    /// (writer threads deliver asynchronously).
+    fn await_lines(sink: &Arc<Mutex<Vec<u8>>>, lines: usize) -> String {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            let text = sink_contents(sink);
+            if text.matches('\n').count() >= lines {
+                return text;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "sink never reached {lines} lines"
+            );
+            thread::sleep(Duration::from_millis(1));
+        }
     }
 
     #[test]
@@ -669,6 +1172,30 @@ mod tests {
     }
 
     #[test]
+    fn wait_overlap_collects_arrivals_until_exec_done() {
+        let q = Arc::new(SubmissionQueue::new());
+        q.pipeline_begin();
+        q.push(query_sub(1));
+        // New arrivals come straight out of the overlap wait…
+        let batch = q.wait_overlap().expect("overlap batch");
+        assert_eq!(batch.len(), 1);
+        assert_eq!(q.depth(), 0);
+        // …and pipeline_done ends the overlap even with an empty queue.
+        let q2 = Arc::clone(&q);
+        let done = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(10));
+            q2.pipeline_done();
+        });
+        assert!(q.wait_overlap().is_none());
+        done.join().unwrap();
+        // Items pushed outside an overlap stay queued for wait_cycle.
+        q.push(query_sub(2));
+        assert_eq!(q.depth(), 1);
+        let (cycle, _) = q.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
+        assert_eq!(cycle.len(), 1);
+    }
+
+    #[test]
     fn undeliverable_responses_are_counted_per_connection() {
         struct FailingWriter;
         impl Write for FailingWriter {
@@ -700,25 +1227,12 @@ mod tests {
     fn connections_route_and_drop() {
         let conns = Connections::new();
         let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
-        struct SharedSink(Arc<Mutex<Vec<u8>>>);
-        impl Write for SharedSink {
-            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-                self.0.lock().unwrap().extend_from_slice(buf);
-                Ok(buf.len())
-            }
-            fn flush(&mut self) -> io::Result<()> {
-                Ok(())
-            }
-        }
         let a = conns.register(Box::new(SharedSink(Arc::clone(&sink))));
         let b = conns.register(Box::new(io::sink()));
         assert_ne!(a, b);
         assert_eq!(conns.len(), 2);
         assert!(conns.send(a, "hello"));
-        assert_eq!(
-            String::from_utf8(sink.lock().unwrap().clone()).unwrap(),
-            "hello\n"
-        );
+        assert_eq!(sink_contents(&sink), "hello\n");
         conns.deregister(b);
         assert!(
             !conns.send(b, "gone"),
@@ -730,8 +1244,126 @@ mod tests {
     }
 
     #[test]
+    fn enqueue_delivers_in_order_through_the_writer_thread() {
+        let conns = Connections::new();
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let a = conns.register(Box::new(SharedSink(Arc::clone(&sink))));
+        assert!(conns.enqueue(a, "first"));
+        assert!(conns.enqueue(a, "second"));
+        assert!(conns.enqueue(a, "third"));
+        assert_eq!(await_lines(&sink, 3), "first\nsecond\nthird\n");
+        assert_eq!(conns.lost_responses(), 0);
+        assert_eq!(conns.shed_responses(), 0);
+        assert!(conns.outbound_depth_hwm() >= 1);
+        // Unknown targets are mid-flight losses, exactly like `send`.
+        assert!(!conns.enqueue(777, "never-registered"));
+        assert_eq!(conns.lost_responses(), 1);
+    }
+
+    #[test]
+    fn full_outbound_queues_shed_instead_of_blocking() {
+        /// A writer that blocks until allowed, emulating a stuck peer.
+        struct GatedWriter {
+            allow: Arc<AtomicBool>,
+            sink: Arc<Mutex<Vec<u8>>>,
+        }
+        impl Write for GatedWriter {
+            fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+                while !self.allow.load(Ordering::Relaxed) {
+                    thread::sleep(Duration::from_millis(1));
+                }
+                self.sink.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let conns = Connections::new();
+        conns.set_limits(2, 0);
+        let allow = Arc::new(AtomicBool::new(false));
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let a = conns.register(Box::new(GatedWriter {
+            allow: Arc::clone(&allow),
+            sink: Arc::clone(&sink),
+        }));
+        // The writer thread blocks on line 1; the queue holds 2 more;
+        // everything past that is shed, and nothing here blocks.
+        let mut queued = 0;
+        let mut shed = 0;
+        for i in 0..20 {
+            if conns.enqueue(a, &format!("line-{i}")) {
+                queued += 1;
+            } else {
+                shed += 1;
+            }
+            if conns.shed_responses() > 0 && shed >= 3 {
+                break;
+            }
+            thread::sleep(Duration::from_millis(1));
+        }
+        assert!(shed > 0, "a full queue must shed");
+        assert_eq!(conns.shed_responses(), shed);
+        assert_eq!(conns.lost_responses(), 0, "sheds are not losses");
+        assert!(conns.outbound_depth_hwm() >= 2);
+        // Un-stick the peer: everything queued (not shed) drains.
+        allow.store(true, Ordering::Relaxed);
+        let text = await_lines(&sink, queued as usize);
+        assert!(text.starts_with("line-0\n"), "delivery stays in order");
+        conns.finish_shutdown_flush();
+    }
+
+    #[test]
+    fn shutdown_flush_losses_land_on_their_own_ledger() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer gone"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let conns = Connections::new();
+        let broken = conns.register(Box::new(FailingWriter));
+        conns.begin_shutdown_flush();
+        conns.enqueue(broken, "flushed into a dead peer");
+        conns.finish_shutdown_flush();
+        assert_eq!(conns.lost_responses(), 0, "not a mid-flight loss");
+        assert_eq!(conns.lost_shutdown_responses(), 1);
+        assert!(conns.lost_by_connection().is_empty());
+    }
+
+    #[test]
+    fn in_flight_gate_blocks_at_the_cap_and_releases_on_enqueue() {
+        let conns = Arc::new(Connections::new());
+        conns.set_limits(0, 2);
+        let sink: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        let a = conns.register(Box::new(SharedSink(Arc::clone(&sink))));
+        let never = || false;
+        assert!(conns.acquire_submission_slot(a, &never));
+        assert!(conns.acquire_submission_slot(a, &never));
+        // Third acquisition blocks until a response decides a fate.
+        let acquired = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&acquired);
+        let gated = Arc::clone(&conns);
+        let waiter = thread::spawn(move || {
+            assert!(gated.acquire_submission_slot(a, &|| false));
+            flag.store(true, Ordering::SeqCst);
+        });
+        thread::sleep(Duration::from_millis(60));
+        assert!(!acquired.load(Ordering::SeqCst), "cap must hold the gate");
+        assert!(conns.enqueue(a, "answer one"));
+        waiter.join().unwrap();
+        assert!(acquired.load(Ordering::SeqCst));
+        // An aborting gate gives up instead of blocking forever.
+        assert!(!conns.acquire_submission_slot(a, &|| true));
+    }
+
+    #[test]
     fn pump_reports_bad_frames_in_band_and_keeps_reading() {
         let queue = SubmissionQueue::new();
+        let conns = Connections::new();
         let mut input = Vec::new();
         input.extend_from_slice(b"{\"op\":\"stats\"}\n");
         input.extend_from_slice(b"not json\n");
@@ -740,7 +1372,7 @@ mod tests {
         input.extend_from_slice(b"\xff\xfe\n");
         input.extend_from_slice(b"  \n"); // blank: skipped entirely
         input.extend_from_slice(b"{\"op\":\"families\"}\n");
-        pump_frames(&input[..], 9, &queue, 32);
+        pump_frames(&input[..], 9, &queue, &conns, 32);
         let (subs, _) = queue.wait_cycle(Duration::ZERO, usize::MAX).expect("cycle");
         assert_eq!(subs.len(), 5);
         assert!(subs.iter().all(|s| s.conn == 9));

@@ -379,6 +379,11 @@ fn concurrent_open_loop_clients_drain_exactly_and_in_order() {
         Some((CLIENTS * QUERIES) as u64)
     );
     assert_eq!(stats.get("responses_lost").unwrap().as_u64(), Some(0));
+    assert_eq!(
+        stats.get("responses_shed").unwrap().as_u64(),
+        Some(0),
+        "unbounded outbound queues never shed"
+    );
     let hwm = stats.get("queue_depth_hwm").unwrap().as_u64().unwrap();
     assert!(hwm >= 1, "burst must register on the queue high-water mark");
     assert!(
@@ -389,6 +394,108 @@ fn concurrent_open_loop_clients_drain_exactly_and_in_order() {
     drop((setup, setup_rx));
     drop(child.stdin.take());
     assert!(child.wait().expect("serve exits").success());
+}
+
+#[test]
+fn never_reading_client_sheds_without_hurting_healthy_peers() {
+    const FIREHOSE: usize = 3000;
+    const HEALTHY: usize = 50;
+
+    let path = socket_path("slowpeer");
+    // A tight outbound queue and a modest in-flight cap: the policy
+    // under test is bounded memory + shed, not unbounded buffering.
+    let mut child = spawn_serve(&[
+        "--unix",
+        path.to_str().unwrap(),
+        "--outbound-depth",
+        "8",
+        "--max-in-flight",
+        "64",
+    ]);
+    let mut stderr = BufReader::new(child.stderr.take().expect("stderr"));
+    await_banner(&mut stderr, "unix");
+
+    // Prime the cache over the healthy connection so every firehose
+    // query is a warm hit (the fast path is exactly what would flood
+    // an unbounded writer queue).
+    let (mut healthy, mut healthy_rx) = connect(&path);
+    let ingested = ask(
+        &mut healthy,
+        &mut healthy_rx,
+        r#"{"op":"ingest","name":"g","spec":"tri_grid(4,4)"}"#,
+    );
+    assert_eq!(ingested.get("ok").unwrap().as_bool(), Some(true));
+    let primed = ask(
+        &mut healthy,
+        &mut healthy_rx,
+        r#"{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":7}"#,
+    );
+    assert_eq!(primed.get("verdict").unwrap().as_str(), Some("accept"));
+
+    // The deaf client: fires thousands of warm queries and never reads
+    // a byte. Its socket buffer fills, its writer thread blocks, its
+    // 8-deep outbound queue fills, and everything else is shed — while
+    // its in-flight slots keep recycling, so this write loop cannot
+    // deadlock against the server.
+    let (mut deaf, _deaf_rx) = connect(&path);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            for _ in 0..FIREHOSE {
+                writeln!(
+                    deaf,
+                    r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":7}}"#
+                )
+                .expect("write firehose query");
+            }
+            deaf.flush().expect("flush firehose");
+        });
+
+        // Concurrently, the healthy connection gets every response, in
+        // order, while the deaf peer is mid-flood.
+        for i in 0..HEALTHY {
+            let r = ask(
+                &mut healthy,
+                &mut healthy_rx,
+                &format!(
+                    r#"{{"op":"query","graph":"g","epsilon":0.2,"phases":5,"seed":{}}}"#,
+                    i
+                ),
+            );
+            assert_eq!(r.get("ok").unwrap().as_bool(), Some(true));
+            assert_eq!(
+                r.get("seed").unwrap().as_u64(),
+                Some(i as u64),
+                "healthy client response out of order beside a deaf peer"
+            );
+        }
+    });
+
+    // Give the drain loop a moment to finish shedding the tail, then
+    // read the ledger over the healthy connection: sheds happened (the
+    // bounded queue did its job), yet nothing was lost mid-flight.
+    std::thread::sleep(Duration::from_millis(500));
+    let stats = ask(&mut healthy, &mut healthy_rx, r#"{"op":"stats"}"#);
+    let shed = stats.get("responses_shed").unwrap().as_u64().unwrap();
+    assert!(
+        shed > 0,
+        "a deaf firehose must shed against an 8-deep queue"
+    );
+    assert_eq!(
+        stats.get("responses_lost").unwrap().as_u64(),
+        Some(0),
+        "shedding is policy, not mid-flight loss"
+    );
+    assert!(stats.get("outbound_depth_hwm").unwrap().as_u64().unwrap() >= 8);
+
+    // Graceful shutdown completes despite the still-deaf peer: the
+    // flush grace expires, its socket is force-closed, and the queued
+    // remainder lands on the shutdown ledger — exit stays clean.
+    drop((healthy, healthy_rx));
+    let started = std::time::Instant::now();
+    drop(child.stdin.take());
+    let status = child.wait().expect("serve exits");
+    assert!(status.success(), "deaf peer must not wedge shutdown");
+    assert!(started.elapsed() < Duration::from_secs(20));
 }
 
 #[test]
